@@ -1,0 +1,163 @@
+(* snslpc — the KernelC compiler driver.
+
+   Compiles a KernelC file (or a named registry kernel) through the
+   mini -O3 pipeline with the selected vectorizer configuration, and
+   prints the IR before/after, the vectorization decisions, the
+   Multi/Super-Node statistics, and (optionally) simulated cycles.
+
+     snslpc --kernel motiv_leaf --mode sn-slp --stats --simulate
+     snslpc file.kc --mode lslp --dump-before --dump-after *)
+
+open Cmdliner
+open Snslp_ir
+open Snslp_vectorizer
+open Snslp_costmodel
+open Snslp_passes
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let load_source file kernel =
+  match (file, kernel) with
+  | Some f, None -> In_channel.with_open_text f In_channel.input_all
+  | None, Some k -> (
+      match Snslp_kernels.Registry.find k with
+      | Some k -> k.Snslp_kernels.Registry.source
+      | None ->
+          Fmt.epr "unknown kernel %S; available: %s@." k
+            (String.concat ", "
+               (List.map
+                  (fun (k : Snslp_kernels.Registry.t) -> k.Snslp_kernels.Registry.name)
+                  Snslp_kernels.Registry.all));
+          exit 2)
+  | Some _, Some _ ->
+      Fmt.epr "give either a file or --kernel, not both@.";
+      exit 2
+  | None, None ->
+      Fmt.epr "nothing to compile: give a file or --kernel NAME@.";
+      exit 2
+
+let target_of_string = function
+  | "sse" -> Target.sse
+  | "avx2" -> Target.avx2
+  | "sse-noaddsub" -> Target.sse_no_addsub
+  | s ->
+      Fmt.epr "unknown target %S (sse, avx2, sse-noaddsub)@." s;
+      exit 2
+
+let run verbose file kernel mode model target dump_before dump_after dump_graph stats
+    simulate lookahead =
+  setup_logs verbose;
+  let src = load_source file kernel in
+  (* A .ir input bypasses the frontend: parse the textual IR
+     directly. *)
+  let from_ir =
+    match file with Some f -> Filename.check_suffix f ".ir" | None -> false
+  in
+  let setting : Pipeline.setting =
+    match mode with
+    | "o3" -> None
+    | m -> (
+        match Config.mode_of_string m with
+        | Some mode ->
+            let model =
+              match Model.by_name model with
+              | Some m -> m
+              | None ->
+                  Fmt.epr "unknown cost model %S (paper, x86)@." model;
+                  exit 2
+            in
+            Some
+              {
+                Config.default with
+                Config.mode;
+                model;
+                target = target_of_string target;
+                lookahead_depth = lookahead;
+              }
+        | None ->
+            Fmt.epr "unknown mode %S (o3, slp, lslp, sn-slp)@." mode;
+            exit 2)
+  in
+  let funcs =
+    if from_ir then
+      try [ Ir_parser.parse src ]
+      with Ir_parser.Parse_error { line; message } ->
+        Fmt.epr "IR parse error at line %d: %s@." line message;
+        exit 1
+    else Snslp_frontend.Frontend.compile src
+  in
+  List.iter
+    (fun func ->
+      if dump_before then Fmt.pr "; ---- input ----@.%a@." Printer.pp_func func;
+      let result = Pipeline.run ~setting func in
+      (match result.Pipeline.vect_report with
+      | Some rep ->
+          List.iter
+            (fun (tr : Vectorize.tree_report) ->
+              Fmt.pr "; seed {%s}@.;   %a -> %s@." tr.Vectorize.seed Cost.pp
+                tr.Vectorize.cost
+                (if tr.Vectorize.vectorized then "VECTORIZED" else "rejected");
+              if dump_graph then Fmt.pr "%s" tr.Vectorize.graph_dump)
+            rep.Vectorize.trees;
+          if stats then Fmt.pr "; stats: %a@." Stats.pp rep.Vectorize.stats
+      | None -> ());
+      if dump_after then
+        Fmt.pr "; ---- after %s ----@.%a@." (Pipeline.setting_name setting) Printer.pp_func
+          result.Pipeline.func;
+      if simulate then begin
+        match kernel with
+        | Some kname -> (
+            match Snslp_kernels.Registry.find kname with
+            | Some k ->
+                let wl = Snslp_kernels.Workload.prepare k in
+                let r = Snslp_kernels.Workload.measure wl result.Pipeline.func in
+                Fmt.pr "; simulated: %.0f cycles, %d instrs over %d iterations@."
+                  r.Snslp_simperf.Simperf.cycles r.Snslp_simperf.Simperf.instrs_executed
+                  wl.Snslp_kernels.Workload.iters
+            | None -> ())
+        | None ->
+            Fmt.pr "; --simulate needs --kernel (the registry defines the workload)@."
+      end)
+    funcs
+
+let () =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
+  let file = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let kernel =
+    Arg.(value & opt (some string) None & info [ "kernel" ] ~doc:"Registry kernel name.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "sn-slp"
+      & info [ "mode" ] ~doc:"Vectorizer: o3, slp, lslp or sn-slp.")
+  in
+  let model =
+    Arg.(value & opt string "paper" & info [ "model" ] ~doc:"Cost model: paper or x86.")
+  in
+  let target =
+    Arg.(
+      value & opt string "sse" & info [ "target" ] ~doc:"Target: sse, avx2, sse-noaddsub.")
+  in
+  let dump_before = Arg.(value & flag & info [ "dump-before" ] ~doc:"Print input IR.") in
+  let dump_after = Arg.(value & flag & info [ "dump-after" ] ~doc:"Print optimised IR.") in
+  let dump_graph =
+    Arg.(value & flag & info [ "dump-graph" ] ~doc:"Print the SLP graph per seed.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print vectorizer statistics.") in
+  let simulate =
+    Arg.(value & flag & info [ "simulate" ] ~doc:"Simulate execution (needs --kernel).")
+  in
+  let lookahead =
+    Arg.(value & opt int 2 & info [ "lookahead" ] ~doc:"Look-ahead depth.")
+  in
+  let term =
+    Term.(
+      const run $ verbose $ file $ kernel $ mode $ model $ target $ dump_before
+      $ dump_after $ dump_graph $ stats $ simulate $ lookahead)
+  in
+  let info =
+    Cmd.info "snslpc" ~doc:"Super-Node SLP vectorizing compiler for KernelC"
+  in
+  exit (Cmd.eval (Cmd.v info term))

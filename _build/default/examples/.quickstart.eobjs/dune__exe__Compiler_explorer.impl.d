@@ -1,0 +1,1 @@
+examples/compiler_explorer.ml: Config Cost Fmt Func List Pipeline Printer Snslp_frontend Snslp_ir Snslp_passes Snslp_report Snslp_vectorizer Stats Vectorize

@@ -1,0 +1,1 @@
+examples/complex_arithmetic.ml: Config Cost Fmt List Pipeline Registry Snslp_frontend Snslp_interp Snslp_kernels Snslp_passes Snslp_simperf Snslp_vectorizer Vectorize Workload

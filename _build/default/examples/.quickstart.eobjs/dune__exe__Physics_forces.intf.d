@@ -1,0 +1,1 @@
+examples/physics_forces.mli:

@@ -1,0 +1,1 @@
+examples/predication.ml: Config Cost Cse Fmt Fold Func Ifconv List Pipeline Printer Simplify Snslp_frontend Snslp_interp Snslp_ir Snslp_kernels Snslp_passes Snslp_vectorizer Vectorize

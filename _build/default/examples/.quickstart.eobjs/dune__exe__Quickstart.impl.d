@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Cost Fmt Pipeline Printer Snslp_frontend Snslp_interp Snslp_ir Snslp_kernels Snslp_passes Snslp_vectorizer Vectorize

@@ -1,0 +1,1 @@
+examples/reduction.ml: Config Fmt Func List Pipeline Printer Snslp_frontend Snslp_ir Snslp_kernels Snslp_passes Snslp_report Snslp_vectorizer Stats Vectorize

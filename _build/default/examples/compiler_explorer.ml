@@ -1,0 +1,56 @@
+(* A small compiler-explorer: feed arbitrary KernelC through every
+   configuration and diff what each vectorizer managed, on a kernel
+   exercising both operator families and a rejection case.
+
+     dune exec examples/compiler_explorer.exe *)
+
+open Snslp_ir
+open Snslp_passes
+open Snslp_vectorizer
+
+let program =
+  {|
+// Mixed-family program: the first pair needs the {*,/} Super-Node,
+// the second the {+,-} one, the third cannot be vectorized at all
+// (non-adjacent loads on one side, different base strides).
+
+kernel rates(double out[], double n[], double d[], double scale[], long i) {
+  out[i+0] = n[i+0] / d[i+0] * scale[i+0];
+  out[i+1] = scale[i+1] * n[i+1] / d[i+1];
+}
+
+kernel deltas(double out[], double hi[], double lo[], double bias[], long i) {
+  out[i+0] = hi[i+0] - lo[i+0] + bias[i+0];
+  out[i+1] = bias[i+1] + hi[i+1] - lo[i+1];
+}
+
+kernel strided(double out[], double a[], long i) {
+  out[i+0] = a[3*i+0] + 1.0;
+  out[i+1] = a[3*i+7] + 1.0;
+}
+|}
+
+let () =
+  let funcs = Snslp_frontend.Frontend.compile program in
+  List.iter
+    (fun func ->
+      Fmt.pr "%s" (Snslp_report.Table.section ("kernel " ^ Func.name func));
+      List.iter
+        (fun (name, config) ->
+          let result = Pipeline.run ~setting:(Some config) func in
+          match result.Pipeline.vect_report with
+          | Some rep ->
+              let stats = rep.Vectorize.stats in
+              List.iter
+                (fun (t : Vectorize.tree_report) ->
+                  Fmt.pr "%-8s cost %5g -> %-10s (%d graph nodes, %d gathers)@." name
+                    t.Vectorize.cost.Cost.total
+                    (if t.Vectorize.vectorized then "vectorized" else "rejected")
+                    stats.Stats.nodes_formed stats.Stats.gathers)
+                rep.Vectorize.trees
+          | None -> ())
+        [ ("slp", Config.vanilla); ("lslp", Config.lslp); ("sn-slp", Config.snslp) ];
+      (* Show the winning configuration's output. *)
+      let best = Pipeline.run ~setting:(Some Config.snslp) func in
+      Fmt.pr "@.%a@." Printer.pp_func best.Pipeline.func)
+    funcs

@@ -1,0 +1,59 @@
+(* Quickstart: compile the paper's Figure 2 example with and without
+   Super-Node SLP and watch the cost flip from 0 (not profitable) to
+   -6 (fully vectorized).
+
+     dune exec examples/quickstart.exe *)
+
+open Snslp_ir
+open Snslp_passes
+open Snslp_vectorizer
+
+let source =
+  {|
+kernel motiv(long A[], long B[], long C[], long D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = D[i+1] - C[i+1] + B[i+1];
+}
+|}
+
+let () =
+  (* 1. Parse and lower KernelC to IR. *)
+  let func = Snslp_frontend.Frontend.compile_one source in
+  Fmt.pr "--- input IR ---@.%a@." Printer.pp_func func;
+
+  (* 2. Run the pipeline with plain SLP: the graph costs 0, so nothing
+     happens. *)
+  let slp = Pipeline.run ~setting:(Some Config.vanilla) func in
+  (match slp.Pipeline.vect_report with
+  | Some { Vectorize.trees = [ t ]; _ } ->
+      Fmt.pr "plain SLP: cost %g -> %s@." t.Vectorize.cost.Cost.total
+        (if t.Vectorize.vectorized then "vectorized" else "rejected")
+  | _ -> assert false);
+
+  (* 3. Run it with the Super-Node: the leaves are reordered across
+     the +/- chain and everything vectorizes. *)
+  let sn = Pipeline.run ~setting:(Some Config.snslp) func in
+  (match sn.Pipeline.vect_report with
+  | Some { Vectorize.trees = [ t ]; _ } ->
+      Fmt.pr "SN-SLP:    cost %g -> %s@." t.Vectorize.cost.Cost.total
+        (if t.Vectorize.vectorized then "vectorized" else "rejected")
+  | _ -> assert false);
+  Fmt.pr "@.--- after SN-SLP ---@.%a@." Printer.pp_func sn.Pipeline.func;
+
+  (* 4. Check the two versions compute the same thing. *)
+  let k =
+    {
+      Snslp_kernels.Registry.name = "motiv";
+      provenance = "";
+      description = "";
+      source;
+      istride = 2;
+      extent = 1;
+      default_iters = 128;
+    }
+  in
+  let wl = Snslp_kernels.Workload.prepare k in
+  let ref_mem = Snslp_kernels.Workload.run_interp wl func in
+  let sn_mem = Snslp_kernels.Workload.run_interp wl sn.Pipeline.func in
+  assert (Snslp_interp.Memory.equal ref_mem sn_mem);
+  Fmt.pr "scalar and vector versions agree bit for bit.@."

@@ -1,0 +1,1 @@
+lib/analysis/address.ml: Affine Array Defs Fmt Printf Snslp_ir Ty Value

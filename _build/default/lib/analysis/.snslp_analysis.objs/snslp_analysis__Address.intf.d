@@ -1,0 +1,1 @@
+lib/analysis/address.mli: Affine Defs Fmt Snslp_ir Ty

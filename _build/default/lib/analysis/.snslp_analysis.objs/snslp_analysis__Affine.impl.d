@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Array Defs Fmt Int Int64 List Lit Map Printf Snslp_ir String Ty

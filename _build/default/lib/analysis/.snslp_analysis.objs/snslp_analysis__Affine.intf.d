@@ -1,0 +1,1 @@
+lib/analysis/affine.mli: Defs Fmt Map Snslp_ir

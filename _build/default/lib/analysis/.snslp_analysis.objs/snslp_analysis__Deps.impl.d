@@ -1,0 +1,1 @@
+lib/analysis/deps.ml: Address Affine Array Block Bytes Defs Hashtbl Instr List Option Snslp_ir Ty Value

@@ -1,0 +1,1 @@
+lib/analysis/deps.mli: Address Defs Hashtbl Snslp_ir

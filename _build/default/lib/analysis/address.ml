@@ -1,0 +1,55 @@
+(* Address summaries of memory instructions.
+
+   Every load/store address in our IR is a [gep base index]; the
+   summary pairs the base value with the affine form of the index. *)
+
+open Snslp_ir
+
+type t = { base : Defs.value; elem : Ty.scalar; index : Affine.t }
+
+(* [of_addr_value v] summarises a pointer-typed value. *)
+let rec of_addr_value (v : Defs.value) : t option =
+  match v with
+  | Defs.Arg a -> (
+      match a.arg_ty with
+      | Ty.Ptr s -> Some { base = v; elem = s; index = Affine.const 0 }
+      | Ty.Scalar _ | Ty.Vector _ -> None)
+  | Defs.Instr i -> (
+      match (i.op, i.ty) with
+      | Defs.Gep, Ty.Ptr s -> (
+          (* Look through chains of geps by accumulating indices. *)
+          match of_addr_value i.ops.(0) with
+          | Some inner ->
+              Some { inner with elem = s; index = Affine.add inner.index (Affine.of_value i.ops.(1)) }
+          | None -> Some { base = i.ops.(0); elem = s; index = Affine.of_value i.ops.(1) })
+      | _ -> None)
+  | Defs.Const _ | Defs.Undef _ -> None
+
+(* [of_instr i] summarises the address of a load or store. *)
+let of_instr (i : Defs.instr) : t option =
+  match i.op with
+  | Defs.Load -> of_addr_value i.ops.(0)
+  | Defs.Store -> of_addr_value i.ops.(1)
+  | _ -> None
+
+let same_base (a : t) (b : t) = Value.equal a.base b.base && Ty.scalar_equal a.elem b.elem
+
+(* [delta a b] is the element distance from [a] to [b] when both share
+   a base and symbolic index. *)
+let delta (a : t) (b : t) : int option =
+  if same_base a b then Affine.delta a.index b.index else None
+
+(* [adjacent a b] holds when [b] addresses the element immediately
+   after [a]. *)
+let adjacent (a : t) (b : t) = delta a b = Some 1
+
+(* [consecutive addrs] holds when the list walks memory one element at
+   a time, left to right. *)
+let rec consecutive = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> adjacent a b && consecutive rest
+
+let to_string (a : t) =
+  Printf.sprintf "%s[%s]" (Value.name a.base) (Affine.to_string a.index)
+
+let pp ppf a = Fmt.string ppf (to_string a)

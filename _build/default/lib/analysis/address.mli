@@ -1,0 +1,27 @@
+(** Address summaries of memory instructions: base pointer plus the
+    affine form of the element index. *)
+
+open Snslp_ir
+
+type t = { base : Defs.value; elem : Ty.scalar; index : Affine.t }
+
+val of_addr_value : Defs.value -> t option
+(** Summarises a pointer value, looking through [gep] chains. *)
+
+val of_instr : Defs.instr -> t option
+(** The address of a load or store. *)
+
+val same_base : t -> t -> bool
+
+val delta : t -> t -> int option
+(** Element distance, when both share a base and symbolic index. *)
+
+val adjacent : t -> t -> bool
+(** [adjacent a b]: [b] addresses the element immediately after
+    [a]. *)
+
+val consecutive : t list -> bool
+(** The list walks memory one element at a time, left to right. *)
+
+val to_string : t -> string
+val pp : t Fmt.t

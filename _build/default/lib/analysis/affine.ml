@@ -1,0 +1,95 @@
+(* Affine analysis of integer address expressions — a miniature SCEV.
+
+   An integer IR value is summarised as [c0 + Σ ck·vk] where each [vk]
+   is an opaque base variable (an argument or an instruction the
+   analysis cannot look through).  Two addresses with the same symbolic
+   part and constant parts differing by one element are adjacent, which
+   is the property the SLP seed collector and the gather/adjacency
+   classification need. *)
+
+open Snslp_ir
+
+(* Base variables are identified by a stable key. *)
+module Var = struct
+  type t = Arg_var of int (* argument position *) | Instr_var of int (* instruction id *)
+
+  let compare = compare
+
+  let of_value (v : Defs.value) : t option =
+    match v with
+    | Defs.Arg a -> Some (Arg_var a.arg_pos)
+    | Defs.Instr i -> Some (Instr_var i.iid)
+    | Defs.Const _ | Defs.Undef _ -> None
+
+  let to_string = function
+    | Arg_var p -> Printf.sprintf "arg%d" p
+    | Instr_var id -> Printf.sprintf "%%%d" id
+end
+
+module Var_map = Map.Make (Var)
+
+type t = { const : int; terms : int Var_map.t }
+
+let const c = { const = c; terms = Var_map.empty }
+
+let var v = { const = 0; terms = Var_map.singleton v 1 }
+
+let normalize (t : t) = { t with terms = Var_map.filter (fun _ c -> c <> 0) t.terms }
+
+let add a b =
+  normalize
+    {
+      const = a.const + b.const;
+      terms = Var_map.union (fun _ x y -> Some (x + y)) a.terms b.terms;
+    }
+
+let neg a = { const = -a.const; terms = Var_map.map (fun c -> -c) a.terms }
+
+let sub a b = add a (neg b)
+
+let scale k a = normalize { const = k * a.const; terms = Var_map.map (fun c -> k * c) a.terms }
+
+let equal a b = a.const = b.const && Var_map.equal Int.equal a.terms b.terms
+
+(* [same_symbolic a b] holds when [a] and [b] differ only in their
+   constant parts. *)
+let same_symbolic a b = Var_map.equal Int.equal a.terms b.terms
+
+(* [delta a b] is [Some (b.const - a.const)] when the symbolic parts
+   coincide. *)
+let delta a b = if same_symbolic a b then Some (b.const - a.const) else None
+
+let is_const t = Var_map.is_empty t.terms
+
+(* [of_value v] summarises integer value [v].  The walk looks through
+   additions, subtractions and multiplications by constants; anything
+   else becomes an opaque base variable. *)
+let rec of_value (v : Defs.value) : t =
+  match v with
+  | Defs.Const { lit = Lit.Int i; _ } -> const (Int64.to_int i)
+  | Defs.Const _ | Defs.Undef _ -> const 0
+  | Defs.Arg a -> var (Var.Arg_var a.arg_pos)
+  | Defs.Instr i -> (
+      match i.op with
+      | Defs.Binop Defs.Add when Ty.is_int i.ty ->
+          add (of_value i.ops.(0)) (of_value i.ops.(1))
+      | Defs.Binop Defs.Sub when Ty.is_int i.ty ->
+          sub (of_value i.ops.(0)) (of_value i.ops.(1))
+      | Defs.Binop Defs.Mul when Ty.is_int i.ty -> (
+          let a = of_value i.ops.(0) and b = of_value i.ops.(1) in
+          match (is_const a, is_const b) with
+          | true, _ -> scale a.const b
+          | _, true -> scale b.const a
+          | false, false -> var (Var.Instr_var i.iid))
+      | _ -> var (Var.Instr_var i.iid))
+
+let to_string (t : t) =
+  let terms =
+    Var_map.bindings t.terms
+    |> List.map (fun (v, c) ->
+           if c = 1 then Var.to_string v else Printf.sprintf "%d*%s" c (Var.to_string v))
+  in
+  let parts = terms @ (if t.const <> 0 || terms = [] then [ string_of_int t.const ] else []) in
+  String.concat " + " parts
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,43 @@
+(** Affine analysis of integer address expressions — a miniature SCEV.
+
+    An integer IR value is summarised as [c0 + Σ ck·vk] where each
+    [vk] is an opaque base variable (an argument or an instruction the
+    analysis cannot look through). *)
+
+open Snslp_ir
+
+module Var : sig
+  type t = Arg_var of int (** argument position *) | Instr_var of int (** instruction id *)
+
+  val compare : t -> t -> int
+  val of_value : Defs.value -> t option
+  val to_string : t -> string
+end
+
+module Var_map : Map.S with type key = Var.t
+
+type t = { const : int; terms : int Var_map.t }
+
+val const : int -> t
+val var : Var.t -> t
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val equal : t -> t -> bool
+
+val same_symbolic : t -> t -> bool
+(** Equal up to the constant part. *)
+
+val delta : t -> t -> int option
+(** [delta a b] is [Some (b.const - a.const)] when the symbolic parts
+    coincide. *)
+
+val is_const : t -> bool
+
+val of_value : Defs.value -> t
+(** Looks through integer [+], [-] and multiplication by constants;
+    anything else becomes an opaque variable. *)
+
+val to_string : t -> string
+val pp : t Fmt.t

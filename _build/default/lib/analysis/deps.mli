@@ -1,0 +1,45 @@
+(** Intra-block dependence analysis and bundle-scheduling legality.
+
+    Register dependences come from use-def edges; memory dependences
+    from the alias model (distinct array parameters never alias,
+    same-base accesses alias unless their affine ranges provably do
+    not overlap).  All edges point backward in program order, so any
+    dependence path between two instructions stays inside their
+    position window — construction is O(block), queries O(window²). *)
+
+open Snslp_ir
+
+type memloc = { addr : Address.t; width : int (** elements *) }
+
+val memloc_of_instr : Defs.instr -> memloc option
+val may_overlap : memloc -> memloc -> bool
+
+type t = {
+  instrs : Defs.instr array; (** block order *)
+  index : (int, int) Hashtbl.t;
+  memlocs : memloc option array;
+}
+
+val of_block : Defs.block -> t
+
+val position : t -> Defs.instr -> int
+(** Raises [Invalid_argument] for instructions outside the analysed
+    block. *)
+
+val depends : t -> on:Defs.instr -> Defs.instr -> bool
+(** [depends t ~on i]: [i] transitively depends on [on]. *)
+
+val independent_group : t -> Defs.instr list -> bool
+(** No member depends on another — necessary to fuse the group into
+    one vector instruction. *)
+
+type placement =
+  | At_last (** bundle at the last member's position; others slide down *)
+  | At_first (** bundle at the first member's position; others slide up *)
+
+val bundle_placement : t -> Defs.instr list -> placement option
+(** Full bundling legality: member independence plus a legal slide
+    direction for the memory operations ([None] when neither direction
+    avoids reordering against a conflicting access). *)
+
+val can_bundle : t -> Defs.instr list -> bool

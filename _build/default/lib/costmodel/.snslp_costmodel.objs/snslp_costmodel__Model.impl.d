@@ -1,0 +1,1 @@
+lib/costmodel/model.ml: Defs Fmt Snslp_ir Target Ty

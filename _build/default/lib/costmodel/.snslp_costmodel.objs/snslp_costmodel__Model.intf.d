@@ -1,0 +1,1 @@
+lib/costmodel/model.mli: Defs Fmt Snslp_ir Target Ty

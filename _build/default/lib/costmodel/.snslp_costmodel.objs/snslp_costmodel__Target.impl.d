@@ -1,0 +1,1 @@
+lib/costmodel/target.ml: Fmt Snslp_ir

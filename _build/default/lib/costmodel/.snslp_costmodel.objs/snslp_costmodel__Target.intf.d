@@ -1,0 +1,1 @@
+lib/costmodel/target.mli: Fmt Snslp_ir

@@ -1,0 +1,25 @@
+(* Target description: the handful of machine facts the vectorizer
+   needs.  The defaults model a 128-bit SSE-class unit with the
+   [addsub] family of instructions, matching the 2-lane doubles used
+   throughout the paper's examples; a 256-bit AVX2-class target is
+   provided for width-ablation experiments. *)
+
+type t = {
+  name : string;
+  vector_bits : int; (* width of a vector register *)
+  has_addsub : bool; (* native alternating add/sub (SSE3 addsubpd) *)
+  issue_width : int; (* superscalar issue width, used by the simulator *)
+}
+
+let sse = { name = "sse"; vector_bits = 128; has_addsub = true; issue_width = 4 }
+let avx2 = { name = "avx2"; vector_bits = 256; has_addsub = true; issue_width = 4 }
+
+(* A deliberately austere machine without addsub, for ablations. *)
+let sse_no_addsub = { sse with name = "sse-noaddsub"; has_addsub = false }
+
+(* Number of lanes a vector of [elem] has on this target. *)
+let lanes_for (t : t) (elem : Snslp_ir.Ty.scalar) =
+  t.vector_bits / Snslp_ir.Ty.scalar_bits elem
+
+let to_string (t : t) = t.name
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** Target description: the machine facts the vectorizer needs. *)
+
+type t = {
+  name : string;
+  vector_bits : int; (** width of a vector register *)
+  has_addsub : bool; (** native alternating add/sub (SSE3 addsubpd) *)
+  issue_width : int; (** superscalar issue width, used by the simulator *)
+}
+
+val sse : t
+(** 128-bit, addsub, the paper's default shape. *)
+
+val avx2 : t
+(** 256-bit. *)
+
+val sse_no_addsub : t
+(** For the addsub ablation. *)
+
+val lanes_for : t -> Snslp_ir.Ty.scalar -> int
+(** Lanes a full vector register of this element type has. *)
+
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Ast Fmt Lexer List Lower Parser Printexc Printf Snslp_ir Typecheck

@@ -1,0 +1,1 @@
+lib/frontend/frontend.mli: Ast Snslp_ir

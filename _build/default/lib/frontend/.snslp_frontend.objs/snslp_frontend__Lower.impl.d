@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Defs Func Hashtbl Instr Int64 List Lit Printf Snslp_ir Ty Typecheck Value Verifier

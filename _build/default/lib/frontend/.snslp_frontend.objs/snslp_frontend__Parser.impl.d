@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Ast Lexer List Printf

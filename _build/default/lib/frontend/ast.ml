@@ -1,0 +1,100 @@
+(* Abstract syntax of KernelC.
+
+   KernelC is the small C-like language used to express the evaluation
+   kernels:
+
+     kernel motiv_leaf(double A[], double B[], double C[], double D[],
+                       long i) {
+       A[i+0] = (B[i+0] - C[i+0]) + D[i+0];
+       A[i+1] = (D[i+1] - C[i+1]) + B[i+1];
+     }
+
+   A kernel is a void function over array parameters and integer
+   scalars; the body is straight-line code (plus simple [if]) — the
+   shape SLP vectorizers operate on. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+type base_ty = Int_ty | Long_ty | Float_ty | Double_ty
+
+type param_ty = Scalar_param of base_ty | Array_param of base_ty
+
+type unop = Neg
+
+type binop = Add | Sub | Mul | Div
+
+type cmpop = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type expr = { desc : expr_desc; epos : pos }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr (* A[e] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Cmp of cmpop * expr * expr (* only valid as an [if] condition *)
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Let of base_ty * string * expr (* double t = e; *)
+  | Store of string * expr * expr (* A[e1] = e2; *)
+  | If of expr * stmt list * stmt list (* else-branch possibly empty *)
+
+type param = { pname : string; pty : param_ty; ppos : pos }
+
+type kernel = { kname : string; kparams : param list; kbody : stmt list; kpos : pos }
+
+let base_ty_to_string = function
+  | Int_ty -> "int"
+  | Long_ty -> "long"
+  | Float_ty -> "float"
+  | Double_ty -> "double"
+
+let binop_to_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmpop_to_string = function
+  | Ceq -> "=="
+  | Cne -> "!="
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let rec pp_expr ppf (e : expr) =
+  match e.desc with
+  | Int_lit i -> Fmt.pf ppf "%Ld" i
+  | Float_lit f -> Fmt.pf ppf "%g" f
+  | Var v -> Fmt.string ppf v
+  | Index (a, e) -> Fmt.pf ppf "%s[%a]" a pp_expr e
+  | Unary (Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Binary (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Cmp (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (cmpop_to_string op) pp_expr b
+
+let rec pp_stmt ppf (s : stmt) =
+  match s.sdesc with
+  | Let (ty, x, e) -> Fmt.pf ppf "%s %s = %a;" (base_ty_to_string ty) x pp_expr e
+  | Store (a, idx, e) -> Fmt.pf ppf "%s[%a] = %a;" a pp_expr idx pp_expr e
+  | If (c, t, []) -> Fmt.pf ppf "if (%a) { %a }" pp_expr c (Fmt.list ~sep:Fmt.sp pp_stmt) t
+  | If (c, t, e) ->
+      Fmt.pf ppf "if (%a) { %a } else { %a }" pp_expr c
+        (Fmt.list ~sep:Fmt.sp pp_stmt)
+        t
+        (Fmt.list ~sep:Fmt.sp pp_stmt)
+        e
+
+let pp_param ppf (p : param) =
+  match p.pty with
+  | Scalar_param t -> Fmt.pf ppf "%s %s" (base_ty_to_string t) p.pname
+  | Array_param t -> Fmt.pf ppf "%s %s[]" (base_ty_to_string t) p.pname
+
+let pp_kernel ppf (k : kernel) =
+  Fmt.pf ppf "kernel %s(%a) {@.%a@.}" k.kname
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    k.kparams
+    (Fmt.list ~sep:Fmt.cut (fun ppf s -> Fmt.pf ppf "  %a" pp_stmt s))
+    k.kbody

@@ -1,0 +1,47 @@
+(** Abstract syntax of KernelC — the small C-like language the
+    evaluation kernels are written in: void kernels over array
+    parameters and integer scalars, straight-line bodies of array
+    assignments, local bindings and simple [if]s. *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : pos Fmt.t
+
+type base_ty = Int_ty | Long_ty | Float_ty | Double_ty
+type param_ty = Scalar_param of base_ty | Array_param of base_ty
+type unop = Neg
+type binop = Add | Sub | Mul | Div
+type cmpop = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type expr = { desc : expr_desc; epos : pos }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr (** [A[e]] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Cmp of cmpop * expr * expr (** only valid as an [if] condition *)
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Let of base_ty * string * expr (** [double t = e;] *)
+  | Store of string * expr * expr (** [A[e1] = e2;] *)
+  | If of expr * stmt list * stmt list (** else-branch possibly empty *)
+
+type param = { pname : string; pty : param_ty; ppos : pos }
+type kernel = { kname : string; kparams : param list; kbody : stmt list; kpos : pos }
+
+val base_ty_to_string : base_ty -> string
+val binop_to_string : binop -> string
+val cmpop_to_string : cmpop -> string
+
+val pp_expr : expr Fmt.t
+(** Fully parenthesised, so printing round-trips through the
+    parser. *)
+
+val pp_stmt : stmt Fmt.t
+val pp_param : param Fmt.t
+val pp_kernel : kernel Fmt.t

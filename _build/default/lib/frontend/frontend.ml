@@ -1,0 +1,31 @@
+(* Facade: source text to verified IR. *)
+
+exception Error of string
+
+let () =
+  Printexc.register_printer (function
+    | Error m -> Some (Printf.sprintf "Frontend.Error: %s" m)
+    | _ -> None)
+
+let wrap f =
+  try f () with
+  | Lexer.Lex_error (m, p) -> raise (Error (Fmt.str "lex error at %a: %s" Ast.pp_pos p m))
+  | Parser.Parse_error (m, p) ->
+      raise (Error (Fmt.str "parse error at %a: %s" Ast.pp_pos p m))
+  | Typecheck.Type_error (m, p) ->
+      raise (Error (Fmt.str "type error at %a: %s" Ast.pp_pos p m))
+  | Lower.Lower_error (m, p) ->
+      raise (Error (Fmt.str "lowering error at %a: %s" Ast.pp_pos p m))
+
+let parse (src : string) : Ast.kernel list = wrap (fun () -> Parser.parse_program src)
+
+(* [compile src] parses, type-checks, lowers and verifies every kernel
+   in [src]. *)
+let compile (src : string) : Snslp_ir.Defs.func list =
+  wrap (fun () -> List.map Lower.lower_kernel (Parser.parse_program src))
+
+(* [compile_one src] expects exactly one kernel. *)
+let compile_one (src : string) : Snslp_ir.Defs.func =
+  match compile src with
+  | [ f ] -> f
+  | fs -> raise (Error (Printf.sprintf "expected exactly one kernel, found %d" (List.length fs)))

@@ -1,0 +1,13 @@
+(** Facade: KernelC source text to verified IR. *)
+
+exception Error of string
+(** Wraps lexer, parser, typechecker and lowering errors with
+    positions. *)
+
+val parse : string -> Ast.kernel list
+
+val compile : string -> Snslp_ir.Defs.func list
+(** Parse, type-check, lower and verify every kernel. *)
+
+val compile_one : string -> Snslp_ir.Defs.func
+(** Like {!compile}, expecting exactly one kernel. *)

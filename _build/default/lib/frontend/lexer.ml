@@ -1,0 +1,221 @@
+(* Hand-written lexer for KernelC.
+
+   Menhir/ocamllex are not available in this environment, so both the
+   lexer and the parser are hand-written; the language is small enough
+   that this is also the simplest option. *)
+
+type token =
+  | KERNEL
+  | IF
+  | ELSE
+  | TYPE of Ast.base_ty
+  | IDENT of string
+  | INT of int64
+  | FLOAT of float
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let token_to_string = function
+  | KERNEL -> "kernel"
+  | IF -> "if"
+  | ELSE -> "else"
+  | TYPE t -> Ast.base_ty_to_string t
+  | IDENT s -> s
+  | INT i -> Int64.to_string i
+  | FLOAT f -> string_of_float f
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+exception Lex_error of string * Ast.pos
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let create src = { src; off = 0; line = 1; bol = 0 }
+
+let pos (lx : t) : Ast.pos = { line = lx.line; col = lx.off - lx.bol + 1 }
+
+let error lx fmt = Printf.ksprintf (fun m -> raise (Lex_error (m, pos lx))) fmt
+
+let peek_char (lx : t) = if lx.off < String.length lx.src then Some lx.src.[lx.off] else None
+
+let advance (lx : t) =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.off + 1
+  | _ -> ());
+  lx.off <- lx.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments (lx : t) =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws_and_comments lx
+  | Some '/' when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do
+        advance lx
+      done;
+      skip_ws_and_comments lx
+  | Some '/' when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '*' ->
+      advance lx;
+      advance lx;
+      let rec close () =
+        match peek_char lx with
+        | None -> error lx "unterminated comment"
+        | Some '*' when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '/' ->
+            advance lx;
+            advance lx
+        | Some _ ->
+            advance lx;
+            close ()
+      in
+      close ();
+      skip_ws_and_comments lx
+  | _ -> ()
+
+let lex_ident (lx : t) =
+  let start = lx.off in
+  while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.off - start)
+
+let keyword = function
+  | "kernel" -> Some KERNEL
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "int" -> Some (TYPE Ast.Int_ty)
+  | "long" -> Some (TYPE Ast.Long_ty)
+  | "float" -> Some (TYPE Ast.Float_ty)
+  | "double" -> Some (TYPE Ast.Double_ty)
+  | _ -> None
+
+let lex_number (lx : t) =
+  let start = lx.off in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_float = ref false in
+  (match peek_char lx with
+  | Some '.' ->
+      is_float := true;
+      advance lx;
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done
+  | _ -> ());
+  (match peek_char lx with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance lx;
+      (match peek_char lx with Some ('+' | '-') -> advance lx | _ -> ());
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done
+  | _ -> ());
+  let text = String.sub lx.src start (lx.off - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> FLOAT f
+    | None -> error lx "malformed float literal %S" text
+  else
+    match Int64.of_string_opt text with
+    | Some i -> INT i
+    | None -> error lx "malformed integer literal %S" text
+
+(* [next lx] returns the next token together with its start position. *)
+let next (lx : t) : token * Ast.pos =
+  skip_ws_and_comments lx;
+  let p = pos lx in
+  let one tok =
+    advance lx;
+    (tok, p)
+  in
+  let one_or_two ~second ~if_two ~if_one =
+    advance lx;
+    if peek_char lx = Some second then (
+      advance lx;
+      (if_two, p))
+    else (if_one, p)
+  in
+  match peek_char lx with
+  | None -> (EOF, p)
+  | Some c when is_ident_start c -> (
+      let word = lex_ident lx in
+      match keyword word with Some tok -> (tok, p) | None -> (IDENT word, p))
+  | Some c when is_digit c -> (lex_number lx, p)
+  | Some '+' -> one PLUS
+  | Some '-' -> one MINUS
+  | Some '*' -> one STAR
+  | Some '/' -> one SLASH
+  | Some '(' -> one LPAREN
+  | Some ')' -> one RPAREN
+  | Some '[' -> one LBRACKET
+  | Some ']' -> one RBRACKET
+  | Some '{' -> one LBRACE
+  | Some '}' -> one RBRACE
+  | Some ',' -> one COMMA
+  | Some ';' -> one SEMI
+  | Some '=' -> one_or_two ~second:'=' ~if_two:EQ ~if_one:ASSIGN
+  | Some '!' ->
+      advance lx;
+      if peek_char lx = Some '=' then (
+        advance lx;
+        (NE, p))
+      else error lx "unexpected character '!'"
+  | Some '<' -> one_or_two ~second:'=' ~if_two:LE ~if_one:LT
+  | Some '>' -> one_or_two ~second:'=' ~if_two:GE ~if_one:GT
+  | Some c -> error lx "unexpected character %C" c
+
+let tokens src =
+  let lx = create src in
+  let rec go acc =
+    let tok, p = next lx in
+    if tok = EOF then List.rev ((tok, p) :: acc) else go ((tok, p) :: acc)
+  in
+  go []

@@ -1,0 +1,133 @@
+(* Type checking for KernelC.
+
+   The value types after checking are [K_int] (both [int] and [long]
+   map to the IR's i64 — KernelC is an LP64 language without narrowing
+   conversions), [K_float] and [K_double].  Integer literals coerce to
+   any numeric type, float literals to either float type, mirroring
+   C's implicit conversions for the cases the kernels use. *)
+
+open Ast
+
+type ty = K_int | K_float | K_double
+
+let ty_to_string = function K_int -> "int" | K_float -> "float" | K_double -> "double"
+
+let of_base = function
+  | Int_ty | Long_ty -> K_int
+  | Float_ty -> K_float
+  | Double_ty -> K_double
+
+exception Type_error of string * pos
+
+let error pos fmt = Printf.ksprintf (fun m -> raise (Type_error (m, pos))) fmt
+
+type binding = Local of ty | Scalar_arg of ty | Array_arg of ty
+
+type env = (string, binding) Hashtbl.t
+
+let env_of_params (params : param list) : env =
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem env p.pname then error p.ppos "duplicate parameter %s" p.pname;
+      match p.pty with
+      | Scalar_param t -> Hashtbl.replace env p.pname (Scalar_arg (of_base t))
+      | Array_param t -> Hashtbl.replace env p.pname (Array_arg (of_base t)))
+    params;
+  env
+
+let lookup env pos name =
+  match Hashtbl.find_opt env name with
+  | Some b -> b
+  | None -> error pos "unbound identifier %s" name
+
+(* [synth env e] is the type of [e], or [None] when [e] is built only
+   from literals and can take any numeric type from context. *)
+let rec synth (env : env) (e : expr) : ty option =
+  match e.desc with
+  | Int_lit _ | Float_lit _ -> None
+  | Var x -> (
+      match lookup env e.epos x with
+      | Local t | Scalar_arg t -> Some t
+      | Array_arg _ -> error e.epos "%s is an array, not a scalar" x)
+  | Index (a, idx) -> (
+      check_index env idx;
+      match lookup env e.epos a with
+      | Array_arg t -> Some t
+      | Local _ | Scalar_arg _ -> error e.epos "%s is not an array" a)
+  | Unary (Neg, e') -> synth env e'
+  | Binary (op, a, b) -> (
+      let t =
+        match (synth env a, synth env b) with
+        | Some ta, Some tb ->
+            if ta <> tb then
+              error e.epos "operands of %s have different types (%s vs %s)"
+                (binop_to_string op) (ty_to_string ta) (ty_to_string tb);
+            Some ta
+        | Some t, None | None, Some t -> Some t
+        | None, None -> None
+      in
+      match (op, t) with
+      | Div, Some K_int -> error e.epos "integer division is not supported"
+      | _ -> t)
+  | Cmp _ -> error e.epos "comparison used as a value"
+
+(* Index expressions must be integers built from scalars/literals. *)
+and check_index env (idx : expr) =
+  match synth env idx with
+  | None | Some K_int -> ()
+  | Some t -> error idx.epos "array index has type %s, expected int" (ty_to_string t)
+
+(* [check env t e] checks [e] against the expected type [t]. *)
+let check (env : env) (t : ty) (e : expr) =
+  match synth env e with
+  | None -> (
+      (* Literal-only expressions adapt, but a float literal cannot
+         become an int. *)
+      let rec has_float_lit (e : expr) =
+        match e.desc with
+        | Float_lit _ -> true
+        | Int_lit _ | Var _ | Index _ -> false
+        | Unary (_, a) -> has_float_lit a
+        | Binary (_, a, b) -> has_float_lit a || has_float_lit b
+        | Cmp (_, a, b) -> has_float_lit a || has_float_lit b
+      in
+      match t with
+      | K_int when has_float_lit e -> error e.epos "float literal in integer context"
+      | _ -> ())
+  | Some t' ->
+      if t <> t' then
+        error e.epos "expression has type %s, expected %s" (ty_to_string t') (ty_to_string t)
+
+let check_cond env (c : expr) =
+  match c.desc with
+  | Cmp (_, a, b) -> (
+      match (synth env a, synth env b) with
+      | Some ta, Some tb when ta <> tb ->
+          error c.epos "comparison operands have different types (%s vs %s)"
+            (ty_to_string ta) (ty_to_string tb)
+      | _ -> ())
+  | _ -> error c.epos "condition must be a comparison"
+
+let rec check_stmt (env : env) (s : stmt) =
+  match s.sdesc with
+  | Let (bt, x, e) ->
+      if Hashtbl.mem env x then error s.spos "redefinition of %s" x;
+      check env (of_base bt) e;
+      Hashtbl.replace env x (Local (of_base bt))
+  | Store (a, idx, e) -> (
+      check_index env idx;
+      match lookup env s.spos a with
+      | Array_arg t -> check env t e
+      | Local _ | Scalar_arg _ -> error s.spos "%s is not an array" a)
+  | If (cond, then_body, else_body) ->
+      check_cond env cond;
+      (* Locals declared inside a branch are scoped to it. *)
+      let snapshot = Hashtbl.copy env in
+      List.iter (check_stmt snapshot) then_body;
+      let snapshot = Hashtbl.copy env in
+      List.iter (check_stmt snapshot) else_body
+
+let check_kernel (k : kernel) : unit =
+  let env = env_of_params k.kparams in
+  List.iter (check_stmt env) k.kbody

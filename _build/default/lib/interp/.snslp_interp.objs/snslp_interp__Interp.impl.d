@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Block Defs Func Hashtbl Int64 List Memory Printf Rvalue Snslp_ir Ty Value

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Defs Memory Rvalue Snslp_ir

@@ -1,0 +1,1 @@
+lib/interp/memory.ml: Array Float Hashtbl Int64 Printf Rvalue Snslp_ir Ty

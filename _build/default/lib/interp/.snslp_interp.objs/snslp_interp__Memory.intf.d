@@ -1,0 +1,1 @@
+lib/interp/memory.mli: Hashtbl Rvalue Snslp_ir Ty

@@ -1,0 +1,1 @@
+lib/interp/rvalue.ml: Array Fmt Int32 Int64 Lit Snslp_ir Ty

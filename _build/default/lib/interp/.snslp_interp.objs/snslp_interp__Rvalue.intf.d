@@ -1,0 +1,1 @@
+lib/interp/rvalue.mli: Fmt Lit Snslp_ir Ty

@@ -1,0 +1,212 @@
+(* The IR interpreter.
+
+   Executes one function invocation over a {!Memory.t} and argument
+   bindings.  Vector operations are computed lane-wise with the same
+   scalar semantics as the scalar operations, f32 included, so a
+   correct vectorization is observationally identical to the scalar
+   original — the property the differential tests check.
+
+   The [on_exec] hook fires for every executed instruction; the
+   performance simulator sums per-instruction costs through it. *)
+
+open Snslp_ir
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type env = {
+  memory : Memory.t;
+  args : Rvalue.t array; (* by argument position *)
+  regs : (int, Rvalue.t) Hashtbl.t; (* instruction id -> value *)
+  on_exec : Defs.instr -> unit;
+  max_steps : int;
+  mutable steps : int;
+}
+
+let value (env : env) (v : Defs.value) : Rvalue.t =
+  match v with
+  | Defs.Const { ty; lit } -> Rvalue.of_lit ty lit
+  | Defs.Undef _ -> Rvalue.R_undef
+  | Defs.Arg a -> env.args.(a.Defs.arg_pos)
+  | Defs.Instr i -> (
+      match Hashtbl.find_opt env.regs i.Defs.iid with
+      | Some r -> r
+      | None -> error "use of %%%s before definition" i.Defs.iname)
+
+let scalar_binop (elem : Ty.scalar) (b : Defs.binop) (x : Rvalue.t) (y : Rvalue.t) :
+    Rvalue.t =
+  if Ty.scalar_is_int elem then
+    let x = Rvalue.as_int x and y = Rvalue.as_int y in
+    match b with
+    | Defs.Add -> Rvalue.R_int (Int64.add x y)
+    | Defs.Sub -> Rvalue.R_int (Int64.sub x y)
+    | Defs.Mul -> Rvalue.R_int (Int64.mul x y)
+    | Defs.Div -> error "integer division"
+  else
+    let x = Rvalue.as_float x and y = Rvalue.as_float y in
+    let r =
+      match b with
+      | Defs.Add -> x +. y
+      | Defs.Sub -> x -. y
+      | Defs.Mul -> x *. y
+      | Defs.Div -> x /. y
+    in
+    Rvalue.R_float (if elem = Ty.F32 then Rvalue.round_f32 r else r)
+
+let cmp_result (c : Defs.cmp) (d : int) =
+  let b =
+    match c with
+    | Defs.Eq -> d = 0
+    | Defs.Ne -> d <> 0
+    | Defs.Lt -> d < 0
+    | Defs.Le -> d <= 0
+    | Defs.Gt -> d > 0
+    | Defs.Ge -> d >= 0
+  in
+  Rvalue.R_int (if b then 1L else 0L)
+
+let float_cmp_result (c : Defs.cmp) (x : float) (y : float) =
+  let b =
+    match c with
+    | Defs.Eq -> x = y
+    | Defs.Ne -> x <> y
+    | Defs.Lt -> x < y
+    | Defs.Le -> x <= y
+    | Defs.Gt -> x > y
+    | Defs.Ge -> x >= y
+  in
+  Rvalue.R_int (if b then 1L else 0L)
+
+let exec_instr (env : env) (i : Defs.instr) : unit =
+  env.on_exec i;
+  env.steps <- env.steps + 1;
+  if env.steps > env.max_steps then error "step budget exceeded (runaway execution)";
+  let elem = Ty.elem i.Defs.ty in
+  let set r = Hashtbl.replace env.regs i.Defs.iid r in
+  match i.Defs.op with
+  | Defs.Binop b ->
+      let x = value env i.Defs.ops.(0) and y = value env i.Defs.ops.(1) in
+      if Ty.is_vector i.Defs.ty then
+        let xv = Rvalue.as_vec x and yv = Rvalue.as_vec y in
+        set (Rvalue.R_vec (Array.map2 (scalar_binop elem b) xv yv))
+      else set (scalar_binop elem b x y)
+  | Defs.Alt_binop kinds ->
+      let xv = Rvalue.as_vec (value env i.Defs.ops.(0)) in
+      let yv = Rvalue.as_vec (value env i.Defs.ops.(1)) in
+      set (Rvalue.R_vec (Array.mapi (fun k x -> scalar_binop elem kinds.(k) x yv.(k)) xv))
+  | Defs.Gep ->
+      let base, off = Rvalue.as_ptr (value env i.Defs.ops.(0)) in
+      let idx = Int64.to_int (Rvalue.as_int (value env i.Defs.ops.(1))) in
+      set (Rvalue.R_ptr { base; offset = off + idx })
+  | Defs.Load ->
+      let base, off = Rvalue.as_ptr (value env i.Defs.ops.(0)) in
+      if Ty.is_vector i.Defs.ty then
+        let lanes = Ty.lanes i.Defs.ty in
+        set
+          (Rvalue.R_vec
+             (Array.init lanes (fun k -> Memory.read env.memory ~elem ~base ~off:(off + k))))
+      else set (Memory.read env.memory ~elem ~base ~off)
+  | Defs.Store ->
+      let v = value env i.Defs.ops.(0) in
+      let base, off = Rvalue.as_ptr (value env i.Defs.ops.(1)) in
+      let velem = Ty.elem (Value.ty i.Defs.ops.(0)) in
+      (match v with
+      | Rvalue.R_vec lanes ->
+          Array.iteri
+            (fun k lane -> Memory.write env.memory ~elem:velem ~base ~off:(off + k) lane)
+            lanes
+      | v -> Memory.write env.memory ~elem:velem ~base ~off v)
+  | Defs.Insert ->
+      let vec = value env i.Defs.ops.(0) in
+      let s = value env i.Defs.ops.(1) in
+      let lane =
+        match Value.as_const_int i.Defs.ops.(2) with Some l -> l | None -> error "insert lane"
+      in
+      let lanes = Ty.lanes i.Defs.ty in
+      let arr =
+        match vec with
+        | Rvalue.R_vec v -> Array.copy v
+        | Rvalue.R_undef -> Array.make lanes Rvalue.R_undef
+        | _ -> error "insert into non-vector"
+      in
+      arr.(lane) <- s;
+      set (Rvalue.R_vec arr)
+  | Defs.Extract ->
+      let vec = Rvalue.as_vec (value env i.Defs.ops.(0)) in
+      let lane =
+        match Value.as_const_int i.Defs.ops.(1) with Some l -> l | None -> error "extract lane"
+      in
+      set vec.(lane)
+  | Defs.Shuffle mask ->
+      let v1 = value env i.Defs.ops.(0) in
+      let v2 = value env i.Defs.ops.(1) in
+      let n = Ty.lanes (Value.ty i.Defs.ops.(0)) in
+      let lane_of k =
+        let from_vec v j =
+          match v with
+          | Rvalue.R_vec a -> a.(j)
+          | Rvalue.R_undef -> Rvalue.R_undef
+          | _ -> error "shuffle of non-vector"
+        in
+        if k < n then from_vec v1 k else from_vec v2 (k - n)
+      in
+      set (Rvalue.R_vec (Array.map lane_of mask))
+  | Defs.Icmp c ->
+      let x = value env i.Defs.ops.(0) and y = value env i.Defs.ops.(1) in
+      let one a b = cmp_result c (Int64.compare (Rvalue.as_int a) (Rvalue.as_int b)) in
+      (match (x, y) with
+      | Rvalue.R_vec xv, Rvalue.R_vec yv -> set (Rvalue.R_vec (Array.map2 one xv yv))
+      | _ -> set (one x y))
+  | Defs.Fcmp c ->
+      let x = value env i.Defs.ops.(0) and y = value env i.Defs.ops.(1) in
+      let one a b = float_cmp_result c (Rvalue.as_float a) (Rvalue.as_float b) in
+      (match (x, y) with
+      | Rvalue.R_vec xv, Rvalue.R_vec yv -> set (Rvalue.R_vec (Array.map2 one xv yv))
+      | _ -> set (one x y))
+  | Defs.Select -> (
+      let c = value env i.Defs.ops.(0) in
+      let t = value env i.Defs.ops.(1) and e = value env i.Defs.ops.(2) in
+      match c with
+      | Rvalue.R_vec cv ->
+          let tv = Rvalue.as_vec t and ev = Rvalue.as_vec e in
+          set
+            (Rvalue.R_vec
+               (Array.mapi
+                  (fun k ck ->
+                    if Int64.compare (Rvalue.as_int ck) 0L <> 0 then tv.(k) else ev.(k))
+                  cv))
+      | _ ->
+          set (if Int64.compare (Rvalue.as_int c) 0L <> 0 then t else e))
+
+(* [run ?on_exec ?max_steps func ~args ~memory] executes one call.
+   [args] bind by position; array arguments must be [R_ptr]s into
+   [memory]. *)
+let run ?(on_exec = fun _ -> ()) ?(max_steps = 10_000_000) (func : Defs.func)
+    ~(args : Rvalue.t array) ~(memory : Memory.t) : unit =
+  if Array.length args <> Array.length (Func.args func) then
+    error "@%s expects %d arguments, got %d" (Func.name func)
+      (Array.length (Func.args func))
+      (Array.length args);
+  let env = { memory; args; regs = Hashtbl.create 64; on_exec; max_steps; steps = 0 } in
+  let rec exec_block (b : Defs.block) : unit =
+    List.iter (exec_instr env) (Block.instrs b);
+    match Block.terminator b with
+    | Defs.Ret -> ()
+    | Defs.Br t -> exec_block t
+    | Defs.Cond_br (c, t1, t2) ->
+        let cv = Rvalue.as_int (value env c) in
+        exec_block (if Int64.compare cv 0L <> 0 then t1 else t2)
+    | Defs.Unterminated -> error "fell off an unterminated block"
+  in
+  exec_block (Func.entry func)
+
+(* Convenience: pointer argument values for a function's array
+   parameters. *)
+let ptr_args (func : Defs.func) : Rvalue.t array =
+  Array.map
+    (fun (a : Defs.arg) ->
+      match a.Defs.arg_ty with
+      | Ty.Ptr _ -> Rvalue.R_ptr { base = a.Defs.arg_pos; offset = 0 }
+      | Ty.Scalar _ | Ty.Vector _ -> Rvalue.R_undef)
+    (Func.args func)

@@ -1,0 +1,26 @@
+(** The IR interpreter.
+
+    Vector operations compute lane-wise with the same scalar semantics
+    as scalar operations (f32 rounding included), so a correct
+    vectorization is observationally identical to the scalar original
+    — the property the differential tests check. *)
+
+open Snslp_ir
+
+exception Runtime_error of string
+
+val run :
+  ?on_exec:(Defs.instr -> unit) ->
+  ?max_steps:int ->
+  Defs.func ->
+  args:Rvalue.t array ->
+  memory:Memory.t ->
+  unit
+(** One call.  [args] bind by position; array arguments must be
+    [R_ptr]s into [memory].  [on_exec] fires per executed instruction
+    (the performance simulator's hook); [max_steps] guards against
+    runaway execution. *)
+
+val ptr_args : Defs.func -> Rvalue.t array
+(** Pointer argument values for a function's array parameters (scalar
+    slots are [R_undef] placeholders to overwrite). *)

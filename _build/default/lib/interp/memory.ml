@@ -1,0 +1,120 @@
+(* Interpreter memory: one typed buffer per array argument, addressed
+   by (argument position, element offset).  Out-of-bounds accesses
+   raise — the kernel harness sizes buffers to the workload, so a trap
+   indicates a vectorizer bug. *)
+
+open Snslp_ir
+
+exception Out_of_bounds of string
+
+type buffer = F_buf of float array | I_buf of int64 array
+
+type t = (int, buffer) Hashtbl.t (* arg position -> buffer *)
+
+let create () : t = Hashtbl.create 8
+
+let alloc_float (t : t) ~(arg_pos : int) ~(size : int) = Hashtbl.replace t arg_pos (F_buf (Array.make size 0.0))
+let alloc_int (t : t) ~(arg_pos : int) ~(size : int) = Hashtbl.replace t arg_pos (I_buf (Array.make size 0L))
+
+let set_float_buffer (t : t) ~(arg_pos : int) (a : float array) = Hashtbl.replace t arg_pos (F_buf a)
+let set_int_buffer (t : t) ~(arg_pos : int) (a : int64 array) = Hashtbl.replace t arg_pos (I_buf a)
+
+let buffer (t : t) ~(arg_pos : int) =
+  match Hashtbl.find_opt t arg_pos with
+  | Some b -> b
+  | None -> raise (Out_of_bounds (Printf.sprintf "no buffer bound to argument %d" arg_pos))
+
+let float_buffer (t : t) ~(arg_pos : int) =
+  match buffer t ~arg_pos with
+  | F_buf a -> a
+  | I_buf _ -> invalid_arg "Memory.float_buffer: integer buffer"
+
+let int_buffer (t : t) ~(arg_pos : int) =
+  match buffer t ~arg_pos with
+  | I_buf a -> a
+  | F_buf _ -> invalid_arg "Memory.int_buffer: float buffer"
+
+let check b len ~base ~off =
+  if off < 0 || off >= len then
+    raise
+      (Out_of_bounds (Printf.sprintf "arg%d[%d] out of bounds (size %d)%s" base off len b))
+
+(* [read t ~elem ~base ~off] loads one element. *)
+let read (t : t) ~(elem : Ty.scalar) ~(base : int) ~(off : int) : Rvalue.t =
+  match buffer t ~arg_pos:base with
+  | F_buf a ->
+      check "" (Array.length a) ~base ~off;
+      Rvalue.R_float a.(off)
+  | I_buf a ->
+      check "" (Array.length a) ~base ~off;
+      ignore elem;
+      Rvalue.R_int a.(off)
+
+(* [write t ~elem ~base ~off v] stores one element, rounding f32. *)
+let write (t : t) ~(elem : Ty.scalar) ~(base : int) ~(off : int) (v : Rvalue.t) =
+  match buffer t ~arg_pos:base with
+  | F_buf a ->
+      check "" (Array.length a) ~base ~off;
+      let f = Rvalue.as_float v in
+      a.(off) <- (if elem = Ty.F32 then Rvalue.round_f32 f else f)
+  | I_buf a ->
+      check "" (Array.length a) ~base ~off;
+      a.(off) <- Rvalue.as_int v
+
+(* Deep snapshot, used by differential tests to compare final states. *)
+let snapshot (t : t) : t =
+  let t' = create () in
+  Hashtbl.iter
+    (fun k b ->
+      let b' =
+        match b with F_buf a -> F_buf (Array.copy a) | I_buf a -> I_buf (Array.copy a)
+      in
+      Hashtbl.replace t' k b')
+    t;
+  t'
+
+let equal (a : t) (b : t) =
+  let ok = ref (Hashtbl.length a = Hashtbl.length b) in
+  Hashtbl.iter
+    (fun k ba ->
+      match Hashtbl.find_opt b k with
+      | Some bb -> (
+          match (ba, bb) with
+          | F_buf x, F_buf y ->
+              if
+                not
+                  (Array.length x = Array.length y
+                  && Array.for_all2
+                       (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+                       x y)
+              then ok := false
+          | I_buf x, I_buf y ->
+              if not (Array.length x = Array.length y && Array.for_all2 Int64.equal x y) then
+                ok := false
+          | (F_buf _ | I_buf _), _ -> ok := false)
+      | None -> ok := false)
+    a;
+  !ok
+
+(* Maximum relative elementwise difference between two float states —
+   used when comparing across *reassociated* computations, where exact
+   equality is not expected. *)
+let max_rel_diff (a : t) (b : t) : float =
+  let worst = ref 0.0 in
+  Hashtbl.iter
+    (fun k ba ->
+      match (ba, Hashtbl.find_opt b k) with
+      | F_buf x, Some (F_buf y) when Array.length x = Array.length y ->
+          Array.iteri
+            (fun i u ->
+              let v = y.(i) in
+              let denom = Float.max (Float.max (abs_float u) (abs_float v)) 1e-30 in
+              worst := Float.max !worst (abs_float (u -. v) /. denom))
+            x
+      | I_buf x, Some (I_buf y) when Array.length x = Array.length y ->
+          (* Integer buffers either agree exactly or count as an
+             unbounded difference. *)
+          Array.iteri (fun i u -> if not (Int64.equal u y.(i)) then worst := infinity) x
+      | _ -> worst := infinity)
+    a;
+  !worst

@@ -1,0 +1,37 @@
+(** Interpreter memory: one typed buffer per array argument, addressed
+    by (argument position, element offset). *)
+
+open Snslp_ir
+
+exception Out_of_bounds of string
+
+type buffer = F_buf of float array | I_buf of int64 array
+type t = (int, buffer) Hashtbl.t
+
+val create : unit -> t
+
+val alloc_float : t -> arg_pos:int -> size:int -> unit
+val alloc_int : t -> arg_pos:int -> size:int -> unit
+val set_float_buffer : t -> arg_pos:int -> float array -> unit
+val set_int_buffer : t -> arg_pos:int -> int64 array -> unit
+
+val buffer : t -> arg_pos:int -> buffer
+(** Raises {!Out_of_bounds} when nothing is bound. *)
+
+val float_buffer : t -> arg_pos:int -> float array
+val int_buffer : t -> arg_pos:int -> int64 array
+
+val read : t -> elem:Ty.scalar -> base:int -> off:int -> Rvalue.t
+val write : t -> elem:Ty.scalar -> base:int -> off:int -> Rvalue.t -> unit
+(** f32 stores round. *)
+
+val snapshot : t -> t
+(** Deep copy, for before/after comparisons. *)
+
+val equal : t -> t -> bool
+(** Bitwise, including float buffers. *)
+
+val max_rel_diff : t -> t -> float
+(** Largest elementwise relative difference; [infinity] on shape or
+    integer mismatches.  For comparisons across reassociated float
+    computations. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Defs Func Ty Value

@@ -1,0 +1,1 @@
+lib/ir/defs.ml: Lit Ty

@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Block Defs Func Hashtbl Int List Set

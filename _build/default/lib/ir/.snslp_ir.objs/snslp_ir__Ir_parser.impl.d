@@ -1,0 +1,1 @@
+lib/ir/ir_parser.ml: Array Block Defs Fmt Func Hashtbl Int64 List Lit Printf String Ty Value Verifier

@@ -1,0 +1,1 @@
+lib/ir/lit.ml: Fmt Int64 Printf Ty

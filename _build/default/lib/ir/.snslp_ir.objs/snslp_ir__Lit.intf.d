@@ -1,0 +1,1 @@
+lib/ir/lit.mli: Fmt Ty

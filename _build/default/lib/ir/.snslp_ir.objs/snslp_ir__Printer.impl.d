@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Defs Fmt Instr List Ty Value

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Defs Fmt Int64 Lit String Ty

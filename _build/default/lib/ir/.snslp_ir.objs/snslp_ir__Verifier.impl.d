@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Block Defs Dominance Fmt Func Hashtbl List Printf String Ty Value

@@ -1,0 +1,97 @@
+(* Core recursive IR definitions.
+
+   Every structural type of the IR lives here because OCaml requires
+   mutually recursive types to share a definition site; the sibling
+   modules ([Value], [Instr], [Block], [Func], ...) provide the
+   operations.
+
+   The IR is a mutable graph in the LLVM style: instructions reference
+   their operands directly as [value]s (the use-def chain), blocks own
+   an ordered instruction list, and functions own blocks.  There is no
+   [phi]: the frontend only produces values that are defined before
+   use in a dominating block, which is all SLP needs. *)
+
+type binop = Add | Sub | Mul | Div
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type opcode =
+  | Binop of binop
+      (* Scalar or vector arithmetic; int or float according to the
+         instruction type. *)
+  | Alt_binop of binop array
+      (* Vector-only: per-lane opcode, e.g. [| Sub; Add |] is the SSE3
+         addsub pattern.  Length equals the lane count. *)
+  | Load (* [| addr |] *)
+  | Store (* [| value; addr |] *)
+  | Gep
+      (* [| base; index |]: address of element [index] of the array
+         pointed to by [base]; index is in elements, not bytes. *)
+  | Insert (* [| vec; scalar; lane-const |] *)
+  | Extract (* [| vec; lane-const |] *)
+  | Shuffle of int array
+      (* [| v1; v2 |]; mask indices pick lanes from the concatenation
+         of [v1] and [v2], LLVM-style. *)
+  | Icmp of cmp
+  | Fcmp of cmp
+  | Select (* [| cond; if-true; if-false |] *)
+
+type value =
+  | Const of { ty : Ty.t; lit : Lit.t }
+  | Undef of Ty.t
+  | Arg of arg
+  | Instr of instr
+
+and arg = { arg_name : string; arg_ty : Ty.t; arg_pos : int }
+
+and instr = {
+  iid : int; (* unique within the owning function *)
+  mutable op : opcode;
+  mutable ty : Ty.t; (* result type; stores produce [Ty.i32] dummy-void *)
+  mutable ops : value array;
+  mutable iname : string;
+  mutable iblock : block option;
+}
+
+and block = {
+  bid : int;
+  bname : string;
+  mutable instrs : instr list; (* in execution order *)
+  mutable term : terminator;
+}
+
+and terminator =
+  | Ret
+  | Br of block
+  | Cond_br of value * block * block
+  | Unterminated
+
+and func = {
+  fname : string;
+  fargs : arg array;
+  mutable blocks : block list; (* entry first *)
+  mutable next_iid : int;
+  mutable next_bid : int;
+}
+
+let binop_to_string = function Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+
+let cmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+(* [inverse_of op] is the inverse element's operator, if [op] is the
+   commutative-associative operator of an abelian group on which the
+   Super-Node is defined: subtraction for addition, division for
+   multiplication. *)
+let inverse_of = function Add -> Some Sub | Mul -> Some Div | Sub | Div -> None
+
+(* [direct_of op] is the inverse map of {!inverse_of}. *)
+let direct_of = function Sub -> Some Add | Div -> Some Mul | Add | Mul -> None
+
+let is_commutative = function Add | Mul -> true | Sub | Div -> false
+let is_inverse_op = function Sub | Div -> true | Add | Mul -> false

@@ -1,0 +1,81 @@
+(* Dominator computation over the block CFG.
+
+   Standard iterative data-flow formulation (Cooper-Harvey-Kennedy
+   would be overkill at our CFG sizes): dom(entry) = {entry},
+   dom(b) = {b} ∪ ⋂ dom(preds).  Used by the verifier to check that
+   every definition dominates its uses. *)
+
+open Defs
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  doms : (int, Int_set.t) Hashtbl.t; (* block id -> dominator block ids *)
+  order : (int, int) Hashtbl.t; (* block id -> RPO index *)
+}
+
+let predecessors (f : func) =
+  let preds : (int, block list) Hashtbl.t = Hashtbl.create 7 in
+  List.iter (fun b -> Hashtbl.replace preds b.bid []) f.blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s.bid with Not_found -> [] in
+          if not (List.exists (Block.equal b) cur) then Hashtbl.replace preds s.bid (b :: cur))
+        (Block.successors b))
+    f.blocks;
+  preds
+
+let compute (f : func) : t =
+  let preds = predecessors f in
+  let all = List.fold_left (fun s b -> Int_set.add b.bid s) Int_set.empty f.blocks in
+  let doms = Hashtbl.create 7 in
+  let entry = Func.entry f in
+  List.iter
+    (fun b ->
+      if Block.equal b entry then Hashtbl.replace doms b.bid (Int_set.singleton b.bid)
+      else Hashtbl.replace doms b.bid all)
+    f.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if not (Block.equal b entry) then begin
+          let pred_doms =
+            match Hashtbl.find preds b.bid with
+            | [] -> Int_set.singleton b.bid (* unreachable: conservative *)
+            | p :: rest ->
+                List.fold_left
+                  (fun acc q -> Int_set.inter acc (Hashtbl.find doms q.bid))
+                  (Hashtbl.find doms p.bid) rest
+          in
+          let d = Int_set.add b.bid pred_doms in
+          if not (Int_set.equal d (Hashtbl.find doms b.bid)) then begin
+            Hashtbl.replace doms b.bid d;
+            changed := true
+          end
+        end)
+      f.blocks
+  done;
+  let order = Hashtbl.create 7 in
+  List.iteri (fun n b -> Hashtbl.replace order b.bid n) f.blocks;
+  { doms; order }
+
+(* [dominates t a b] holds when block [a] dominates block [b]. *)
+let dominates (t : t) (a : block) (b : block) =
+  match Hashtbl.find_opt t.doms b.bid with
+  | Some s -> Int_set.mem a.bid s
+  | None -> false
+
+(* Whether the definition of [def] dominates instruction [user]: either
+   strictly earlier in the same block, or in a dominating block. *)
+let def_dominates_use (t : t) ~(def : instr) ~(user : instr) =
+  match (def.iblock, user.iblock) with
+  | Some db, Some ub when Block.equal db ub -> (
+      match (Block.index_of db def, Block.index_of ub user) with
+      | Some di, Some ui -> di < ui
+      | _ -> false)
+  | Some db, Some ub -> dominates t db ub
+  | _ -> false

@@ -1,0 +1,146 @@
+(* Operations over IR functions. *)
+
+open Defs
+
+type t = func
+
+let create ~name ~args =
+  let fargs =
+    Array.of_list (List.mapi (fun i (arg_name, arg_ty) -> { arg_name; arg_ty; arg_pos = i }) args)
+  in
+  { fname = name; fargs; blocks = []; next_iid = 0; next_bid = 0 }
+
+let name (f : t) = f.fname
+let args (f : t) = f.fargs
+let blocks (f : t) = f.blocks
+
+let arg (f : t) n = f.fargs.(n)
+
+let find_arg (f : t) aname =
+  Array.to_list f.fargs |> List.find_opt (fun a -> String.equal a.arg_name aname)
+
+let entry (f : t) =
+  match f.blocks with
+  | [] -> invalid_arg "Func.entry: function has no blocks"
+  | b :: _ -> b
+
+let add_block (f : t) bname =
+  let b = { bid = f.next_bid; bname; instrs = []; term = Unterminated } in
+  f.next_bid <- f.next_bid + 1;
+  f.blocks <- f.blocks @ [ b ];
+  b
+
+let fresh_instr (f : t) ?name op ty ops =
+  let iid = f.next_iid in
+  f.next_iid <- f.next_iid + 1;
+  let iname = match name with Some n -> n | None -> string_of_int iid in
+  { iid; op; ty; ops; iname; iblock = None }
+
+let iter_instrs f (fn : t) = List.iter (fun b -> Block.iter f b) fn.blocks
+
+let fold_instrs f acc (fn : t) =
+  List.fold_left (fun acc b -> Block.fold f acc b) acc fn.blocks
+
+let num_instrs (fn : t) = fold_instrs (fun n _ -> n + 1) 0 fn
+
+(* All uses of [v] among instruction operands, as (user, operand index)
+   pairs, in block order.  Computed by scanning: the IR does not
+   maintain persistent use lists, which keeps mutation simple and is
+   cheap at SLP-region sizes. *)
+let uses_of (fn : t) (v : value) =
+  let acc = ref [] in
+  iter_instrs
+    (fun i ->
+      Array.iteri (fun n o -> if Value.equal o v then acc := (i, n) :: !acc) i.ops)
+    fn;
+  List.rev !acc
+
+let has_uses (fn : t) (v : value) =
+  let exception Found in
+  try
+    iter_instrs
+      (fun i -> Array.iter (fun o -> if Value.equal o v then raise Found) i.ops)
+    fn;
+    false
+  with Found -> true
+
+(* Replace all uses of [old_v] by [new_v] across the function
+   (including terminator conditions). *)
+let replace_all_uses (fn : t) ~old_v ~new_v =
+  iter_instrs
+    (fun i ->
+      Array.iteri (fun n o -> if Value.equal o old_v then i.ops.(n) <- new_v) i.ops)
+    fn;
+  List.iter
+    (fun b ->
+      match b.term with
+      | Cond_br (c, b1, b2) when Value.equal c old_v -> b.term <- Cond_br (new_v, b1, b2)
+      | Ret | Br _ | Cond_br _ | Unterminated -> ())
+    fn.blocks
+
+let erase_instr (fn : t) (i : instr) =
+  if has_uses fn (Instr i) then
+    invalid_arg (Printf.sprintf "Func.erase_instr: %%%s still has uses" i.iname);
+  match i.iblock with
+  | None -> invalid_arg "Func.erase_instr: instruction not in a block"
+  | Some b -> Block.remove b i
+
+(* Deep copy.  Instruction and block identities are preserved (same
+   ids, fresh records), so analyses keyed by id can be replayed on the
+   clone; this is what lets the vectorizer try a transformation and
+   throw it away if the cost model rejects it. *)
+let clone (fn : t) : t =
+  let fn' =
+    {
+      fname = fn.fname;
+      fargs = fn.fargs;
+      blocks = [];
+      next_iid = fn.next_iid;
+      next_bid = fn.next_bid;
+    }
+  in
+  let block_map = Hashtbl.create 7 in
+  let instr_map : (int, instr) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      let b' = { bid = b.bid; bname = b.bname; instrs = []; term = Unterminated } in
+      Hashtbl.add block_map b.bid b')
+    fn.blocks;
+  let map_value v =
+    match v with
+    | Instr i -> Instr (Hashtbl.find instr_map i.iid)
+    | Const _ | Undef _ | Arg _ -> v
+  in
+  List.iter
+    (fun b ->
+      let b' = Hashtbl.find block_map b.bid in
+      (* Left-to-right so operand instructions (defined earlier) are
+         already in [instr_map]. *)
+      let cloned =
+        List.fold_left
+          (fun acc i ->
+            let i' =
+              {
+                iid = i.iid;
+                op = i.op;
+                ty = i.ty;
+                ops = Array.map map_value i.ops;
+                iname = i.iname;
+                iblock = Some b';
+              }
+            in
+            Hashtbl.add instr_map i.iid i';
+            i' :: acc)
+          [] b.instrs
+      in
+      b'.instrs <- List.rev cloned;
+      b'.term <-
+        (match b.term with
+        | Ret -> Ret
+        | Unterminated -> Unterminated
+        | Br t -> Br (Hashtbl.find block_map t.bid)
+        | Cond_br (c, t1, t2) ->
+            Cond_br (map_value c, Hashtbl.find block_map t1.bid, Hashtbl.find block_map t2.bid)))
+    fn.blocks;
+  fn'.blocks <- List.map (fun b -> Hashtbl.find block_map b.bid) fn.blocks;
+  fn'

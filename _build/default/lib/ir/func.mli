@@ -1,0 +1,42 @@
+(** Operations over IR functions. *)
+
+type t = Defs.func
+
+val create : name:string -> args:(string * Ty.t) list -> t
+val name : t -> string
+val args : t -> Defs.arg array
+val arg : t -> int -> Defs.arg
+val find_arg : t -> string -> Defs.arg option
+
+val blocks : t -> Defs.block list
+
+val entry : t -> Defs.block
+(** Raises [Invalid_argument] on a function with no blocks. *)
+
+val add_block : t -> string -> Defs.block
+
+val fresh_instr :
+  t -> ?name:string -> Defs.opcode -> Ty.t -> Defs.value array -> Defs.instr
+(** A detached instruction with a function-unique id; attach it with
+    {!Block.append}/{!Block.insert_before}. *)
+
+val iter_instrs : (Defs.instr -> unit) -> t -> unit
+val fold_instrs : ('a -> Defs.instr -> 'a) -> 'a -> t -> 'a
+val num_instrs : t -> int
+
+val uses_of : t -> Defs.value -> (Defs.instr * int) list
+(** All operand slots holding the value, in block order.  Computed by
+    scanning — the IR keeps no persistent use lists. *)
+
+val has_uses : t -> Defs.value -> bool
+
+val replace_all_uses : t -> old_v:Defs.value -> new_v:Defs.value -> unit
+(** Rewrites every operand slot and terminator condition. *)
+
+val erase_instr : t -> Defs.instr -> unit
+(** Raises [Invalid_argument] if the instruction still has uses or is
+    not attached to a block. *)
+
+val clone : t -> t
+(** Deep copy preserving instruction and block ids, so analyses keyed
+    by id replay on the clone. *)

@@ -1,0 +1,78 @@
+(* Operations over IR instructions. *)
+
+open Defs
+
+type t = instr
+
+let equal (a : t) (b : t) = a.iid == b.iid
+let compare (a : t) (b : t) = Int.compare a.iid b.iid
+let hash (a : t) = a.iid
+
+let id (i : t) = i.iid
+let opcode (i : t) = i.op
+let ty (i : t) = i.ty
+let name (i : t) = i.iname
+let set_name (i : t) n = i.iname <- n
+let block (i : t) = i.iblock
+
+let operands (i : t) = i.ops
+let operand (i : t) n = i.ops.(n)
+let num_operands (i : t) = Array.length i.ops
+let set_operand (i : t) n v = i.ops.(n) <- v
+
+let value (i : t) = Instr i
+
+let is_binop (i : t) = match i.op with Binop _ -> true | _ -> false
+
+let binop_kind (i : t) = match i.op with Binop b -> Some b | _ -> None
+
+let is_load (i : t) = match i.op with Load -> true | _ -> false
+let is_store (i : t) = match i.op with Store -> true | _ -> false
+
+let is_memory (i : t) = match i.op with Load | Store -> true | _ -> false
+
+(* Whether the instruction writes memory (i.e., must keep its relative
+   order with may-aliasing memory operations). *)
+let writes_memory (i : t) = is_store i
+
+let has_result (i : t) = not (is_store i)
+
+let same_opcode (a : t) (b : t) =
+  match (a.op, b.op) with
+  | Binop x, Binop y -> x = y
+  | Alt_binop x, Alt_binop y -> x = y
+  | Load, Load | Store, Store | Gep, Gep | Insert, Insert | Extract, Extract -> true
+  | Shuffle x, Shuffle y -> x = y
+  | Icmp x, Icmp y | Fcmp x, Fcmp y -> x = y
+  | Select, Select -> true
+  | ( ( Binop _ | Alt_binop _ | Load | Store | Gep | Insert | Extract | Shuffle _
+      | Icmp _ | Fcmp _ | Select ),
+      _ ) ->
+      false
+
+let opcode_mnemonic (i : t) =
+  match i.op with
+  | Binop b -> (if Ty.is_float i.ty || (Ty.is_vector i.ty && Ty.scalar_is_float (Ty.elem i.ty)) then "f" else "") ^ binop_to_string b
+  | Alt_binop ops ->
+      "alt." ^ String.concat "." (Array.to_list (Array.map binop_to_string ops))
+  | Load -> if Ty.is_vector i.ty then "vload" else "load"
+  | Store ->
+      if Ty.is_vector (Value.ty i.ops.(0)) then "vstore" else "store"
+  | Gep -> "gep"
+  | Insert -> "insert"
+  | Extract -> "extract"
+  | Shuffle mask ->
+      "shuffle." ^ String.concat "." (Array.to_list (Array.map string_of_int mask))
+  | Icmp c -> "icmp." ^ cmp_to_string c
+  | Fcmp c -> "fcmp." ^ cmp_to_string c
+  | Select -> "select"
+
+(* Structural description used by tests and debugging output, e.g.
+   "%5 = fadd %1, %2". *)
+let to_string (i : t) =
+  let ops = i.ops |> Array.to_list |> List.map Value.name |> String.concat ", " in
+  if has_result i then
+    Printf.sprintf "%%%s = %s %s %s" i.iname (opcode_mnemonic i) (Ty.to_string i.ty) ops
+  else Printf.sprintf "%s %s" (opcode_mnemonic i) ops
+
+let pp ppf i = Fmt.string ppf (to_string i)

@@ -1,0 +1,42 @@
+(** Operations over IR instructions. *)
+
+type t = Defs.instr
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val id : t -> int
+val opcode : t -> Defs.opcode
+val ty : t -> Ty.t
+val name : t -> string
+val set_name : t -> string -> unit
+val block : t -> Defs.block option
+
+val operands : t -> Defs.value array
+val operand : t -> int -> Defs.value
+val num_operands : t -> int
+val set_operand : t -> int -> Defs.value -> unit
+
+val value : t -> Defs.value
+(** The instruction as a value (its result). *)
+
+val is_binop : t -> bool
+val binop_kind : t -> Defs.binop option
+val is_load : t -> bool
+val is_store : t -> bool
+val is_memory : t -> bool
+
+val writes_memory : t -> bool
+(** Whether the instruction must keep its order relative to
+    may-aliasing memory operations (stores). *)
+
+val has_result : t -> bool
+(** All instructions except stores produce a value. *)
+
+val same_opcode : t -> t -> bool
+(** Exact opcode equality, including binop kind, masks, predicates. *)
+
+val opcode_mnemonic : t -> string
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,12 @@
+(** Parser for the textual IR format emitted by {!Printer}, making the
+    format round-trippable.  Constants are re-typed from their operand
+    context; instruction names must be unique within the function. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_func : string -> Defs.func
+(** Parse without verification. *)
+
+val parse : string -> Defs.func
+(** Parse and verify; raises {!Parse_error} on malformed or
+    ill-formed input. *)

@@ -1,0 +1,35 @@
+(* Constant literals carried by [Const] values. *)
+
+type t = Int of int64 | Float of float
+
+let int i = Int (Int64.of_int i)
+let int64 i = Int i
+let float f = Float f
+
+let equal a b =
+  match (a, b) with
+  | Int a, Int b -> Int64.equal a b
+  | Float a, Float b ->
+      (* Distinguish NaN payload-insensitively but keep -0.0 <> 0.0 out
+         of the way: bitwise comparison is the right notion for IR
+         constants. *)
+      Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  | (Int _ | Float _), _ -> false
+
+let is_int = function Int _ -> true | Float _ -> false
+
+let matches_ty (t : t) (ty : Ty.t) =
+  match (t, ty) with
+  | Int _, Ty.Scalar s -> Ty.scalar_is_int s
+  | Float _, Ty.Scalar s -> Ty.scalar_is_float s
+  | (Int _ | Float _), (Ty.Vector _ | Ty.Ptr _) -> false
+
+let to_string = function
+  | Int i -> Int64.to_string i
+  | Float f -> Printf.sprintf "%h" f
+
+let to_human = function
+  | Int i -> Int64.to_string i
+  | Float f -> Printf.sprintf "%g" f
+
+let pp ppf t = Fmt.string ppf (to_human t)

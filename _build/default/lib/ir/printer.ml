@@ -1,0 +1,36 @@
+(* Textual rendering of functions, in an LLVM-flavoured syntax:
+
+     func @motiv1(f64* %A, f64* %B, i64 %i) {
+     entry:
+       %0 = gep f64* %B, %i
+       %1 = load f64 %0
+       ...
+       ret
+     }
+*)
+
+open Defs
+
+let pp_arg ppf (a : arg) = Fmt.pf ppf "%s %%%s" (Ty.to_string a.arg_ty) a.arg_name
+
+let pp_terminator ppf = function
+  | Ret -> Fmt.string ppf "ret"
+  | Br b -> Fmt.pf ppf "br %%%s" b.bname
+  | Cond_br (c, b1, b2) ->
+      Fmt.pf ppf "br %s, %%%s, %%%s" (Value.name c) b1.bname b2.bname
+  | Unterminated -> Fmt.string ppf "<unterminated>"
+
+let pp_block ppf (b : block) =
+  Fmt.pf ppf "%s:@." b.bname;
+  List.iter (fun i -> Fmt.pf ppf "  %s@." (Instr.to_string i)) b.instrs;
+  Fmt.pf ppf "  %a@." pp_terminator b.term
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "func @%s(%a) {@." f.fname
+    Fmt.(array ~sep:(any ", ") pp_arg)
+    f.fargs;
+  List.iter (pp_block ppf) f.blocks;
+  Fmt.pf ppf "}@."
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let block_to_string b = Fmt.str "%a" pp_block b

@@ -1,0 +1,52 @@
+(* Operations over IR values. *)
+
+include struct
+  open Defs
+
+  type t = value
+
+  let ty = function
+    | Const { ty; _ } -> ty
+    | Undef ty -> ty
+    | Arg a -> a.arg_ty
+    | Instr i -> i.ty
+
+  (* Identity: instructions compare by their unique id, constants and
+     undefs structurally, arguments by position and name. *)
+  let equal a b =
+    match (a, b) with
+    | Instr a, Instr b -> a.iid = b.iid
+    | Const a, Const b -> Ty.equal a.ty b.ty && Lit.equal a.lit b.lit
+    | Undef a, Undef b -> Ty.equal a b
+    | Arg a, Arg b -> a.arg_pos = b.arg_pos && String.equal a.arg_name b.arg_name
+    | (Instr _ | Const _ | Undef _ | Arg _), _ -> false
+
+  let is_instr = function Instr _ -> true | Const _ | Undef _ | Arg _ -> false
+  let is_const = function Const _ -> true | Instr _ | Undef _ | Arg _ -> false
+
+  let as_instr = function Instr i -> Some i | Const _ | Undef _ | Arg _ -> None
+
+  let const_int ?(ty = Ty.i64) i =
+    if not (Ty.is_int ty) then invalid_arg "Value.const_int: not an int type";
+    Const { ty; lit = Lit.int i }
+
+  let const_float ?(ty = Ty.f64) f =
+    if not (Ty.is_float ty) then invalid_arg "Value.const_float: not a float type";
+    Const { ty; lit = Lit.float f }
+
+  let const_of_lit ty lit =
+    if not (Lit.matches_ty lit ty) then invalid_arg "Value.const_of_lit: type mismatch";
+    Const { ty; lit }
+
+  let as_const_int = function
+    | Const { lit = Lit.Int i; _ } -> Some (Int64.to_int i)
+    | Const _ | Undef _ | Arg _ | Instr _ -> None
+
+  let name = function
+    | Const { lit; _ } -> Lit.to_human lit
+    | Undef _ -> "undef"
+    | Arg a -> "%" ^ a.arg_name
+    | Instr i -> "%" ^ i.iname
+
+  let pp ppf v = Fmt.string ppf (name v)
+end

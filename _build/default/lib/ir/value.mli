@@ -1,0 +1,33 @@
+(** Operations over IR values (constants, arguments, undef,
+    instruction results). *)
+
+type t = Defs.value
+
+val ty : t -> Ty.t
+
+val equal : t -> t -> bool
+(** Instructions compare by id, constants and undefs structurally,
+    arguments by position and name. *)
+
+val is_instr : t -> bool
+val is_const : t -> bool
+val as_instr : t -> Defs.instr option
+
+val const_int : ?ty:Ty.t -> int -> t
+(** [const_int n] is an [i64] constant (or [~ty] when given).  Raises
+    [Invalid_argument] on non-integer types. *)
+
+val const_float : ?ty:Ty.t -> float -> t
+(** [const_float f] is an [f64] constant (or [~ty] when given). *)
+
+val const_of_lit : Ty.t -> Lit.t -> t
+(** Raises [Invalid_argument] when the literal does not match the
+    type. *)
+
+val as_const_int : t -> int option
+(** The value of an integer constant, if that is what [t] is. *)
+
+val name : t -> string
+(** Printable name: ["%3"], ["%A"], ["42"], ["undef"]. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,197 @@
+(* IR well-formedness checks.
+
+   The verifier is run after the frontend and after every transforming
+   pass; a transformation that produces ill-typed or ill-ordered IR is
+   a bug in the transformation, so errors carry enough context to
+   locate it. *)
+
+open Defs
+
+type error = { where : string; what : string }
+
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+let check_instr (errors : error list ref) (i : instr) =
+  let where = Printf.sprintf "%%%s" i.iname in
+  let fail fmt = Printf.ksprintf (fun what -> errors := { where; what } :: !errors) fmt in
+  let op_ty n = Value.ty i.ops.(n) in
+  let expect_nops n =
+    if Array.length i.ops <> n then fail "expected %d operands, got %d" n (Array.length i.ops)
+  in
+  match i.op with
+  | Binop b ->
+      expect_nops 2;
+      if Array.length i.ops = 2 then begin
+        if not (Ty.equal (op_ty 0) i.ty && Ty.equal (op_ty 1) i.ty) then
+          fail "binop operand/result type mismatch";
+        if Ty.is_ptr i.ty then fail "binop on pointers";
+        if b = Div && Ty.scalar_is_int (Ty.elem i.ty) then fail "integer division"
+      end
+  | Alt_binop kinds ->
+      expect_nops 2;
+      if not (Ty.is_vector i.ty) then fail "alt_binop must have a vector type";
+      if Array.length kinds <> Ty.lanes i.ty then fail "alt_binop lane-opcode count mismatch";
+      if Array.length i.ops = 2 && not (Ty.equal (op_ty 0) i.ty && Ty.equal (op_ty 1) i.ty)
+      then fail "alt_binop operand type mismatch"
+  | Load ->
+      expect_nops 1;
+      if Array.length i.ops = 1 then (
+        match op_ty 0 with
+        | Ty.Ptr s ->
+            if not (Ty.scalar_equal (Ty.elem i.ty) s) then fail "load element type mismatch"
+        | _ -> fail "load address is not a pointer")
+  | Store ->
+      expect_nops 2;
+      if Array.length i.ops = 2 then (
+        match op_ty 1 with
+        | Ty.Ptr s ->
+            if not (Ty.scalar_equal (Ty.elem (op_ty 0)) s) then
+              fail "store element type mismatch"
+        | _ -> fail "store address is not a pointer")
+  | Gep ->
+      expect_nops 2;
+      if Array.length i.ops = 2 then begin
+        if not (Ty.is_ptr (op_ty 0)) then fail "gep base is not a pointer";
+        if not (Ty.is_int (op_ty 1)) then fail "gep index is not an integer";
+        if not (Ty.equal i.ty (op_ty 0)) then fail "gep result type mismatch"
+      end
+  | Insert ->
+      expect_nops 3;
+      if Array.length i.ops = 3 then begin
+        if not (Ty.is_vector i.ty && Ty.equal i.ty (op_ty 0)) then
+          fail "insert vector type mismatch";
+        (match Value.as_const_int i.ops.(2) with
+        | Some l when l >= 0 && l < Ty.lanes i.ty -> ()
+        | Some l -> fail "insert lane %d out of range" l
+        | None -> fail "insert lane must be a constant integer");
+        if not (Ty.scalar_equal (Ty.elem i.ty) (Ty.elem (op_ty 1))) then
+          fail "insert scalar type mismatch"
+      end
+  | Extract ->
+      expect_nops 2;
+      if Array.length i.ops = 2 then begin
+        if not (Ty.is_vector (op_ty 0)) then fail "extract source is not a vector";
+        match Value.as_const_int i.ops.(1) with
+        | Some l when l >= 0 && l < Ty.lanes (op_ty 0) -> ()
+        | Some l -> fail "extract lane %d out of range" l
+        | None -> fail "extract lane must be a constant integer"
+      end
+  | Shuffle mask ->
+      expect_nops 2;
+      if Array.length i.ops = 2 then begin
+        if not (Ty.is_vector (op_ty 0) && Ty.equal (op_ty 0) (op_ty 1)) then
+          fail "shuffle operands must be vectors of the same type"
+        else begin
+          let total = 2 * Ty.lanes (op_ty 0) in
+          Array.iter
+            (fun m -> if m < 0 || m >= total then fail "shuffle mask index %d out of range" m)
+            mask;
+          if Ty.lanes i.ty <> Array.length mask then fail "shuffle result lane count mismatch"
+        end
+      end
+  | Icmp _ ->
+      expect_nops 2;
+      if Array.length i.ops = 2 then begin
+        if
+          not
+            (Ty.scalar_is_int (Ty.elem (op_ty 0))
+            && (not (Ty.is_ptr (op_ty 0)))
+            && Ty.equal (op_ty 0) (op_ty 1))
+        then fail "icmp operands must be matching integers";
+        if Ty.lanes i.ty <> Ty.lanes (op_ty 0) || not (Ty.scalar_is_int (Ty.elem i.ty)) then
+          fail "icmp result type mismatch"
+      end
+  | Fcmp _ ->
+      expect_nops 2;
+      if Array.length i.ops = 2 then begin
+        if not (Ty.scalar_is_float (Ty.elem (op_ty 0)) && Ty.equal (op_ty 0) (op_ty 1)) then
+          fail "fcmp operands must be matching floats";
+        if Ty.lanes i.ty <> Ty.lanes (op_ty 0) || not (Ty.scalar_is_int (Ty.elem i.ty)) then
+          fail "fcmp result type mismatch"
+      end
+  | Select ->
+      expect_nops 3;
+      if Array.length i.ops = 3 then begin
+        if not (Ty.scalar_is_int (Ty.elem (op_ty 0)) && not (Ty.is_ptr (op_ty 0))) then
+          fail "select condition must be integers";
+        if Ty.is_vector (op_ty 0) && Ty.lanes (op_ty 0) <> Ty.lanes (op_ty 1) then
+          fail "select condition lane count mismatch";
+        if not (Ty.equal (op_ty 1) (op_ty 2) && Ty.equal i.ty (op_ty 1)) then
+          fail "select arm type mismatch"
+      end
+
+let verify (f : func) : error list =
+  let errors = ref [] in
+  let fail where fmt =
+    Printf.ksprintf (fun what -> errors := { where; what } :: !errors) fmt
+  in
+  if f.blocks = [] then fail f.fname "function has no blocks";
+  (* Unique instruction ids and consistent block back-pointers. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          if Hashtbl.mem seen i.iid then fail ("%" ^ i.iname) "duplicate instruction id";
+          Hashtbl.replace seen i.iid ();
+          (match i.iblock with
+          | Some b' when Block.equal b b' -> ()
+          | _ -> fail ("%" ^ i.iname) "instruction block back-pointer is stale");
+          check_instr errors i)
+        b.instrs;
+      (match b.term with
+      | Unterminated -> fail b.bname "block is unterminated"
+      | Ret -> ()
+      | Br t ->
+          if not (List.exists (Block.equal t) f.blocks) then
+            fail b.bname "branch target not in function"
+      | Cond_br (c, t1, t2) ->
+          if not (Ty.is_int (Value.ty c)) then fail b.bname "branch condition is not an integer";
+          if
+            not
+              (List.exists (Block.equal t1) f.blocks
+              && List.exists (Block.equal t2) f.blocks)
+          then fail b.bname "branch target not in function"))
+    f.blocks;
+  (* Defs dominate uses.  Positions are precomputed so the check is
+     O(uses), not O(uses × block length). *)
+  if f.blocks <> [] then begin
+    let dom = Dominance.compute f in
+    let positions : (int, Defs.block * int) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun b ->
+        List.iteri (fun k i -> Hashtbl.replace positions i.iid (b, k)) b.instrs)
+      f.blocks;
+    let def_dominates_use ~def ~user =
+      match (Hashtbl.find_opt positions def.iid, Hashtbl.find_opt positions user.iid) with
+      | Some (db, dk), Some (ub, uk) ->
+          if Block.equal db ub then dk < uk else Dominance.dominates dom db ub
+      | _ -> false
+    in
+    Func.iter_instrs
+      (fun user ->
+        Array.iter
+          (fun o ->
+            match o with
+            | Instr def ->
+                if not (def_dominates_use ~def ~user) then
+                  fail ("%" ^ user.iname) "operand %%%s does not dominate this use" def.iname
+            | Const _ | Undef _ | Arg _ -> ())
+          user.ops)
+      f
+  end;
+  List.rev !errors
+
+exception Invalid_ir of string
+
+(* [verify_exn f] raises {!Invalid_ir} with a readable report if [f]
+   is malformed. *)
+let verify_exn (f : func) =
+  match verify f with
+  | [] -> ()
+  | errors ->
+      let report =
+        errors |> List.map (Fmt.str "%a" pp_error) |> String.concat "; "
+      in
+      raise (Invalid_ir (Printf.sprintf "in @%s: %s" f.fname report))

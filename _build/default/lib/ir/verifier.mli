@@ -1,0 +1,15 @@
+(** IR well-formedness checks: per-opcode typing, unique ids,
+    consistent block back-pointers, terminated blocks with in-function
+    targets, and definitions dominating uses. *)
+
+type error = { where : string; what : string }
+
+val pp_error : error Fmt.t
+
+val verify : Defs.func -> error list
+(** All problems found, empty when well-formed. *)
+
+exception Invalid_ir of string
+
+val verify_exn : Defs.func -> unit
+(** Raises {!Invalid_ir} with a readable report when malformed. *)

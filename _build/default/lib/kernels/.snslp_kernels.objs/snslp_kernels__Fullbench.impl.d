@@ -1,0 +1,1 @@
+lib/kernels/fullbench.ml: Buffer List Option Printf Registry Snslp_frontend String

@@ -1,0 +1,1 @@
+lib/kernels/fullbench.mli: Registry

@@ -1,0 +1,1 @@
+lib/kernels/workload.ml: Array Defs Func Int64 Memory Option Registry Rvalue Snslp_frontend Snslp_interp Snslp_ir Snslp_simperf String Ty

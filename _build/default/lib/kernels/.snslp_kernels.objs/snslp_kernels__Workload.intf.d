@@ -1,0 +1,1 @@
+lib/kernels/workload.mli: Defs Memory Registry Rvalue Snslp_costmodel Snslp_interp Snslp_ir Snslp_simperf

@@ -1,0 +1,27 @@
+(** Synthetic "full benchmarks" — whole-program counterparts of the
+    kernel registry, backing the paper's Figures 8/9/10: a large body
+    of scalar-only code plus, for the six activating benchmarks, an
+    embedded dose of that benchmark's kernel (hot in 433.milc,
+    lukewarm elsewhere). *)
+
+type t = {
+  name : string;
+  lang : string;
+  activates : bool;
+  kernel : Registry.t option;
+  kernel_weight : int;
+  filler : int;
+  multinode_pairs : int;
+  iters : int;
+}
+
+val source : t -> string
+(** The synthesised KernelC program. *)
+
+val to_registry : t -> Registry.t
+(** As a workload record for {!Workload.prepare}. *)
+
+val all : t list
+(** The C/C++ subset of SPEC CPU2006, as in the paper's evaluation. *)
+
+val find : string -> t option

@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Array Defs Deps Hashtbl List Printf Rewrite Snslp_analysis Snslp_ir String Ty Value

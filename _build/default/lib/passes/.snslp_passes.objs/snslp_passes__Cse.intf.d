@@ -1,0 +1,1 @@
+lib/passes/cse.mli: Snslp_ir

@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Array Block Defs Func Hashtbl Instr List Queue Snslp_ir

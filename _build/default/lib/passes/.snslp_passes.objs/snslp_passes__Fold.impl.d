@@ -1,0 +1,1 @@
+lib/passes/fold.ml: Array Defs Int32 Int64 Lit Option Rewrite Snslp_ir Ty Value

@@ -1,0 +1,1 @@
+lib/passes/fold.mli: Snslp_ir

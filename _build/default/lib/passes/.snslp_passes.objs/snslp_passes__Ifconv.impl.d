@@ -1,0 +1,1 @@
+lib/passes/ifconv.ml: Address Affine Array Block Builder Defs Deps Func Instr List Option Snslp_analysis Snslp_ir Verifier

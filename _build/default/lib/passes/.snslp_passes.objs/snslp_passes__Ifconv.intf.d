@@ -1,0 +1,1 @@
+lib/passes/ifconv.mli: Snslp_ir

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Config Cse Dce Defs Fold Func Ifconv List Simplify Snslp_ir Snslp_vectorizer Unix Vectorize Verifier

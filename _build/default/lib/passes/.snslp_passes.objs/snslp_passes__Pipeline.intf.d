@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Config Defs Snslp_ir Snslp_vectorizer Vectorize

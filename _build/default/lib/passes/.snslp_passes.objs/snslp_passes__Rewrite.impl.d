@@ -1,0 +1,1 @@
+lib/passes/rewrite.ml: Array Block Defs Func Hashtbl List Snslp_ir

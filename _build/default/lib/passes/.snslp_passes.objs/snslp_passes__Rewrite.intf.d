@@ -1,0 +1,1 @@
+lib/passes/rewrite.mli: Defs Snslp_ir

@@ -1,0 +1,1 @@
+lib/passes/simplify.ml: Array Defs Int64 Lit Rewrite Snslp_ir Ty

@@ -1,0 +1,1 @@
+lib/passes/simplify.mli: Snslp_ir

@@ -1,0 +1,91 @@
+(* Common subexpression elimination, block-local.
+
+   Two pure instructions with the same opcode and (canonicalised)
+   operands compute the same value; the later one is replaced by the
+   earlier.  Loads are also unified when no may-aliasing store
+   intervenes.  One forward sweep per block through the shared
+   {!Rewrite} machinery keeps the pass linear. *)
+
+open Snslp_ir
+open Snslp_analysis
+
+let pure_key (i : Defs.instr) : string option =
+  let ops () =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (fun v -> Value.name v ^ ":" ^ Ty.to_string (Value.ty v))
+            i.Defs.ops))
+  in
+  match i.Defs.op with
+  | Defs.Binop b -> (
+      (* Normalise commutative operands so a+b meets b+a. *)
+      match (Defs.is_commutative b, Array.to_list i.Defs.ops) with
+      | true, [ x; y ] ->
+          let sx = Value.name x and sy = Value.name y in
+          let lo, hi = if String.compare sx sy <= 0 then (sx, sy) else (sy, sx) in
+          Some
+            (Printf.sprintf "b%s|%s,%s|%s" (Defs.binop_to_string b) lo hi
+               (Ty.to_string i.Defs.ty))
+      | _ ->
+          Some
+            (Printf.sprintf "b%s|%s|%s" (Defs.binop_to_string b) (ops ())
+               (Ty.to_string i.Defs.ty)))
+  | Defs.Gep -> Some ("g|" ^ ops ())
+  | Defs.Icmp c -> Some (Printf.sprintf "ic%s|%s" (Defs.cmp_to_string c) (ops ()))
+  | Defs.Fcmp c -> Some (Printf.sprintf "fc%s|%s" (Defs.cmp_to_string c) (ops ()))
+  | Defs.Select -> Some ("s|" ^ ops ())
+  | Defs.Insert -> Some ("i|" ^ ops ())
+  | Defs.Extract -> Some ("e|" ^ ops ())
+  | Defs.Shuffle m ->
+      Some
+        (Printf.sprintf "sh%s|%s"
+           (String.concat "." (Array.to_list (Array.map string_of_int m)))
+           (ops ()))
+  | Defs.Load | Defs.Store | Defs.Alt_binop _ -> None
+
+let run (func : Defs.func) : int =
+  (* Per-block value tables, reset on block entry (block-local CSE). *)
+  let seen : (string, Defs.value) Hashtbl.t = Hashtbl.create 64 in
+  let avail_loads : (string, Defs.instr * Deps.memloc) Hashtbl.t = Hashtbl.create 16 in
+  let current_block = ref (-1) in
+  let kill_loads (st : Defs.instr) =
+    match Deps.memloc_of_instr st with
+    | None -> Hashtbl.reset avail_loads
+    | Some stl ->
+        let doomed = ref [] in
+        Hashtbl.iter
+          (fun key (_, ldl) -> if Deps.may_overlap stl ldl then doomed := key :: !doomed)
+          avail_loads;
+        List.iter (Hashtbl.remove avail_loads) !doomed
+  in
+  Rewrite.run func (fun _ctx block i ->
+      if block.Defs.bid <> !current_block then begin
+        current_block := block.Defs.bid;
+        Hashtbl.reset seen;
+        Hashtbl.reset avail_loads
+      end;
+      match i.Defs.op with
+      | Defs.Store ->
+          kill_loads i;
+          None
+      | Defs.Load -> (
+          let key =
+            Printf.sprintf "l|%s|%s" (Value.name i.Defs.ops.(0)) (Ty.to_string i.Defs.ty)
+          in
+          match Hashtbl.find_opt avail_loads key with
+          | Some (earlier, _) -> Some (Defs.Instr earlier)
+          | None ->
+              (match Deps.memloc_of_instr i with
+              | Some loc -> Hashtbl.replace avail_loads key (i, loc)
+              | None -> ());
+              None)
+      | _ -> (
+          match pure_key i with
+          | None -> None
+          | Some key -> (
+              match Hashtbl.find_opt seen key with
+              | Some earlier -> Some earlier
+              | None ->
+                  Hashtbl.replace seen key (Defs.Instr i);
+                  None)))

@@ -1,0 +1,5 @@
+(** Block-local common subexpression elimination: pure instructions
+    with canonicalised operands (commutative operands sorted), plus
+    load unification across non-aliasing stores. *)
+
+val run : Snslp_ir.Defs.func -> int

@@ -1,0 +1,4 @@
+(** Dead code elimination by use-count worklist; stores and branch
+    conditions are roots. *)
+
+val run : Snslp_ir.Defs.func -> int

@@ -1,0 +1,6 @@
+(** Constant folding, with the interpreter's exact semantics (int64
+    wrap-around, f32 rounding). *)
+
+val run : Snslp_ir.Defs.func -> int
+(** Folds every foldable instruction (one forward sweep reaches the
+    fixpoint); returns how many were folded. *)

@@ -1,0 +1,9 @@
+(** If-conversion: flatten control-flow diamonds whose branches only
+    compute pure values and store them into unconditional stores of
+    [select]s, exposing straight-line code to the SLP vectorizer (the
+    predication idea of Shin et al., cited in the paper's related
+    work).  Bails out on any memory hazard; see the implementation
+    header for the exact legality rules. *)
+
+val run : Snslp_ir.Defs.func -> int
+(** Converts to fixpoint; returns the number of flattened diamonds. *)

@@ -1,0 +1,69 @@
+(* The pass pipeline: a miniature -O3.
+
+   The scalar pre-passes canonicalise the frontend's output (fold
+   literals, clean algebraic identities, unify repeated loads and
+   geps), then the configured SLP variant runs, then DCE sweeps the
+   scalar leftovers.  Each pass is timed; the totals back the paper's
+   compilation-time experiment (Figure 11). *)
+
+open Snslp_ir
+open Snslp_vectorizer
+
+type timing = { pass : string; seconds : float }
+
+type result = {
+  func : Defs.func;
+  vect_report : Vectorize.report option; (* None under -O3 (no vectorizer) *)
+  timings : timing list;
+  total_seconds : float;
+}
+
+(* Vectorizer setting: [None] models the paper's "O3" configuration
+   (all vectorizers disabled); [Some config] runs the configured SLP
+   variant. *)
+type setting = Config.t option
+
+let setting_name = function
+  | None -> "o3"
+  | Some c -> Config.mode_to_string c.Config.mode
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  ({ pass = name; seconds = Unix.gettimeofday () -. t0 }, r)
+
+(* [run ?setting func] optimises a copy of [func] and returns it; the
+   input function is not modified. *)
+let run ?(setting : setting = Some Config.snslp) (func : Defs.func) : result =
+  let f = Func.clone func in
+  let timings = ref [] in
+  let record t = timings := t :: !timings in
+  let t0 = Unix.gettimeofday () in
+  let t, _ = timed "fold" (fun () -> Fold.run f) in
+  record t;
+  let t, _ = timed "simplify" (fun () -> Simplify.run f) in
+  record t;
+  let t, _ = timed "cse" (fun () -> Cse.run f) in
+  record t;
+  let t, converted = timed "ifconv" (fun () -> Ifconv.run f) in
+  record t;
+  (* Flattening branches exposes duplicates CSE could not see across
+     blocks. *)
+  if converted > 0 then begin
+    let t, _ = timed "cse2" (fun () -> Cse.run f) in
+    record t
+  end;
+  let vect_report =
+    match setting with
+    | None -> None
+    | Some config ->
+        let t, rep = timed "slp" (fun () -> Vectorize.run config f) in
+        record t;
+        Some rep
+  in
+  let t, _ = timed "dce" (fun () -> Dce.run f) in
+  record t;
+  let t, () = timed "verify" (fun () -> Verifier.verify_exn f) in
+  record t;
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  { func = f; vect_report; timings = List.rev !timings; total_seconds }

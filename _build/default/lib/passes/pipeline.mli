@@ -1,0 +1,25 @@
+(** The pass pipeline — a miniature -O3: canonicalising scalar passes
+    (fold, simplify, CSE), the configured SLP variant, then DCE; every
+    pass timed, the output verified. *)
+
+open Snslp_ir
+open Snslp_vectorizer
+
+type timing = { pass : string; seconds : float }
+
+type result = {
+  func : Defs.func;
+  vect_report : Vectorize.report option; (** [None] under plain -O3 *)
+  timings : timing list;
+  total_seconds : float;
+}
+
+type setting = Config.t option
+(** [None] models the paper's "O3" configuration (all vectorizers
+    disabled). *)
+
+val setting_name : setting -> string
+
+val run : ?setting:setting -> Defs.func -> result
+(** Optimises a clone; the input function is not modified.  Defaults
+    to SN-SLP. *)

@@ -1,0 +1,59 @@
+(* Shared machinery for forward rewriting passes.
+
+   Because definitions precede uses, a single forward sweep that (a)
+   rewrites each instruction's operands through an accumulated
+   replacement map and (b) optionally decides to replace the
+   instruction itself, reaches a fixpoint in one pass — constant
+   folding cascades, CSE sees canonical operands, and no quadratic
+   replace-all-uses scans are needed. *)
+
+open Snslp_ir
+
+type ctx = {
+  repl : (int, Defs.value) Hashtbl.t; (* iid -> replacement value *)
+  mutable count : int;
+}
+
+let create () = { repl = Hashtbl.create 64; count = 0 }
+
+let rec resolve (ctx : ctx) (v : Defs.value) : Defs.value =
+  match v with
+  | Defs.Instr i -> (
+      match Hashtbl.find_opt ctx.repl i.Defs.iid with
+      | Some v' -> resolve ctx v' (* replacements may chain *)
+      | None -> v)
+  | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> v
+
+let rewrite_operands (ctx : ctx) (i : Defs.instr) =
+  Array.iteri (fun n o -> i.Defs.ops.(n) <- resolve ctx o) i.Defs.ops
+
+let replace (ctx : ctx) (i : Defs.instr) (v : Defs.value) =
+  Hashtbl.replace ctx.repl i.Defs.iid v;
+  ctx.count <- ctx.count + 1
+
+(* [run func step] sweeps every block forward: operands are rewritten
+   first, then [step] may decide to replace the instruction.  Replaced
+   instructions are dropped from their blocks; terminator conditions
+   are rewritten too.  Returns the number of replacements. *)
+let run (func : Defs.func) (step : ctx -> Defs.block -> Defs.instr -> Defs.value option) :
+    int =
+  let ctx = create () in
+  List.iter
+    (fun (b : Defs.block) ->
+      List.iter
+        (fun (i : Defs.instr) ->
+          rewrite_operands ctx i;
+          match step ctx b i with
+          | Some v -> replace ctx i v
+          | None -> ())
+        (Block.instrs b);
+      (* Drop replaced instructions. *)
+      b.Defs.instrs <-
+        List.filter
+          (fun (i : Defs.instr) -> not (Hashtbl.mem ctx.repl i.Defs.iid))
+          b.Defs.instrs;
+      match b.Defs.term with
+      | Defs.Cond_br (c, t1, t2) -> b.Defs.term <- Defs.Cond_br (resolve ctx c, t1, t2)
+      | Defs.Ret | Defs.Br _ | Defs.Unterminated -> ())
+    (Func.blocks func);
+  ctx.count

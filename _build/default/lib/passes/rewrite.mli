@@ -1,0 +1,17 @@
+(** Shared machinery for forward rewriting passes: one sweep that
+    rewrites operands through an accumulated replacement map before
+    each instruction is examined — definitions precede uses, so
+    cascades resolve in a single pass. *)
+
+open Snslp_ir
+
+type ctx
+
+val resolve : ctx -> Defs.value -> Defs.value
+(** Chase the replacement map. *)
+
+val run :
+  Defs.func -> (ctx -> Defs.block -> Defs.instr -> Defs.value option) -> int
+(** [run func step]: operands are rewritten, then [step] may replace
+    the instruction with a value; replaced instructions are dropped.
+    Returns the replacement count. *)

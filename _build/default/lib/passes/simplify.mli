@@ -1,0 +1,5 @@
+(** Algebraic identity simplification (x+0, x-0, x*1, x/1), applied to
+    floats as well — the paper's evaluation compiles with
+    [-ffast-math]. *)
+
+val run : Snslp_ir.Defs.func -> int

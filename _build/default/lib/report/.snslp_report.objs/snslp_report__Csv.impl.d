@@ -1,0 +1,1 @@
+lib/report/csv.ml: Filename List Out_channel String Sys

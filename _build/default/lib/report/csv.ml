@@ -1,0 +1,26 @@
+(* Minimal CSV writing for the experiment harness, so figures can be
+   re-plotted outside the terminal. *)
+
+let escape (cell : string) =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let line cells = String.concat "," (List.map escape cells)
+
+(* [write path ~headers rows] writes a CSV file, creating parent
+   directories as needed. *)
+let write (path : string) ~(headers : string list) (rows : string list list) : unit =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (line headers);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (line row);
+          output_char oc '\n')
+        rows)

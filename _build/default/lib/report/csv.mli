@@ -1,0 +1,6 @@
+(** Minimal CSV writing for the experiment harness. *)
+
+val write : string -> headers:string list -> string list list -> unit
+(** [write path ~headers rows] writes a CSV file, creating the parent
+    directory if needed.  Cells containing commas, quotes or newlines
+    are quoted. *)

@@ -1,0 +1,33 @@
+(* Small statistics helpers for the experiment harness: the paper
+   reports the mean of 10 runs after a warm-up, with standard
+   deviation error bars. *)
+
+let mean (xs : float list) =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev (xs : float list) =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+(* [sample ~runs ~warmup f] runs [f] [warmup + runs] times and keeps
+   the last [runs] results — the paper's measurement protocol. *)
+let sample ~runs ~warmup (f : unit -> float) : float list =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  List.init runs (fun _ -> f ())
+
+let geomean (xs : float list) =
+  match xs with
+  | [] -> nan
+  | _ ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))

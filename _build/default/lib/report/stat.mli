@@ -1,0 +1,11 @@
+(** Statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation; 0 for fewer than two samples. *)
+
+val sample : runs:int -> warmup:int -> (unit -> float) -> float list
+(** The paper's protocol: run [warmup + runs] times, keep the last
+    [runs] results. *)
+
+val geomean : float list -> float

@@ -1,0 +1,44 @@
+(* Plain-text rendering of experiment tables and bar charts, so the
+   bench harness can print each figure the way the paper plots it. *)
+
+type align = L | R
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | L -> s ^ String.make (width - n) ' '
+    | R -> String.make (width - n) ' ' ^ s
+
+(* [render ~headers rows] prints an aligned table. *)
+let render ?(align_first = L) ~headers (rows : string list list) : string =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all)
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let a = if c = 0 then align_first else R in
+           pad a (List.nth widths c) cell)
+         row)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line headers :: sep :: List.map line rows) ^ "\n"
+
+(* A unicode-free horizontal bar: value scaled to [width] columns. *)
+let bar ?(width = 40) ~max_value (v : float) =
+  if max_value <= 0.0 then ""
+  else
+    let n = int_of_float (Float.round (v /. max_value *. float_of_int width)) in
+    String.make (max 0 (min width n)) '#'
+
+let fmt_f ?(digits = 3) (v : float) = Printf.sprintf "%.*f" digits v
+
+let section title =
+  let rule = String.make (String.length title) '=' in
+  Printf.sprintf "\n%s\n%s\n" title rule

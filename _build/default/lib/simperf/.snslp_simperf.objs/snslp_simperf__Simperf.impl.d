@@ -1,0 +1,1 @@
+lib/simperf/simperf.ml: Array Defs Interp Memory Model Rvalue Snslp_costmodel Snslp_interp Snslp_ir Target Ty Value

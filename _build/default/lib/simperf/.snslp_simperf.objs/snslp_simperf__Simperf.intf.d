@@ -1,0 +1,1 @@
+lib/simperf/simperf.mli: Defs Memory Model Rvalue Snslp_costmodel Snslp_interp Snslp_ir Target

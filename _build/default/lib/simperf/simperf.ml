@@ -1,0 +1,65 @@
+(* Simulated performance measurement.
+
+   The paper measures wall time on an Intel i5-6440HQ; we do not have
+   that machine (or any way to execute the generated vector code
+   natively), so execution time is *simulated*: the interpreter runs
+   the compiled IR and a cost in abstract cycles is charged per
+   executed instruction from the X86-flavoured cost model, divided by
+   the target's issue width.  This preserves exactly the trade-offs
+   the paper's speedups come from — a vector op replaces [lanes]
+   scalar ops at roughly the cost of one, gathers pay per lane,
+   alternating ops are slightly dearer than uniform ones, divides
+   dominate everything — without pretending to predict absolute
+   nanoseconds.  See DESIGN.md §2 for the substitution rationale. *)
+
+open Snslp_ir
+open Snslp_costmodel
+open Snslp_interp
+
+(* Cost, in abstract cycles, of one dynamic execution of [i]. *)
+let instr_cost (model : Model.t) (target : Target.t) (i : Defs.instr) : float =
+  let lanes ty = Ty.lanes ty in
+  match i.Defs.op with
+  | Defs.Binop b ->
+      let c = Model.class_of_binop b i.Defs.ty in
+      if Ty.is_vector i.Defs.ty then model.Model.vector c ~lanes:(lanes i.Defs.ty)
+      else model.Model.scalar c
+  | Defs.Alt_binop kinds ->
+      let fam_mul =
+        Array.exists (fun k -> k = Defs.Mul || k = Defs.Div) kinds
+      in
+      model.Model.alt target ~lanes:(lanes i.Defs.ty) ~fam_mul
+  | Defs.Load ->
+      if Ty.is_vector i.Defs.ty then model.Model.vector Model.C_load ~lanes:(lanes i.Defs.ty)
+      else model.Model.scalar Model.C_load
+  | Defs.Store ->
+      let vty = Value.ty i.Defs.ops.(0) in
+      if Ty.is_vector vty then model.Model.vector Model.C_store ~lanes:(lanes vty)
+      else model.Model.scalar Model.C_store
+  | Defs.Gep -> model.Model.scalar Model.C_gep
+  | Defs.Insert -> model.Model.scalar Model.C_insert
+  | Defs.Extract -> model.Model.scalar Model.C_extract
+  | Defs.Shuffle _ -> model.Model.scalar Model.C_shuffle
+  | Defs.Icmp _ | Defs.Fcmp _ -> model.Model.scalar Model.C_cmp
+  | Defs.Select -> model.Model.scalar Model.C_select
+
+type result = { cycles : float; instrs_executed : int }
+
+(* [measure func ~memory ~make_args ~iters] executes [func] [iters]
+   times (argument vector built per iteration, so a loop counter can
+   be threaded through) and reports total simulated cycles. *)
+let measure ?(model = Model.x86) ?(target = Target.sse) (func : Defs.func)
+    ~(memory : Memory.t) ~(make_args : int -> Rvalue.t array) ~(iters : int) : result =
+  let cycles = ref 0.0 in
+  let count = ref 0 in
+  let on_exec i =
+    cycles := !cycles +. instr_cost model target i;
+    incr count
+  in
+  for it = 0 to iters - 1 do
+    Interp.run ~on_exec func ~args:(make_args it) ~memory
+  done;
+  { cycles = !cycles /. float_of_int target.Target.issue_width; instrs_executed = !count }
+
+let speedup ~(baseline : result) ~(candidate : result) =
+  baseline.cycles /. candidate.cycles

@@ -1,0 +1,69 @@
+(* The umbrella library: one module to open for the whole system.
+
+   {[
+     let func = Snslp.Frontend.compile_one source in
+     let result = Snslp.Pipeline.run ~setting:(Some Snslp.Config.snslp) func in
+     Fmt.pr "%a" Snslp.Printer.pp_func result.Snslp.Pipeline.func
+   ]} *)
+
+(* IR *)
+module Ty = Snslp_ir.Ty
+module Lit = Snslp_ir.Lit
+module Defs = Snslp_ir.Defs
+module Value = Snslp_ir.Value
+module Instr = Snslp_ir.Instr
+module Block = Snslp_ir.Block
+module Func = Snslp_ir.Func
+module Builder = Snslp_ir.Builder
+module Printer = Snslp_ir.Printer
+module Ir_parser = Snslp_ir.Ir_parser
+module Verifier = Snslp_ir.Verifier
+module Dominance = Snslp_ir.Dominance
+
+(* Frontend *)
+module Ast = Snslp_frontend.Ast
+module Frontend = Snslp_frontend.Frontend
+
+(* Analyses *)
+module Affine = Snslp_analysis.Affine
+module Address = Snslp_analysis.Address
+module Deps = Snslp_analysis.Deps
+
+(* Cost models *)
+module Target = Snslp_costmodel.Target
+module Model = Snslp_costmodel.Model
+
+(* Scalar passes and the pipeline *)
+module Fold = Snslp_passes.Fold
+module Simplify = Snslp_passes.Simplify
+module Cse = Snslp_passes.Cse
+module Dce = Snslp_passes.Dce
+module Pipeline = Snslp_passes.Pipeline
+
+(* The vectorizer *)
+module Config = Snslp_vectorizer.Config
+module Stats = Snslp_vectorizer.Stats
+module Family = Snslp_vectorizer.Family
+module Apo = Snslp_vectorizer.Apo
+module Chain = Snslp_vectorizer.Chain
+module Supernode = Snslp_vectorizer.Supernode
+module Lookahead = Snslp_vectorizer.Lookahead
+module Seeds = Snslp_vectorizer.Seeds
+module Graph = Snslp_vectorizer.Graph
+module Cost = Snslp_vectorizer.Cost
+module Codegen = Snslp_vectorizer.Codegen
+module Reduction = Snslp_vectorizer.Reduction
+module Vectorize = Snslp_vectorizer.Vectorize
+
+(* Execution substrate *)
+module Rvalue = Snslp_interp.Rvalue
+module Memory = Snslp_interp.Memory
+module Interp = Snslp_interp.Interp
+module Simperf = Snslp_simperf.Simperf
+
+(* Evaluation assets *)
+module Registry = Snslp_kernels.Registry
+module Workload = Snslp_kernels.Workload
+module Fullbench = Snslp_kernels.Fullbench
+module Stat = Snslp_report.Stat
+module Table = Snslp_report.Table

@@ -1,0 +1,1 @@
+lib/vectorizer/apo.ml: Defs Family Fmt Snslp_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/apo.mli: Defs Family Fmt Snslp_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/chain.ml: Apo Array Block Config Defs Family Fmt Func List Snslp_ir Ty Value

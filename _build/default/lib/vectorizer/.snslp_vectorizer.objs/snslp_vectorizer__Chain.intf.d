@@ -1,0 +1,1 @@
+lib/vectorizer/chain.mli: Apo Config Defs Family Fmt Snslp_ir Ty

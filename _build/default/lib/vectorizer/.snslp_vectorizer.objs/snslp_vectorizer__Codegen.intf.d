@@ -1,0 +1,1 @@
+lib/vectorizer/codegen.mli: Graph

@@ -1,0 +1,1 @@
+lib/vectorizer/config.ml: Fmt Model Snslp_costmodel Target

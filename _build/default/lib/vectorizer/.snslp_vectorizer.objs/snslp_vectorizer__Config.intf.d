@@ -1,0 +1,1 @@
+lib/vectorizer/config.mli: Fmt Model Snslp_costmodel Target

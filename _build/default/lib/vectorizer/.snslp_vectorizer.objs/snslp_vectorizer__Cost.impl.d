@@ -1,0 +1,1 @@
+lib/vectorizer/cost.ml: Array Config Defs Family Fmt Func Graph Hashtbl Instr List Model Snslp_costmodel Snslp_ir

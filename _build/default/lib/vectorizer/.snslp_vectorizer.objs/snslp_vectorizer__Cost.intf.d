@@ -1,0 +1,1 @@
+lib/vectorizer/cost.mli: Config Fmt Graph

@@ -1,0 +1,1 @@
+lib/vectorizer/family.ml: Defs Fmt Snslp_ir Ty

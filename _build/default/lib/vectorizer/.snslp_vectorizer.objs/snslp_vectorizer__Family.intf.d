@@ -1,0 +1,1 @@
+lib/vectorizer/family.mli: Defs Fmt Snslp_ir Ty

@@ -1,0 +1,1 @@
+lib/vectorizer/lookahead.mli: Defs Snslp_ir

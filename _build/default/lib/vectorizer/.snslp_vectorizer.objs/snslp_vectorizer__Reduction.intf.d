@@ -1,0 +1,1 @@
+lib/vectorizer/reduction.mli: Config Defs Deps Snslp_analysis Snslp_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/seeds.ml: Address Affine Array Block Defs Hashtbl Instr Int List Option Printf Snslp_analysis Snslp_ir Ty Value

@@ -1,0 +1,1 @@
+lib/vectorizer/seeds.mli: Defs Snslp_ir Ty

@@ -1,0 +1,1 @@
+lib/vectorizer/stats.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/vectorizer/stats.mli: Fmt

@@ -1,0 +1,1 @@
+lib/vectorizer/supernode.ml: Apo Array Block Chain Config Defs Func Hashtbl List Lookahead Option Snslp_ir Ty

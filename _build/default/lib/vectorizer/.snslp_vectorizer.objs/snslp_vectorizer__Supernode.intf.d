@@ -1,0 +1,1 @@
+lib/vectorizer/supernode.mli: Config Defs Snslp_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/vectorize.ml: Block Codegen Config Cost Defs Fmt Func Graph Instr List Logs Reduction Seeds Snslp_costmodel Snslp_ir Stats String Target Verifier

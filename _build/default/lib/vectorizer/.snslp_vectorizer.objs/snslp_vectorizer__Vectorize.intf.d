@@ -1,0 +1,1 @@
+lib/vectorizer/vectorize.mli: Config Cost Defs Snslp_ir Stats

@@ -1,0 +1,35 @@
+(** Trunk chain discovery — the per-lane half of Multi/Super-Node
+    construction: the maximal uninterrupted expression tree of binops
+    from one operator family, with APO-annotated leaves. *)
+
+open Snslp_ir
+
+type leaf = {
+  lvalue : Defs.value;
+  lapo : Apo.t;
+  lpos : int; (** in-order position, 0 = leftmost/deepest *)
+}
+
+type t = {
+  root : Defs.instr;
+  fam : Family.t;
+  trunk : Defs.instr list; (** root included *)
+  leaves : leaf array; (** in-order; length = trunk length + 1 *)
+  elem : Ty.scalar;
+}
+
+val size : t -> int
+(** Trunk instruction count — the node-size statistic. *)
+
+val discover : Config.t -> Defs.func -> Defs.instr -> t option
+(** Grows the chain from a root binop.  Interior nodes must be
+    single-use, same-type, same-block binops of the family — only the
+    direct operator in [Lslp] mode (the Multi-Node restriction), both
+    in [Snslp]; [Vanilla] never chains.  [None] below the minimum
+    size of 2 trunk instructions. *)
+
+val is_canonical : t -> bool
+(** Already a left-leaning chain (no regeneration needed when the
+    chosen order is the identity). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,438 @@
+(* Vector code generation (paper Figure 1 step 6b).
+
+   Walks the accepted SLP graph bottom-up, emitting one vector
+   instruction per vectorizable node, insertelement chains for
+   gathers, a broadcast for splats, and extractelements for values
+   consumed by scalar code outside the graph.  The replaced scalar
+   instructions are erased and the whole block is rescheduled by a
+   dependence-respecting topological sort (register edges from SSA
+   operands, memory edges from the alias model, ordered by the
+   semantic ranks assigned during emission). *)
+
+open Snslp_ir
+open Snslp_analysis
+
+exception Scheduling_failure of string
+
+type ctx = {
+  g : Graph.t;
+  func : Defs.func;
+  block : Defs.block;
+  builder : Builder.t;
+  ranks : (int, float) Hashtbl.t; (* iid -> schedule rank *)
+  extracts : (int * int, Defs.value) Hashtbl.t; (* (nid, lane) -> extract *)
+  mutable new_instrs : Defs.instr list; (* emitted by this codegen run *)
+  mutable emitted : int;
+}
+
+let rank_of_value (ctx : ctx) (v : Defs.value) : float =
+  match v with
+  | Defs.Instr i -> ( match Hashtbl.find_opt ctx.ranks i.Defs.iid with Some r -> r | None -> -1.0)
+  | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> -1.0
+
+(* Instruction names must be function-unique for the textual IR to be
+   unambiguous: rename emitted instructions from their fresh id. *)
+let vname (i : Defs.instr) =
+  Instr.set_name i (Printf.sprintf "v%d" i.Defs.iid);
+  i
+
+let set_rank (ctx : ctx) (i : Defs.instr) (r : float) =
+  (* Every rank assignment outside initialisation is for an
+     instruction this run created. *)
+  if not (Hashtbl.mem ctx.ranks i.Defs.iid) then ctx.new_instrs <- i :: ctx.new_instrs;
+  Hashtbl.replace ctx.ranks i.Defs.iid r
+
+let max_rank (ctx : ctx) (vals : Defs.value array) : float =
+  Array.fold_left (fun acc v -> Float.max acc (rank_of_value ctx v)) (-1.0) vals
+
+let min_rank (ctx : ctx) (vals : Defs.value array) : float =
+  Array.fold_left (fun acc v -> Float.min acc (rank_of_value ctx v)) infinity vals
+
+(* Scheduling rank of a memory bundle: the position of its last member
+   (members slide down) or its first (members slide up), as decided by
+   the bundling legality check. *)
+let bundle_rank (ctx : ctx) (n : Graph.node) : float =
+  if n.Graph.at_first then min_rank ctx n.Graph.scalars else max_rank ctx n.Graph.scalars
+
+let vec_ty_of_node (n : Graph.node) : Ty.t =
+  let elem =
+    match n.Graph.scalars.(0) with
+    | Defs.Instr i when Instr.is_store i -> Ty.elem (Value.ty i.Defs.ops.(0))
+    | v -> Ty.elem (Value.ty v)
+  in
+  Ty.vector ~lanes:(Graph.lanes n) elem
+
+(* The vector value holding the scalar [v]'s lane, when [v] belongs to
+   a vectorized node. *)
+let owning_node (ctx : ctx) (v : Defs.value) : (Graph.node * int) option =
+  match v with
+  | Defs.Instr i -> (
+      match Hashtbl.find_opt ctx.g.Graph.claimed i.Defs.iid with
+      | Some n when Graph.is_vectorizable_kind n.Graph.kind ->
+          let lane = ref (-1) in
+          Array.iteri (fun k s -> if Value.equal s v then lane := k) n.Graph.scalars;
+          if !lane >= 0 then Some (n, !lane) else None
+      | _ -> None)
+  | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> None
+
+let rec vec_of (ctx : ctx) (n : Graph.node) : Defs.value =
+  match n.Graph.vec with
+  | Some v -> v
+  | None ->
+      let v =
+        match n.Graph.kind with
+        | Graph.K_splat -> emit_splat ctx n
+        | Graph.K_gather -> emit_gather ctx n
+        | Graph.K_vec -> emit_vec ctx n
+        | Graph.K_perm mask -> emit_perm ctx n mask
+        | Graph.K_alt kinds -> emit_alt ctx n kinds
+      in
+      n.Graph.vec <- Some v;
+      v
+
+(* An extract of the lane of a vectorized scalar, for uses that stay
+   scalar. *)
+and extract_lane (ctx : ctx) (n : Graph.node) (lane : int) : Defs.value =
+  match Hashtbl.find_opt ctx.extracts (n.Graph.nid, lane) with
+  | Some v -> v
+  | None ->
+      let vec = vec_of ctx n in
+      let e = vname (Builder.extractelement ctx.builder vec lane) in
+      ctx.emitted <- ctx.emitted + 1;
+      set_rank ctx e (rank_of_value ctx vec +. 0.25);
+      let v = Instr.value e in
+      Hashtbl.replace ctx.extracts (n.Graph.nid, lane) v;
+      v
+
+(* A scalar operand as seen by gather/splat code: if the scalar is
+   itself vectorized (and will be erased), read it back out of its
+   vector. *)
+and resolve_scalar (ctx : ctx) (v : Defs.value) : Defs.value =
+  match owning_node ctx v with
+  | Some (n, lane) -> extract_lane ctx n lane
+  | None -> v
+
+and emit_splat (ctx : ctx) (n : Graph.node) : Defs.value =
+  let ty = vec_ty_of_node n in
+  let scalar = resolve_scalar ctx n.Graph.scalars.(0) in
+  let ins = Builder.insertelement ctx.builder (Defs.Undef ty) scalar 0 in
+  let mask = Array.make (Ty.lanes ty) 0 in
+  let shuf = Builder.shuffle ctx.builder (Instr.value ins) (Defs.Undef ty) mask in
+  ctx.emitted <- ctx.emitted + 2;
+  let r = rank_of_value ctx n.Graph.scalars.(0) +. 0.5 in
+  set_rank ctx ins r;
+  set_rank ctx shuf (r +. 0.01);
+  Instr.value shuf
+
+and emit_gather (ctx : ctx) (n : Graph.node) : Defs.value =
+  let ty = vec_ty_of_node n in
+  let base_rank = max_rank ctx n.Graph.scalars +. 0.5 in
+  let acc = ref (Defs.Undef ty) in
+  Array.iteri
+    (fun lane s ->
+      let s = resolve_scalar ctx s in
+      let ins = Builder.insertelement ctx.builder !acc s lane in
+      ctx.emitted <- ctx.emitted + 1;
+      set_rank ctx ins (base_rank +. (0.01 *. float_of_int lane));
+      acc := Instr.value ins)
+    n.Graph.scalars;
+  !acc
+
+and emit_vec (ctx : ctx) (n : Graph.node) : Defs.value =
+  match n.Graph.scalars.(0) with
+  | Defs.Instr i0 when Instr.is_store i0 ->
+      let value = vec_of ctx n.Graph.children.(0) in
+      let addr = i0.Defs.ops.(1) in
+      let st = Builder.store ctx.builder value addr in
+      ctx.emitted <- ctx.emitted + 1;
+      set_rank ctx st (bundle_rank ctx n);
+      Instr.value st
+  | Defs.Instr i0 when Instr.is_load i0 ->
+      let lanes = Graph.lanes n in
+      let addr = i0.Defs.ops.(0) in
+      let ld = vname (Builder.vload ctx.builder ~lanes addr) in
+      ctx.emitted <- ctx.emitted + 1;
+      set_rank ctx ld (bundle_rank ctx n);
+      Instr.value ld
+  | Defs.Instr i0 -> (
+      match i0.Defs.op with
+      | Defs.Binop kind ->
+          let a = vec_of ctx n.Graph.children.(0) in
+          let b = vec_of ctx n.Graph.children.(1) in
+          let op = vname (Builder.binop ctx.builder kind a b) in
+          ctx.emitted <- ctx.emitted + 1;
+          set_rank ctx op (max_rank ctx n.Graph.scalars);
+          Instr.value op
+      | Defs.Icmp pred ->
+          let a = vec_of ctx n.Graph.children.(0) in
+          let b = vec_of ctx n.Graph.children.(1) in
+          let op = vname (Builder.icmp ctx.builder pred a b) in
+          ctx.emitted <- ctx.emitted + 1;
+          set_rank ctx op (max_rank ctx n.Graph.scalars);
+          Instr.value op
+      | Defs.Fcmp pred ->
+          let a = vec_of ctx n.Graph.children.(0) in
+          let b = vec_of ctx n.Graph.children.(1) in
+          let op = vname (Builder.fcmp ctx.builder pred a b) in
+          ctx.emitted <- ctx.emitted + 1;
+          set_rank ctx op (max_rank ctx n.Graph.scalars);
+          Instr.value op
+      | Defs.Select ->
+          let c = vec_of ctx n.Graph.children.(0) in
+          let a = vec_of ctx n.Graph.children.(1) in
+          let b = vec_of ctx n.Graph.children.(2) in
+          let op = vname (Builder.select ctx.builder c a b) in
+          ctx.emitted <- ctx.emitted + 1;
+          set_rank ctx op (max_rank ctx n.Graph.scalars);
+          Instr.value op
+      | _ -> assert false (* no other opcode becomes K_vec *))
+  | _ -> assert false
+
+(* A lane permutation of an already-vectorized group: one shuffle. *)
+and emit_perm (ctx : ctx) (n : Graph.node) (mask : int array) : Defs.value =
+  let src = vec_of ctx n.Graph.children.(0) in
+  let shuf = vname (Builder.shuffle ctx.builder src (Defs.Undef (Value.ty src)) mask) in
+  ctx.emitted <- ctx.emitted + 1;
+  set_rank ctx shuf (rank_of_value ctx src +. 0.01);
+  Instr.value shuf
+
+and emit_alt (ctx : ctx) (n : Graph.node) (kinds : Defs.binop array) : Defs.value =
+  let a = vec_of ctx n.Graph.children.(0) in
+  let b = vec_of ctx n.Graph.children.(1) in
+  let op = vname (Builder.alt_binop ctx.builder kinds a b) in
+  ctx.emitted <- ctx.emitted + 1;
+  set_rank ctx op (max_rank ctx n.Graph.scalars);
+  Instr.value op
+
+(* --- Rewiring and cleanup ---------------------------------------------- *)
+
+(* Replace remaining scalar uses of vectorized values with lane
+   extracts. *)
+let rewire_external_uses (ctx : ctx) =
+  List.iter
+    (fun (n : Graph.node) ->
+      if Graph.is_vectorizable_kind n.Graph.kind then
+        Array.iteri
+          (fun lane v ->
+            match v with
+            | Defs.Instr i when not (Instr.is_store i) ->
+                let uses = Func.uses_of ctx.func v in
+                List.iter
+                  (fun ((user : Defs.instr), idx) ->
+                    if not (Hashtbl.mem ctx.g.Graph.claimed user.Defs.iid) then
+                      Instr.set_operand user idx (extract_lane ctx n lane))
+                  uses
+            | _ -> ())
+          n.Graph.scalars)
+    (Graph.nodes ctx.g)
+
+(* Erase the scalar instructions replaced by vector code, and sweep
+   the pure scalars (typically lane geps) orphaned by the rewrite.  A
+   single use-count worklist keeps this linear in the function
+   size. *)
+let erase_vectorized (ctx : ctx) =
+  let victims = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Graph.node) ->
+      if Graph.is_vectorizable_kind n.Graph.kind then
+        Array.iter
+          (fun v ->
+            match v with
+            | Defs.Instr i -> Hashtbl.replace victims i.Defs.iid i
+            | _ -> ())
+          n.Graph.scalars)
+    (Graph.nodes ctx.g);
+  let use_count : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let bump v d =
+    match v with
+    | Defs.Instr i ->
+        let c = try Hashtbl.find use_count i.Defs.iid with Not_found -> 0 in
+        Hashtbl.replace use_count i.Defs.iid (c + d)
+    | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> ()
+  in
+  Func.iter_instrs (fun i -> Array.iter (fun o -> bump o 1) i.Defs.ops) ctx.func;
+  let uses (i : Defs.instr) =
+    match Hashtbl.find_opt use_count i.Defs.iid with Some c -> c | None -> 0
+  in
+  let erased = Hashtbl.create 64 in
+  let erasable (i : Defs.instr) =
+    (not (Hashtbl.mem erased i.Defs.iid))
+    && uses i = 0
+    && (Hashtbl.mem victims i.Defs.iid || Instr.has_result i)
+  in
+  let worklist = Queue.create () in
+  Hashtbl.iter (fun _ i -> if erasable i then Queue.add i worklist) victims;
+  while not (Queue.is_empty worklist) do
+    let i = Queue.pop worklist in
+    if erasable i then begin
+      Hashtbl.replace erased i.Defs.iid ();
+      Array.iter
+        (fun o ->
+          bump o (-1);
+          match o with
+          | Defs.Instr d -> if erasable d then Queue.add d worklist
+          | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> ())
+        i.Defs.ops
+    end
+  done;
+  let missed =
+    Hashtbl.fold (fun iid _ acc -> if Hashtbl.mem erased iid then acc else acc + 1) victims 0
+  in
+  if missed > 0 then
+    raise
+      (Scheduling_failure
+         (Printf.sprintf "codegen: %d vectorized scalars still have uses" missed));
+  ctx.block.Defs.instrs <-
+    List.filter
+      (fun (i : Defs.instr) -> not (Hashtbl.mem erased i.Defs.iid))
+      ctx.block.Defs.instrs;
+  Hashtbl.length erased
+
+(* --- Scheduling --------------------------------------------------------- *)
+
+(* Restore a dependence-respecting order after the rewrite.  Only the
+   window of positions the new instructions land in can be disturbed;
+   everything before and after keeps its order.  Within the window a
+   Kahn topological sort runs, breaking ties by semantic rank
+   (register edges from SSA operands; memory edges between conflicting
+   accesses, ordered by rank — the bundle-placement legality checks
+   guarantee that rank order is a correct memory order). *)
+let reschedule (ctx : ctx) =
+  if ctx.new_instrs <> [] then begin
+    let instrs = Array.of_list (Block.instrs ctx.block) in
+    let n = Array.length instrs in
+    let rank (i : Defs.instr) =
+      match Hashtbl.find_opt ctx.ranks i.Defs.iid with
+      | Some r -> r
+      | None -> float_of_int n (* unknown: schedule late *)
+    in
+    (* Window bounds from the new instructions... *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    List.iter
+      (fun i ->
+        let r = rank i in
+        if r < !lo then lo := r;
+        if r > !hi then hi := r)
+      ctx.new_instrs;
+    let lo = ref (floor !lo) and hi = ref (ceil !hi) in
+    (* ... extended so no instruction outside the window depends on one
+       inside it (an external scalar user can sit above the vector
+       instruction whose lane it now extracts). *)
+    let new_ids = Hashtbl.create 64 in
+    List.iter (fun (i : Defs.instr) -> Hashtbl.replace new_ids i.Defs.iid ()) ctx.new_instrs;
+    let in_window (i : Defs.instr) =
+      let r = rank i in
+      r >= !lo && r <= !hi
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun (i : Defs.instr) ->
+          if not (in_window i) then
+            Array.iter
+              (fun o ->
+                match o with
+                | Defs.Instr d when in_window d && rank i < !lo ->
+                    lo := floor (rank i);
+                    changed := true
+                | _ -> ())
+              i.Defs.ops)
+        instrs
+    done;
+    let prefix = ref [] and window = ref [] and suffix = ref [] in
+    Array.iter
+      (fun i ->
+        let r = rank i in
+        if r < !lo then prefix := i :: !prefix
+        else if r > !hi then suffix := i :: !suffix
+        else window := i :: !window)
+      instrs;
+    let window = Array.of_list (List.rev !window) in
+    let w = Array.length window in
+    let index = Hashtbl.create (2 * w) in
+    Array.iteri (fun k i -> Hashtbl.replace index i.Defs.iid k) window;
+    let edges = Array.make w [] (* successor lists *) in
+    let indeg = Array.make w 0 in
+    let add_edge a b =
+      edges.(a) <- b :: edges.(a);
+      indeg.(b) <- indeg.(b) + 1
+    in
+    (* Register dependences within the window. *)
+    Array.iteri
+      (fun k i ->
+        Array.iter
+          (fun o ->
+            match o with
+            | Defs.Instr d -> (
+                match Hashtbl.find_opt index d.Defs.iid with
+                | Some dk when dk <> k -> add_edge dk k
+                | _ -> ())
+            | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> ())
+          i.Defs.ops)
+      window;
+    (* Memory dependences within the window, ordered by rank. *)
+    let memlocs = Array.map Deps.memloc_of_instr window in
+    for a = 0 to w - 1 do
+      for b = a + 1 to w - 1 do
+        match (memlocs.(a), memlocs.(b)) with
+        | Some la, Some lb ->
+            let both_reads =
+              (not (Instr.writes_memory window.(a)))
+              && not (Instr.writes_memory window.(b))
+            in
+            if (not both_reads) && Deps.may_overlap la lb then
+              if rank window.(a) <= rank window.(b) then add_edge a b else add_edge b a
+        | _ -> ()
+      done
+    done;
+    (* Kahn's algorithm, min-rank first. *)
+    let scheduled = ref [] in
+    let done_ = Array.make w false in
+    for _ = 1 to w do
+      let best = ref (-1) in
+      for k = 0 to w - 1 do
+        if (not done_.(k)) && indeg.(k) = 0 then
+          if !best < 0 || rank window.(k) < rank window.(!best) then best := k
+      done;
+      if !best < 0 then raise (Scheduling_failure "dependence cycle after vectorization");
+      let k = !best in
+      done_.(k) <- true;
+      scheduled := window.(k) :: !scheduled;
+      List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) edges.(k)
+    done;
+    Block.reorder ctx.block (List.rev !prefix @ List.rev !scheduled @ List.rev !suffix)
+  end
+
+(* --- Entry point -------------------------------------------------------- *)
+
+type report = { vector_instrs : int; scalars_erased : int }
+
+(* [run g] rewrites the IR according to the accepted graph [g].  The
+   function the block belongs to is left verified by the caller's
+   pipeline; [run] re-verifies in debug builds via the assertions
+   embedded in the builder. *)
+let run (g : Graph.t) : report =
+  let func = g.Graph.func in
+  let block = g.Graph.block in
+  let ctx =
+    {
+      g;
+      func;
+      block;
+      builder = Builder.create func ~at:block;
+      ranks = Hashtbl.create 128;
+      extracts = Hashtbl.create 16;
+      new_instrs = [];
+      emitted = 0;
+    }
+  in
+  List.iteri
+    (fun k (i : Defs.instr) -> Hashtbl.replace ctx.ranks i.Defs.iid (float_of_int k))
+    (Block.instrs block);
+  let _root_vec = vec_of ctx (Graph.root g) in
+  rewire_external_uses ctx;
+  let erased = erase_vectorized ctx in
+  reschedule ctx;
+  Verifier.verify_exn func;
+  { vector_instrs = ctx.emitted; scalars_erased = erased }

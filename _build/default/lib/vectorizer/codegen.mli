@@ -1,0 +1,13 @@
+(** Vector code generation (paper Figure 1 step 6b): one vector
+    instruction per vectorizable node, insert chains for gathers, a
+    broadcast for splats, extracts for external scalar uses; the
+    replaced scalars are erased and the affected window of the block
+    is rescheduled by a dependence-respecting topological sort. *)
+
+exception Scheduling_failure of string
+
+type report = { vector_instrs : int; scalars_erased : int }
+
+val run : Graph.t -> report
+(** Rewrites the IR according to the accepted graph; the function is
+    left verified. *)

@@ -1,0 +1,53 @@
+(* Vectorizer configuration: which algorithm variant runs and on what
+   machine model.  The three modes correspond to the paper's evaluated
+   configurations:
+
+   - [Vanilla]: bottom-up SLP as in LLVM, with the basic commutative
+     operand swap;
+   - [Lslp]: vanilla + Multi-Nodes over a single commutative opcode
+     with look-ahead operand reordering (the paper's baseline, [9]);
+   - [Snslp]: the Super-Node — Multi-Nodes extended with inverse
+     elements, APO-checked leaf reordering and trunk movement. *)
+
+open Snslp_costmodel
+
+type mode = Vanilla | Lslp | Snslp
+
+let mode_to_string = function Vanilla -> "slp" | Lslp -> "lslp" | Snslp -> "sn-slp"
+
+let mode_of_string = function
+  | "slp" | "vanilla" -> Some Vanilla
+  | "lslp" -> Some Lslp
+  | "sn-slp" | "snslp" -> Some Snslp
+  | _ -> None
+
+type t = {
+  mode : mode;
+  target : Target.t;
+  model : Model.t;
+  lookahead_depth : int; (* recursion depth of the look-ahead score *)
+  max_chain : int; (* cap on trunk length, bounds compile time *)
+  threshold : float; (* vectorize when cost < threshold *)
+  reductions : bool; (* seed from reduction trees (-slp-vectorize-hor) *)
+}
+
+let default =
+  {
+    mode = Snslp;
+    target = Target.sse;
+    model = Model.paper;
+    lookahead_depth = 2;
+    max_chain = 16;
+    threshold = 0.0;
+    reductions = true;
+  }
+
+let vanilla = { default with mode = Vanilla }
+let lslp = { default with mode = Lslp }
+let snslp = { default with mode = Snslp }
+
+let with_mode mode t = { t with mode }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "%s(target=%s, model=%s, la=%d)" (mode_to_string t.mode) t.target.Target.name
+    t.model.Model.name t.lookahead_depth

@@ -1,0 +1,31 @@
+(** Vectorizer configuration.
+
+    The three modes correspond to the paper's evaluated
+    configurations: vanilla bottom-up SLP, LSLP (Multi-Nodes +
+    look-ahead reordering) and SN-SLP (the Super-Node). *)
+
+open Snslp_costmodel
+
+type mode = Vanilla | Lslp | Snslp
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type t = {
+  mode : mode;
+  target : Target.t;
+  model : Model.t;
+  lookahead_depth : int; (** recursion depth of the look-ahead score *)
+  max_chain : int; (** cap on trunk length, bounds compile time *)
+  threshold : float; (** vectorize when cost < threshold *)
+  reductions : bool; (** seed from reduction trees (-slp-vectorize-hor) *)
+}
+
+val default : t
+(** SN-SLP on the SSE target with the paper's didactic cost model. *)
+
+val vanilla : t
+val lslp : t
+val snslp : t
+val with_mode : mode -> t -> t
+val pp : t Fmt.t

@@ -1,0 +1,28 @@
+(* Operator families: a commutative-associative operator together with
+   the operator of its inverse elements.  The two families the paper
+   supports are {+, −} (integer and float) and {*, /} (float only,
+   since 1/x is not an integer). *)
+
+open Snslp_ir
+
+type t = Add_sub | Mul_div
+
+let of_binop = function
+  | Defs.Add | Defs.Sub -> Add_sub
+  | Defs.Mul | Defs.Div -> Mul_div
+
+let direct_op = function Add_sub -> Defs.Add | Mul_div -> Defs.Mul
+let inverse_op = function Add_sub -> Defs.Sub | Mul_div -> Defs.Div
+
+let same_family a b = of_binop a = of_binop b
+
+(* Whether a binop of this family over values of scalar type [s] may
+   participate in a Multi/Super-Node: the paper supports integer and
+   floating-point additions/subtractions, and floating-point
+   multiplications/divisions (reassociating them relies on
+   -ffast-math, which the evaluation uses). *)
+let allowed_on (t : t) (s : Ty.scalar) =
+  match t with Add_sub -> true | Mul_div -> Ty.scalar_is_float s
+
+let to_string = function Add_sub -> "add/sub" | Mul_div -> "mul/div"
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,18 @@
+(** Operator families: a commutative-associative operator and the
+    operator of its inverse elements — {+, −} and {*, /}. *)
+
+open Snslp_ir
+
+type t = Add_sub | Mul_div
+
+val of_binop : Defs.binop -> t
+val direct_op : t -> Defs.binop
+val inverse_op : t -> Defs.binop
+val same_family : Defs.binop -> Defs.binop -> bool
+
+val allowed_on : t -> Ty.scalar -> bool
+(** Multi/Super-Nodes over {*, /} are float-only (1/x is not an
+    integer); {+, −} covers both. *)
+
+val to_string : t -> string
+val pp : t Fmt.t

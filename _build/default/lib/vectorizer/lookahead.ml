@@ -1,0 +1,78 @@
+(* Look-ahead operand scoring, as introduced by LSLP.
+
+   [score a b] estimates how well two scalar values pair up in
+   adjacent vector lanes, looking through their operands up to a small
+   depth.  Consecutive loads score highest — they become a single
+   vector load; identical values splat; isomorphic instructions score
+   by opcode match and recurse. *)
+
+open Snslp_ir
+open Snslp_analysis
+
+(* Shallow score constants, in the spirit of LSLP / LLVM's
+   getShallowScore. *)
+let score_consecutive_loads = 4
+let score_reversed_loads = 1
+let score_splat = 3
+let score_constants = 2
+let score_same_opcode = 2
+let score_alt_opcodes = 1
+let score_fail = 0
+
+let shallow (a : Defs.value) (b : Defs.value) : int =
+  if Value.equal a b then score_splat
+  else
+    match (a, b) with
+    | Defs.Const _, Defs.Const _ -> score_constants
+    | Defs.Instr ia, Defs.Instr ib -> (
+        match (ia.Defs.op, ib.Defs.op) with
+        | Defs.Load, Defs.Load -> (
+            match (Address.of_instr ia, Address.of_instr ib) with
+            | Some aa, Some ab -> (
+                match Address.delta aa ab with
+                | Some 1 -> score_consecutive_loads
+                | Some -1 -> score_reversed_loads
+                | Some _ -> score_fail
+                | None -> score_fail)
+            | _ -> score_fail)
+        | Defs.Binop ba, Defs.Binop bb ->
+            if ba = bb then score_same_opcode
+            else if Family.same_family ba bb then
+              (* Same family: still vectorizable, as an alternating
+                 node. *)
+              score_alt_opcodes
+            else score_fail
+        | _ -> if Instr.same_opcode ia ib then score_same_opcode else score_fail)
+    | _ -> score_fail
+
+(* [score ~depth a b]: shallow score plus the best pairing of operands,
+   recursively.  For commutative operations both operand orders are
+   tried; the better one is kept. *)
+let rec score ~depth (a : Defs.value) (b : Defs.value) : int =
+  let s = shallow a b in
+  if depth <= 0 || s = score_fail then s
+  else
+    match (a, b) with
+    | Defs.Instr ia, Defs.Instr ib -> (
+        match (ia.Defs.op, ib.Defs.op) with
+        | Defs.Binop ba, Defs.Binop _ when Array.length ia.Defs.ops = 2 ->
+            let a0 = ia.Defs.ops.(0) and a1 = ia.Defs.ops.(1) in
+            let b0 = ib.Defs.ops.(0) and b1 = ib.Defs.ops.(1) in
+            let aligned = score ~depth:(depth - 1) a0 b0 + score ~depth:(depth - 1) a1 b1 in
+            let crossed =
+              if Defs.is_commutative ba then
+                score ~depth:(depth - 1) a0 b1 + score ~depth:(depth - 1) a1 b0
+              else aligned
+            in
+            s + max aligned crossed
+        | _ -> s)
+    | _ -> s
+
+(* Sum of pairwise scores of consecutive lanes — the group score used
+   to compare candidate operand groups (Listing 2, line 14). *)
+let group_score ~depth (vals : Defs.value list) : int =
+  let rec go = function
+    | a :: (b :: _ as rest) -> score ~depth a b + go rest
+    | [ _ ] | [] -> 0
+  in
+  go vals

@@ -1,0 +1,23 @@
+(** Look-ahead operand scoring, as introduced by LSLP: how well two
+    scalar values pair up in adjacent vector lanes, looking through
+    operands up to a small depth. *)
+
+open Snslp_ir
+
+val score_consecutive_loads : int
+val score_reversed_loads : int
+val score_splat : int
+val score_constants : int
+val score_same_opcode : int
+val score_alt_opcodes : int
+val score_fail : int
+
+val shallow : Defs.value -> Defs.value -> int
+
+val score : depth:int -> Defs.value -> Defs.value -> int
+(** Shallow score plus the best recursive pairing of operands (both
+    orders tried for commutative operations). *)
+
+val group_score : depth:int -> Defs.value list -> int
+(** Sum of pairwise scores of consecutive lanes (Listing 2 line
+    14). *)

@@ -1,0 +1,20 @@
+(** Horizontal reduction vectorization (the paper evaluation's
+    [-slp-vectorize-hor]): long single-lane chains whose leaves load
+    consecutive memory become vector accumulations plus a horizontal
+    sum.  Under SN-SLP the chain may mix the operator with its
+    inverse; vanilla SLP and LSLP reduce pure direct-operator chains
+    only. *)
+
+open Snslp_ir
+open Snslp_analysis
+
+type result = { vector_loads : int; width : int }
+
+val attempt :
+  Config.t -> Defs.func -> Defs.block -> Deps.t -> Defs.instr -> result option
+(** Try to reduce the chain rooted at the value stored by the given
+    store instruction. *)
+
+val run : Config.t -> Defs.func -> int
+(** Apply to every block; returns the number of reductions
+    rewritten. *)

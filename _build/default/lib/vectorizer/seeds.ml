@@ -1,0 +1,122 @@
+(* Seed collection.
+
+   Stores to adjacent memory locations are the most promising seeds
+   and the ones compilers look for first (paper, §II-B).  The
+   collector groups the stores of a block by array base and symbolic
+   index, sorts each group by constant offset, and returns the maximal
+   consecutive runs; the driver cuts runs into vector-width groups,
+   retrying rejected groups at narrower power-of-two widths the way
+   LLVM's SLP does. *)
+
+open Snslp_ir
+open Snslp_analysis
+
+type group = Defs.instr list (* lane order = increasing address *)
+
+(* Maximal consecutive runs of stores (length >= 2), per base/symbol
+   bucket, in block order of buckets. *)
+let runs (block : Defs.block) : group list =
+  let buckets : (string, (int * Defs.instr) list) Hashtbl.t = Hashtbl.create 16 in
+  let order : string list ref = ref [] in
+  Block.iter
+    (fun i ->
+      if Instr.is_store i then
+        match Address.of_instr i with
+        | None -> ()
+        | Some addr ->
+            let sym = { addr.Address.index with Affine.const = 0 } in
+            let key =
+              Printf.sprintf "%s|%s|%s" (Value.name addr.Address.base)
+                (Ty.scalar_to_string addr.Address.elem)
+                (Affine.to_string sym)
+            in
+            let entry = (addr.Address.index.Affine.const, i) in
+            (match Hashtbl.find_opt buckets key with
+            | Some cur -> Hashtbl.replace buckets key (entry :: cur)
+            | None ->
+                order := key :: !order;
+                Hashtbl.replace buckets key [ entry ]))
+    block;
+  let result = ref [] in
+  List.iter
+    (fun key ->
+      let entries = Hashtbl.find buckets key in
+      let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) entries in
+      (* Drop duplicate offsets: two stores to the same location keep
+         only one as seed candidate. *)
+      let rec dedup = function
+        | (o1, _) :: ((o2, i2) :: _ as rest) when o1 = o2 -> dedup ((o2, i2) :: List.tl rest)
+        | x :: rest -> x :: dedup rest
+        | [] -> []
+      in
+      let sorted = dedup sorted in
+      let rec cut acc cur = function
+        | [] -> List.rev (List.rev cur :: acc)
+        | (o, i) :: rest -> (
+            match cur with
+            | (po, _) :: _ when o = po + 1 -> cut acc ((o, i) :: cur) rest
+            | [] -> cut acc [ (o, i) ] rest
+            | _ -> cut (List.rev cur :: acc) [ (o, i) ] rest)
+      in
+      let all_runs = match sorted with [] -> [] | _ -> cut [] [] sorted in
+      List.iter
+        (fun run -> if List.length run >= 2 then result := List.map snd run :: !result)
+        all_runs)
+    (List.rev !order);
+  List.rev !result
+
+(* Element type stored by a run. *)
+let elem_of_run (run : group) : Ty.scalar =
+  match run with
+  | i :: _ -> Ty.elem (Value.ty i.Defs.ops.(0))
+  | [] -> invalid_arg "Seeds.elem_of_run: empty run"
+
+(* Cut [run] into consecutive groups of exactly [width]. The remainder
+   (fewer than [width] stores) is returned for narrower retries. *)
+let chunk ~width (run : group) : group list * group =
+  let rec go acc cur n = function
+    | [] -> (List.rev acc, List.rev cur)
+    | x :: rest ->
+        if n + 1 = width then go (List.rev (x :: cur) :: acc) [] 0 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 run
+
+(* Re-split a list of stores (ordered by address) into consecutive
+   runs, after some members were consumed by wider groups. *)
+let recut (stores : group) : group list =
+  let with_addr =
+    List.filter_map (fun i -> Option.map (fun a -> (a, i)) (Address.of_instr i)) stores
+  in
+  let rec go acc cur = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | (a, i) :: rest -> (
+        match cur with
+        | (pa, _) :: _ when Address.adjacent pa a -> go acc ((a, i) :: cur) rest
+        | [] -> go acc [ (a, i) ] rest
+        | _ -> go (List.rev cur :: acc) [ (a, i) ] rest)
+  in
+  match with_addr with
+  | [] -> []
+  | _ ->
+      go [] [] with_addr
+      |> List.map (List.map snd)
+      |> List.filter (fun r -> List.length r >= 2)
+
+(* Power-of-two widths from [max_width] down to 2, descending. *)
+let widths ~max_width =
+  let rec pow2_floor w = if w * 2 <= max_width then pow2_floor (w * 2) else w in
+  let rec down w acc = if w < 2 then acc else down (w / 2) (w :: acc) in
+  if max_width < 2 then [] else List.rev (down (pow2_floor 1) [])
+
+(* Compatibility wrapper: full-width groups only, as the tests and
+   simple callers use. *)
+let collect (block : Defs.block) ~(lanes_for : Ty.scalar -> int) : group list =
+  List.concat_map
+    (fun run ->
+      let width = lanes_for (elem_of_run run) in
+      if width < 2 then []
+      else
+        let groups, _rest = chunk ~width run in
+        groups)
+    (runs block)

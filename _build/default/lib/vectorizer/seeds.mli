@@ -1,0 +1,27 @@
+(** Seed collection: runs of stores to adjacent memory locations, the
+    starting points of SLP graph construction (paper §II-B). *)
+
+open Snslp_ir
+
+type group = Defs.instr list (** lane order = increasing address *)
+
+val runs : Defs.block -> group list
+(** Maximal consecutive runs (length >= 2), grouped by array base and
+    symbolic index, sorted by offset. *)
+
+val elem_of_run : group -> Ty.scalar
+
+val chunk : width:int -> group -> group list * group
+(** Cut into groups of exactly [width]; the undersized remainder comes
+    back for narrower retries. *)
+
+val recut : group -> group list
+(** Re-split stores (ordered by address) into consecutive runs after
+    some members were consumed by wider groups. *)
+
+val widths : max_width:int -> int list
+(** Power-of-two widths from [max_width] down to 2, descending. *)
+
+val collect : Defs.block -> lanes_for:(Ty.scalar -> int) -> group list
+(** Full-width groups only — a convenience for tests and analyses;
+    the driver uses {!runs} with narrower-width retry. *)

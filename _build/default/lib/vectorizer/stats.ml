@@ -1,0 +1,62 @@
+(* Vectorization statistics.
+
+   These back the paper's Figures 6, 7, 9 and 10: the number and size
+   of Multi/Super-Nodes formed in *successfully vectorized* code.  A
+   node's size is the depth of its trunk — the number of chained
+   arithmetic instructions per lane (minimum 2 by construction). *)
+
+type t = {
+  mutable graphs_built : int;
+  mutable graphs_vectorized : int;
+  mutable nodes_formed : int; (* SLP-graph nodes, all kinds *)
+  mutable gathers : int;
+  mutable supernode_sizes : int list;
+      (* trunk depth of every Multi/Super-Node in vectorized graphs *)
+  mutable vector_instrs_emitted : int;
+  mutable scalars_erased : int;
+  mutable reductions : int; (* horizontal reductions rewritten *)
+}
+
+let create () =
+  {
+    graphs_built = 0;
+    graphs_vectorized = 0;
+    nodes_formed = 0;
+    gathers = 0;
+    supernode_sizes = [];
+    vector_instrs_emitted = 0;
+    scalars_erased = 0;
+    reductions = 0;
+  }
+
+let record_supernode (t : t) ~size = t.supernode_sizes <- size :: t.supernode_sizes
+
+(* Total aggregate node size — the quantity of Figures 6 and 9. *)
+let aggregate_supernode_size (t : t) = List.fold_left ( + ) 0 t.supernode_sizes
+
+let num_supernodes (t : t) = List.length t.supernode_sizes
+
+(* Average node size — Figures 7 and 10. *)
+let average_supernode_size (t : t) =
+  match t.supernode_sizes with
+  | [] -> 0.0
+  | l -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let merge (a : t) (b : t) =
+  {
+    graphs_built = a.graphs_built + b.graphs_built;
+    graphs_vectorized = a.graphs_vectorized + b.graphs_vectorized;
+    nodes_formed = a.nodes_formed + b.nodes_formed;
+    gathers = a.gathers + b.gathers;
+    supernode_sizes = a.supernode_sizes @ b.supernode_sizes;
+    vector_instrs_emitted = a.vector_instrs_emitted + b.vector_instrs_emitted;
+    scalars_erased = a.scalars_erased + b.scalars_erased;
+    reductions = a.reductions + b.reductions;
+  }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf
+    "graphs=%d vectorized=%d nodes=%d gathers=%d supernodes=%d aggregate=%d avg=%.2f \
+     reductions=%d"
+    t.graphs_built t.graphs_vectorized t.nodes_formed t.gathers (num_supernodes t)
+    (aggregate_supernode_size t) (average_supernode_size t) t.reductions

@@ -1,0 +1,31 @@
+(** Vectorization statistics, backing the paper's Figures 6/7/9/10.
+
+    A Multi/Super-Node's size is the depth of its trunk — the number
+    of chained arithmetic instructions per lane (minimum 2).  Sizes
+    count only for graphs that were actually vectorized, as the paper
+    measures them. *)
+
+type t = {
+  mutable graphs_built : int;
+  mutable graphs_vectorized : int;
+  mutable nodes_formed : int;
+  mutable gathers : int;
+  mutable supernode_sizes : int list;
+  mutable vector_instrs_emitted : int;
+  mutable scalars_erased : int;
+  mutable reductions : int;
+}
+
+val create : unit -> t
+val record_supernode : t -> size:int -> unit
+
+val aggregate_supernode_size : t -> int
+(** Figures 6 and 9. *)
+
+val num_supernodes : t -> int
+
+val average_supernode_size : t -> float
+(** Figures 7 and 10. *)
+
+val merge : t -> t -> t
+val pp : t Fmt.t

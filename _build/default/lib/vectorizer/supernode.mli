@@ -1,0 +1,26 @@
+(** Super-Node construction, leaf/trunk reordering and code morphing
+    (paper §IV, Listings 2 and 3).
+
+    A Super-Node groups the per-lane trunk chains of one operator
+    family into a single fat node whose operand positions are filled
+    greedily, root-first, with the look-ahead score; legality follows
+    the APO rules (leaf-only moves between equal-APO positions, trunk
+    movement for the rest, and the completability reservation that
+    keeps a [Plus] leaf for the chain head).  The chosen order is
+    realised by regenerating each lane as a left-leaning chain and
+    erasing the old trunk — semantics-preserving scalar code motion,
+    needing no undo if the surrounding graph is later rejected. *)
+
+open Snslp_ir
+
+type result = {
+  new_roots : Defs.instr array;
+  size : int; (** trunk depth per lane, the node-size statistic *)
+  reordered : bool; (** whether the IR was rewritten *)
+}
+
+val massage : Config.t -> Defs.func -> Defs.instr array -> result option
+(** [massage config func roots] recognises, reorders and regenerates
+    the Super-Node covering the group [roots]; [None] when the lanes
+    do not form compatible chains (different family, element type or
+    operand count, or chains below the minimum size). *)

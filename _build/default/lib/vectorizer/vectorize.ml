@@ -1,0 +1,114 @@
+(* The SLP vectorization pass (paper Figure 1, outer loop).
+
+   For every block: collect seed groups of adjacent stores, build the
+   SLP graph for each, estimate its cost, and when profitable replace
+   the scalar groups with vector code.  Statistics are accumulated the
+   way the paper reports them — Multi/Super-Node sizes count only for
+   graphs that were actually vectorized. *)
+
+open Snslp_ir
+open Snslp_costmodel
+
+type tree_report = {
+  seed : string; (* printable description of the seed group *)
+  cost : Cost.breakdown;
+  vectorized : bool;
+  graph_dump : string; (* human-readable node listing *)
+}
+
+type report = {
+  config : Config.t;
+  stats : Stats.t;
+  trees : tree_report list;
+}
+
+let log_src = Logs.Src.create "snslp.vectorize" ~doc:"SLP vectorizer"
+
+module Log = (val Logs.src_log log_src)
+
+let describe_seed (seed : Defs.instr list) =
+  String.concat "; " (List.map Instr.to_string seed)
+
+let count_kind (g : Graph.t) kindp =
+  List.length (List.filter (fun (n : Graph.node) -> kindp n.Graph.kind) (Graph.nodes g))
+
+(* Attempt one seed group; returns true if it was vectorized. *)
+let try_seed (config : Config.t) (stats : Stats.t) trees func block
+    (seed : Defs.instr list) : bool =
+  (* Earlier trees may have consumed these stores. *)
+  if not (List.for_all (Block.mem block) seed) then false
+  else
+    match Graph.build config func block seed with
+    | None -> false
+    | Some g ->
+        stats.Stats.graphs_built <- stats.Stats.graphs_built + 1;
+        stats.Stats.nodes_formed <- stats.Stats.nodes_formed + List.length (Graph.nodes g);
+        stats.Stats.gathers <-
+          stats.Stats.gathers
+          + count_kind g (function
+              | Graph.K_gather | Graph.K_splat -> true
+              | Graph.K_vec | Graph.K_alt _ | Graph.K_perm _ -> false);
+        let cost = Cost.of_graph config g in
+        let vectorized = Cost.profitable config cost in
+        Log.debug (fun m ->
+            m "seed [%s]: %a -> %s" (describe_seed seed) Cost.pp cost
+              (if vectorized then "vectorize" else "reject"));
+        if vectorized then begin
+          let rep = Codegen.run g in
+          stats.Stats.graphs_vectorized <- stats.Stats.graphs_vectorized + 1;
+          stats.Stats.vector_instrs_emitted <-
+            stats.Stats.vector_instrs_emitted + rep.Codegen.vector_instrs;
+          stats.Stats.scalars_erased <-
+            stats.Stats.scalars_erased + rep.Codegen.scalars_erased;
+          List.iter (fun size -> Stats.record_supernode stats ~size) g.Graph.supernode_sizes
+        end;
+        trees :=
+          { seed = describe_seed seed; cost; vectorized; graph_dump = Fmt.str "%a" Graph.pp g }
+          :: !trees;
+        vectorized
+
+(* [run config func] vectorizes [func] in place and returns the
+   detailed report.
+
+   Each run of adjacent stores is first attempted at the target's full
+   vector width; stores of rejected groups (and the short tail of the
+   run) are retried at the next narrower power-of-two width, as LLVM's
+   SLP does.  The function is verified after every rewrite. *)
+let run (config : Config.t) (func : Defs.func) : report =
+  let stats = Stats.create () in
+  let trees = ref [] in
+  let lanes_for = Target.lanes_for config.Config.target in
+  List.iter
+    (fun block ->
+      let runs = Seeds.runs block in
+      List.iter
+        (fun run ->
+          let max_width = lanes_for (Seeds.elem_of_run run) in
+          let leftover = ref run in
+          List.iter
+            (fun width ->
+              (* Stores not covered at wider widths may no longer be
+                 contiguous: re-split before chunking. *)
+              let next = ref [] in
+              List.iter
+                (fun sub_run ->
+                  if List.length sub_run >= width then begin
+                    let groups, rest = Seeds.chunk ~width sub_run in
+                    let failed =
+                      List.concat_map
+                        (fun seed ->
+                          if try_seed config stats trees func block seed then [] else seed)
+                        groups
+                    in
+                    next := !next @ failed @ rest
+                  end
+                  else next := !next @ sub_run)
+                (Seeds.recut !leftover);
+              leftover := !next)
+            (Seeds.widths ~max_width))
+        runs)
+    (Func.blocks func);
+  if config.Config.reductions then
+    stats.Stats.reductions <- stats.Stats.reductions + Reduction.run config func;
+  Verifier.verify_exn func;
+  { config; stats; trees = List.rev !trees }

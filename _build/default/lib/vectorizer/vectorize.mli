@@ -1,0 +1,17 @@
+(** The SLP vectorization pass (paper Figure 1, outer loop): seed
+    collection with narrower-width retry, graph construction, cost
+    decision, code generation, reduction seeding, statistics. *)
+
+open Snslp_ir
+
+type tree_report = {
+  seed : string; (** printable description of the seed group *)
+  cost : Cost.breakdown;
+  vectorized : bool;
+  graph_dump : string; (** human-readable node listing *)
+}
+
+type report = { config : Config.t; stats : Stats.t; trees : tree_report list }
+
+val run : Config.t -> Defs.func -> report
+(** Vectorizes in place; the function is verified afterwards. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Address Affine Alcotest Array Block Builder Defs Deps Func Instr List Snslp_analysis Snslp_frontend Snslp_ir Ty Value

@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Defs List Model Option Snslp_costmodel Snslp_ir Target Ty

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Buffer List Pipeline Printer Printf Random Registry Snslp_frontend Snslp_interp Snslp_ir Snslp_kernels Snslp_passes Snslp_vectorizer String Workload

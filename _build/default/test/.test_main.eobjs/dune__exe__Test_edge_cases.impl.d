@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Block Config Defs Func List Pipeline Printf Snslp_frontend Snslp_interp Snslp_ir Snslp_kernels Snslp_passes Snslp_vectorizer Stats String Ty Value Vectorize Verifier

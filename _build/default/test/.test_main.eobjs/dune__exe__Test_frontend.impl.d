@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Block Defs Frontend Func Instr Lexer List Printer Snslp_frontend Snslp_ir Snslp_kernels String Ty Value Verifier

@@ -1,0 +1,1 @@
+test/test_ifconv.ml: Alcotest Array Block Defs Func Ifconv Int64 List Pipeline Snslp_frontend Snslp_interp Snslp_ir Snslp_passes Snslp_vectorizer

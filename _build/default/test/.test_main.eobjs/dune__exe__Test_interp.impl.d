@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Defs Func Instr Int64 Interp Memory Rvalue Snslp_frontend Snslp_interp Snslp_ir Ty Value Verifier

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Defs Dominance Func Instr List Lit Printer Snslp_ir String Ty Value Verifier

@@ -1,0 +1,1 @@
+test/test_ir_parser.ml: Alcotest Config Defs Func Ir_parser List Option Pipeline Printer Snslp_frontend Snslp_interp Snslp_ir Snslp_kernels Snslp_passes Snslp_vectorizer

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Block Cse Dce Defs Fold Func Instr List Pipeline Simplify Snslp_frontend Snslp_ir Snslp_passes Snslp_vectorizer Ty Value Verifier

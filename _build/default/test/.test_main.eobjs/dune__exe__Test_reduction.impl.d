@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Config Defs Func Instr List Pipeline Snslp_frontend Snslp_interp Snslp_ir Snslp_kernels Snslp_passes Snslp_vectorizer Stats Ty Vectorize Verifier

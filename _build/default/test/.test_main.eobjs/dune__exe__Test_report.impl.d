@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Csv Filename Float In_channel List Snslp_report Stat String Sys Table

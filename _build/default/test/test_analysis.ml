@@ -1,0 +1,246 @@
+(* Tests for the analysis library: affine summaries, address
+   adjacency, dependence and bundling legality. *)
+
+open Snslp_ir
+open Snslp_analysis
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build a block from KernelC for analysis. *)
+let block_of src =
+  let f = Snslp_frontend.Frontend.compile_one src in
+  (f, Func.entry f)
+
+(* --- Affine ------------------------------------------------------------ *)
+
+let test_affine_const () =
+  let a = Affine.of_value (Value.const_int 7) in
+  check "const is const" true (Affine.is_const a);
+  check_int "value" 7 a.Affine.const
+
+let test_affine_linear () =
+  (* Build 6*i + 5 by hand. *)
+  let f = Func.create ~name:"aff" ~args:[ ("i", Ty.i64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let i = Defs.Arg (Func.arg f 0) in
+  let m = Builder.mul b (Value.const_int 6) i in
+  let s = Builder.add b (Instr.value m) (Value.const_int 5) in
+  Builder.ret b;
+  let a = Affine.of_value (Instr.value s) in
+  check_int "const part" 5 a.Affine.const;
+  check "not const" false (Affine.is_const a);
+  (* 6*i+5 and 6*i+6 differ by one. *)
+  let s2 = Affine.add a (Affine.const 1) in
+  check "delta" true (Affine.delta a s2 = Some 1);
+  (* i - i cancels. *)
+  let z = Affine.sub (Affine.of_value i) (Affine.of_value i) in
+  check "cancel" true (Affine.is_const z && z.Affine.const = 0)
+
+let test_affine_scale_and_neg () =
+  let f = Func.create ~name:"aff2" ~args:[ ("i", Ty.i64); ("j", Ty.i64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let i = Defs.Arg (Func.arg f 0) and j = Defs.Arg (Func.arg f 1) in
+  (* (i + j) * 2 - (i + i) = 2j - ... exercise sub and non-const mul. *)
+  let sum = Builder.add b i j in
+  let dbl = Builder.mul b (Instr.value sum) (Value.const_int 2) in
+  let ii = Builder.add b i i in
+  let e = Builder.sub b (Instr.value dbl) (Instr.value ii) in
+  Builder.ret b;
+  let a = Affine.of_value (Instr.value e) in
+  (* 2i + 2j - 2i = 2j *)
+  check "2j" true (Affine.equal a (Affine.scale 2 (Affine.of_value j)));
+  (* A non-constant multiply is opaque. *)
+  let nc = Builder.mul b i j in
+  let a = Affine.of_value (Instr.value nc) in
+  check "opaque" false (Affine.is_const a)
+
+(* --- Address ------------------------------------------------------------ *)
+
+let test_address_adjacency () =
+  let _f, blk =
+    block_of
+      {|
+kernel adj(double A[], double B[], long i) {
+  A[i+0] = B[i+0];
+  A[i+1] = B[i+1];
+  A[i+5] = B[2*i];
+}
+|}
+  in
+  let stores = List.filter Instr.is_store (Block.instrs blk) in
+  let addrs = List.filter_map Address.of_instr stores in
+  match addrs with
+  | [ a0; a1; a5 ] ->
+      check "a0/a1 adjacent" true (Address.adjacent a0 a1);
+      check "a1/a0 not adjacent" false (Address.adjacent a1 a0);
+      check "a1/a5 not adjacent" false (Address.adjacent a1 a5);
+      check "delta within same symbolic part" true (Address.delta a1 a5 = Some 4);
+      check "consecutive list" true (Address.consecutive [ a0; a1 ]);
+      check "non-consecutive list" false (Address.consecutive [ a0; a1; a5 ])
+  | _ -> Alcotest.fail "expected three stores"
+
+let test_address_different_bases () =
+  let _f, blk =
+    block_of
+      {|
+kernel bases(double A[], double B[], long i) {
+  A[i] = 1.0;
+  B[i] = 2.0;
+}
+|}
+  in
+  let stores = List.filter Instr.is_store (Block.instrs blk) in
+  let addrs = List.filter_map Address.of_instr stores in
+  match addrs with
+  | [ a; b ] ->
+      check "different bases" false (Address.same_base a b);
+      check "no delta" true (Address.delta a b = None)
+  | _ -> Alcotest.fail "expected two stores"
+
+(* --- Deps ---------------------------------------------------------------- *)
+
+let test_deps_register () =
+  let _f, blk =
+    block_of
+      {|
+kernel dep(double A[], double B[], long i) {
+  double t = B[i] + 1.0;
+  A[i] = t * 2.0;
+}
+|}
+  in
+  let deps = Deps.of_block blk in
+  let instrs = Array.of_list (Block.instrs blk) in
+  let load = instrs.(1) in
+  let add = instrs.(2) in
+  let mul = instrs.(3) in
+  check "add depends on load" true (Deps.depends deps ~on:load add);
+  check "mul transitively depends on load" true (Deps.depends deps ~on:load mul);
+  check "load does not depend on mul" false (Deps.depends deps ~on:mul load);
+  check "independent group rejected" false (Deps.independent_group deps [ load; mul ]);
+  check "independent group ok" true (Deps.independent_group deps [ load ])
+
+let test_deps_memory_ordering () =
+  (* A store between two loads of the same location orders them. *)
+  let _f, blk =
+    block_of
+      {|
+kernel mem(double A[], long i) {
+  double t = A[i];
+  A[i] = t + 1.0;
+  double u = A[i];
+  A[i+1] = u;
+}
+|}
+  in
+  let deps = Deps.of_block blk in
+  let store1 = List.hd (List.filter Instr.is_store (Block.instrs blk)) in
+  let load2 = List.nth (List.filter Instr.is_load (Block.instrs blk)) 1 in
+  check "load after store depends on it" true (Deps.depends deps ~on:store1 load2)
+
+let test_bundle_placement () =
+  (* Stores to A[i], A[i+1] with a load of A[i+1] in between: bundling
+     at the last store is legal (the first store slides past a
+     non-conflicting load). *)
+  let _f, blk =
+    block_of
+      {|
+kernel bp(double A[], long i) {
+  A[i+0] = A[i+0] + 1.0;
+  A[i+1] = A[i+1] + 2.0;
+}
+|}
+  in
+  let deps = Deps.of_block blk in
+  let stores = List.filter Instr.is_store (Block.instrs blk) in
+  check "stores bundle at last" true (Deps.bundle_placement deps stores = Some Deps.At_last);
+  (* The loads of A[i] and A[i+1]: the store to A[i] sits between them
+     and conflicts with the first load, so they bundle at the first. *)
+  let loads = List.filter Instr.is_load (Block.instrs blk) in
+  check_int "two loads" 2 (List.length loads);
+  check "loads bundle at first" true
+    (Deps.bundle_placement deps loads = Some Deps.At_first)
+
+let test_bundle_blocked () =
+  (* A[i] stored, then read, then A[i+1] stored: the read conflicts
+     with the first store sliding down AND with the second store
+     sliding up?  The load reads A[i], conflicting only with the first
+     store; sliding the first store down past the load is illegal, but
+     sliding the second store up past the load is fine. *)
+  let _f, blk =
+    block_of
+      {|
+kernel bb(double A[], double B[], long i) {
+  A[i+0] = 1.0;
+  B[i] = A[i+0];
+  A[i+1] = 2.0;
+}
+|}
+  in
+  let deps = Deps.of_block blk in
+  let stores =
+    List.filter
+      (fun s ->
+        Instr.is_store s
+        &&
+        match Address.of_instr s with
+        | Some a -> ( match a.Address.base with Defs.Arg g -> g.Defs.arg_pos = 0 | _ -> false)
+        | None -> false)
+      (Block.instrs blk)
+  in
+  check_int "two A-stores" 2 (List.length stores);
+  check "bundle at first only" true
+    (Deps.bundle_placement deps stores = Some Deps.At_first)
+
+let test_bundle_impossible () =
+  (* A[i] = ..; t = A[i];  A[i] = t+1 at [i+1]?  Make both directions
+     illegal: store A[i]; load A[i]; store A[i+1] where the load also
+     reads A[i+1]. Use two loads. *)
+  let _f, blk =
+    block_of
+      {|
+kernel bi(double A[], double B[], long i) {
+  A[i+0] = 1.0;
+  B[i] = A[i+0] + A[i+1];
+  A[i+1] = 2.0;
+}
+|}
+  in
+  let deps = Deps.of_block blk in
+  let stores =
+    List.filter
+      (fun s ->
+        Instr.is_store s
+        &&
+        match Address.of_instr s with
+        | Some a -> ( match a.Address.base with Defs.Arg g -> g.Defs.arg_pos = 0 | _ -> false)
+        | None -> false)
+      (Block.instrs blk)
+  in
+  check "no legal placement" true (Deps.bundle_placement deps stores = None)
+
+let suite =
+  [
+    ( "affine",
+      [
+        Alcotest.test_case "constants" `Quick test_affine_const;
+        Alcotest.test_case "linear forms" `Quick test_affine_linear;
+        Alcotest.test_case "scale and negation" `Quick test_affine_scale_and_neg;
+      ] );
+    ( "address",
+      [
+        Alcotest.test_case "adjacency" `Quick test_address_adjacency;
+        Alcotest.test_case "different bases" `Quick test_address_different_bases;
+      ] );
+    ( "deps",
+      [
+        Alcotest.test_case "register dependences" `Quick test_deps_register;
+        Alcotest.test_case "memory ordering" `Quick test_deps_memory_ordering;
+        Alcotest.test_case "bundle placement" `Quick test_bundle_placement;
+        Alcotest.test_case "bundle blocked one way" `Quick test_bundle_blocked;
+        Alcotest.test_case "bundle impossible" `Quick test_bundle_impossible;
+      ] );
+  ]

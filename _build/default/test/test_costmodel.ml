@@ -1,0 +1,78 @@
+(* Tests for the target descriptions and cost models. *)
+
+open Snslp_ir
+open Snslp_costmodel
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_f = Alcotest.(check (float 1e-9))
+
+let test_target_lanes () =
+  check_int "sse f64" 2 (Target.lanes_for Target.sse Ty.F64);
+  check_int "sse f32" 4 (Target.lanes_for Target.sse Ty.F32);
+  check_int "sse i64" 2 (Target.lanes_for Target.sse Ty.I64);
+  check_int "avx2 f64" 4 (Target.lanes_for Target.avx2 Ty.F64);
+  check_int "avx2 f32" 8 (Target.lanes_for Target.avx2 Ty.F32);
+  check "noaddsub differs only in the flag" true
+    (Target.sse_no_addsub.Target.vector_bits = Target.sse.Target.vector_bits
+    && not Target.sse_no_addsub.Target.has_addsub)
+
+let test_class_of_binop () =
+  check "int add" true (Model.class_of_binop Defs.Add Ty.i64 = Model.C_int_addsub);
+  check "int sub" true (Model.class_of_binop Defs.Sub Ty.i32 = Model.C_int_addsub);
+  check "int mul" true (Model.class_of_binop Defs.Mul Ty.i64 = Model.C_int_mul);
+  check "fp add" true (Model.class_of_binop Defs.Add Ty.f64 = Model.C_fp_addsub);
+  check "fp mul" true (Model.class_of_binop Defs.Mul Ty.f32 = Model.C_fp_mul);
+  check "fp div" true (Model.class_of_binop Defs.Div Ty.f64 = Model.C_fp_div);
+  check "vector elem decides" true
+    (Model.class_of_binop Defs.Add (Ty.vector ~lanes:2 Ty.F64) = Model.C_fp_addsub);
+  Alcotest.check_raises "int div rejected"
+    (Invalid_argument "class_of_binop: integer division") (fun () ->
+      ignore (Model.class_of_binop Defs.Div Ty.i64))
+
+(* The didactic model's defining property: every uniform 2-lane group
+   saves exactly 1, a gather costs 2, an alternating add/sub group
+   costs net +1 — the numbers behind Figures 2 and 3. *)
+let test_paper_model_invariants () =
+  let m = Model.paper in
+  List.iter
+    (fun c ->
+      check_f "2-lane group saves 1" (-1.0)
+        (m.Model.vector c ~lanes:2 -. (2.0 *. m.Model.scalar c)))
+    [ Model.C_fp_addsub; Model.C_int_addsub; Model.C_fp_mul; Model.C_load; Model.C_store ];
+  check_f "gather of 2" 2.0 (2.0 *. m.Model.gather_lane);
+  check_f "alt group nets +1" 1.0
+    (m.Model.alt Target.sse ~lanes:2 ~fam_mul:false -. (2.0 *. m.Model.scalar Model.C_fp_addsub));
+  check_f "gep free" 0.0 (m.Model.scalar Model.C_gep)
+
+let test_x86_model_shape () =
+  let m = Model.x86 in
+  check "div dominates" true (m.Model.scalar Model.C_fp_div > 4.0 *. m.Model.scalar Model.C_fp_addsub);
+  check "vector div scales with lanes" true
+    (m.Model.vector Model.C_fp_div ~lanes:4 > m.Model.vector Model.C_fp_div ~lanes:2);
+  check "inserts pricier than didactic" true (m.Model.gather_lane > Model.paper.Model.gather_lane);
+  check "addsub beats blend" true
+    (m.Model.alt Target.sse ~lanes:2 ~fam_mul:false
+    < m.Model.alt Target.sse_no_addsub ~lanes:2 ~fam_mul:false);
+  check "mul/div alternation is expensive" true
+    (m.Model.alt Target.sse ~lanes:2 ~fam_mul:true
+    > m.Model.alt Target.sse ~lanes:2 ~fam_mul:false)
+
+let test_by_name () =
+  (* Models contain closures, so compare by name. *)
+  let name m = Option.map (fun (m : Model.t) -> m.Model.name) m in
+  check "paper" true (name (Model.by_name "paper") = Some "paper");
+  check "x86" true (name (Model.by_name "x86") = Some "x86");
+  check "unknown" true (Model.by_name "gpu" = None)
+
+let suite =
+  [
+    ( "costmodel",
+      [
+        Alcotest.test_case "target lanes" `Quick test_target_lanes;
+        Alcotest.test_case "binop classes" `Quick test_class_of_binop;
+        Alcotest.test_case "paper model invariants" `Quick test_paper_model_invariants;
+        Alcotest.test_case "x86 model shape" `Quick test_x86_model_shape;
+        Alcotest.test_case "lookup by name" `Quick test_by_name;
+      ] );
+  ]

@@ -1,0 +1,348 @@
+(* Differential correctness tests: for every vectorizer configuration,
+   the optimised code must compute the same memory state as the
+   unoptimised scalar original.
+
+   Two layers:
+   - every registry kernel, checked exactly (integer kernels) or to a
+     tight relative tolerance (float kernels — SN-SLP reassociates,
+     which the paper's -ffast-math setting licenses);
+   - qcheck-generated random KernelC programs, shaped to hit the
+     vectorizer hard: adjacent store pairs of scrambled expressions
+     over shared arrays.  Values are dyadic rationals so +,-,*
+     programs must match *bitwise* even after reassociation. *)
+
+open Snslp_ir
+open Snslp_kernels
+open Snslp_passes
+
+let settings : (string * Pipeline.setting) list =
+  [
+    ("o3", None);
+    ("slp", Some Snslp_vectorizer.Config.vanilla);
+    ("lslp", Some Snslp_vectorizer.Config.lslp);
+    ("sn-slp", Some Snslp_vectorizer.Config.snslp);
+  ]
+
+(* Run [source] under every setting and compare memories against the
+   raw frontend output. *)
+let check_source ?(iters = 40) ?(tolerance = 0.0) ~name source =
+  let reg =
+    {
+      Registry.name;
+      provenance = "test";
+      description = "";
+      source;
+      istride = 2;
+      extent = 4;
+      default_iters = iters;
+    }
+  in
+  let wl = Workload.prepare reg in
+  let reference = Workload.run_interp wl wl.Workload.func in
+  List.iter
+    (fun (sname, setting) ->
+      let result = Pipeline.run ~setting wl.Workload.func in
+      let got = Workload.run_interp wl result.Pipeline.func in
+      let ok =
+        if tolerance = 0.0 then Snslp_interp.Memory.equal reference got
+        else Snslp_interp.Memory.max_rel_diff reference got <= tolerance
+      in
+      if not ok then
+        Alcotest.failf "%s: %s diverges from scalar reference (max rel diff %g)\n%s" name
+          sname
+          (Snslp_interp.Memory.max_rel_diff reference got)
+          (Printer.func_to_string result.Pipeline.func))
+    settings
+
+(* --- Registry kernels --------------------------------------------------- *)
+
+let test_registry_kernels () =
+  List.iter
+    (fun (k : Registry.t) ->
+      let wl = Workload.prepare ~iters:64 k in
+      let reference = Workload.run_interp wl wl.Workload.func in
+      List.iter
+        (fun (sname, setting) ->
+          let result = Pipeline.run ~setting wl.Workload.func in
+          let got = Workload.run_interp wl result.Pipeline.func in
+          (* Dyadic inputs make +,-,* exact; division reassociation
+             (povray) needs a tolerance. *)
+          let diff = Snslp_interp.Memory.max_rel_diff reference got in
+          if diff > 1e-12 then
+            Alcotest.failf "%s under %s: max rel diff %g" k.Registry.name sname diff)
+        settings)
+    Registry.all
+
+(* --- Random program generation ------------------------------------------ *)
+
+(* Expression/statement generators produce KernelC source text.  The
+   shape is tuned to exercise Super-Nodes: chains of + and - (and
+   occasionally * /) whose per-lane term orders differ. *)
+
+type genctx = {
+  arrays : string list; (* double arrays *)
+  rand : Random.State.t;
+}
+
+let pick ctx l = List.nth l (Random.State.int ctx.rand (List.length l))
+
+let gen_load ctx =
+  Printf.sprintf "%s[i+%d]" (pick ctx ctx.arrays) (Random.State.int ctx.rand 4)
+
+(* A term of a chain: (sign, text at lane offset [d]).  Terms are
+   generated as closures over the lane offset so lane 1 reads the
+   element one past lane 0 — the adjacency Super-Nodes exploit. *)
+let gen_term ctx ~muls =
+  let leaf () =
+    match Random.State.int ctx.rand 6 with
+    | 0 ->
+        let lit =
+          Printf.sprintf "%d.%d" (1 + Random.State.int ctx.rand 4)
+            (25 * Random.State.int ctx.rand 4)
+        in
+        fun _d -> lit
+    | _ ->
+        let arr = pick ctx ctx.arrays in
+        let off = Random.State.int ctx.rand 3 in
+        fun d -> Printf.sprintf "%s[i+%d]" arr (off + d)
+  in
+  let body =
+    if (not muls) && Random.State.int ctx.rand 4 = 0 then begin
+      let a = leaf () and b = leaf () in
+      fun d -> Printf.sprintf "%s * %s" (a d) (b d)
+    end
+    else leaf ()
+  in
+  let inverse = Random.State.int ctx.rand 3 = 0 in
+  (inverse, body)
+
+let render_chain ~muls ~d (terms : (bool * (int -> string)) list) =
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun k (inverse, body) ->
+      if k = 0 then Buffer.add_string buf (body d)
+      else begin
+        let op =
+          match (muls, inverse) with
+          | false, false -> " + "
+          | false, true -> " - "
+          | true, false -> " * "
+          | true, true -> " / "
+        in
+        Buffer.add_string buf op;
+        Buffer.add_string buf (body d)
+      end)
+    terms;
+  Buffer.contents buf
+
+let shuffle ctx l =
+  let arr = Array.of_list l in
+  for k = Array.length arr - 1 downto 1 do
+    let j = Random.State.int ctx.rand (k + 1) in
+    let t = arr.(k) in
+    arr.(k) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Array.to_list arr
+
+(* A pair of adjacent stores.  Usually the two lanes compute the same
+   multiset of terms in scrambled order (keeping a non-inverse term
+   first so the expression stays well-formed) — the Super-Node's
+   target pattern; sometimes they are independent, exercising the
+   reject paths. *)
+let gen_store_pair ctx ~muls =
+  let dst = pick ctx ctx.arrays in
+  let len = 2 + Random.State.int ctx.rand 4 in
+  let fresh_terms () =
+    let first = (false, snd (gen_term ctx ~muls)) in
+    first :: List.init (len - 1) (fun _ -> gen_term ctx ~muls)
+  in
+  let terms0 = fresh_terms () in
+  let terms1 =
+    if Random.State.int ctx.rand 4 = 0 then fresh_terms ()
+    else
+      (* Scrambled copy: rotate a non-inverse term to the front. *)
+      let rec to_front = function
+        | (false, b) :: rest -> (false, b) :: rest
+        | (true, b) :: rest -> to_front (rest @ [ (true, b) ])
+        | [] -> []
+      in
+      to_front (shuffle ctx terms0)
+  in
+  Printf.sprintf "  %s[i+0] = %s;\n  %s[i+1] = %s;\n" dst
+    (render_chain ~muls ~d:0 terms0)
+    dst
+    (render_chain ~muls ~d:1 terms1)
+
+(* A store pair wrapped in a random predicate: exercises if-conversion
+   and blend vectorization. *)
+let gen_pred_pair ctx ~muls =
+  let cmp = pick ctx [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+  let cond =
+    match Random.State.int ctx.rand 2 with
+    | 0 -> Printf.sprintf "i %s %d" cmp (Random.State.int ctx.rand 64)
+    | _ -> Printf.sprintf "%s %s %s" (gen_load ctx) cmp (gen_load ctx)
+  in
+  let then_pair = gen_store_pair ctx ~muls in
+  if Random.State.bool ctx.rand then
+    (* Both branches store the same pair of locations. *)
+    let dst_of s = String.sub s 0 (String.index s '=') in
+    let else_pair = gen_store_pair ctx ~muls in
+    (* Rewrite the else pair's destinations to match the then pair's,
+       so the diamond is convertible. *)
+    let then_lines = String.split_on_char '\n' then_pair in
+    let else_lines = String.split_on_char '\n' else_pair in
+    let retarget tl el =
+      match (tl, el) with
+      | t, e when String.contains t '=' && String.contains e '=' ->
+          let dst = dst_of t in
+          let rhs = String.sub e (String.index e '=') (String.length e - String.index e '=') in
+          dst ^ rhs
+      | _ -> el
+    in
+    let else_fixed =
+      List.map2 retarget
+        (List.filteri (fun k _ -> k < 2) then_lines)
+        (List.filteri (fun k _ -> k < 2) else_lines)
+      |> String.concat "\n"
+    in
+    Printf.sprintf "  if (%s) {\n%s  } else {\n%s\n  }\n" cond then_pair else_fixed
+  else Printf.sprintf "  if (%s) {\n%s  }\n" cond then_pair
+
+(* A full random program over shared arrays. *)
+let gen_program ?(predicated = false) ~seed ~muls () =
+  let rand = Random.State.make [| seed |] in
+  let ctx = { arrays = [ "A"; "B"; "C"; "D" ]; rand } in
+  let n_pairs = 1 + Random.State.int rand 3 in
+  let body =
+    String.concat ""
+      (List.init n_pairs (fun _ ->
+           if predicated && Random.State.int ctx.rand 2 = 0 then gen_pred_pair ctx ~muls
+           else gen_store_pair ctx ~muls))
+  in
+  Printf.sprintf
+    "kernel gen%d(double A[], double B[], double C[], double D[], long i) {\n%s}\n" seed
+    body
+
+let test_random_addsub_programs () =
+  (* +,-,* only: bitwise equality required despite reassociation,
+     because all inputs are dyadic rationals with tiny mantissas. *)
+  for seed = 1 to 120 do
+    let src = gen_program ~seed ~muls:false () in
+    try check_source ~name:(Printf.sprintf "gen%d" seed) src
+    with e ->
+      Printf.eprintf "failing program (seed %d):\n%s\n" seed src;
+      raise e
+  done
+
+let test_random_muldiv_programs () =
+  (* Division reassociates under SN-SLP, so allow a tight tolerance. *)
+  for seed = 1000 to 1060 do
+    let src = gen_program ~seed ~muls:true () in
+    try check_source ~tolerance:1e-12 ~name:(Printf.sprintf "gen%d" seed) src
+    with e ->
+      Printf.eprintf "failing program (seed %d):\n%s\n" seed src;
+      raise e
+  done
+
+(* Integer programs: wrap-around arithmetic is associative and
+   commutative, so reassociation is always exact.  Terms are loads
+   only (int literals would be fine too, but loads are what the
+   vectorizer feeds on); the same scramble-at-offset-1 correlation
+   applies. *)
+let gen_int_program ~seed =
+  let rand = Random.State.make [| seed |] in
+  let ctx = { arrays = [ "A"; "B"; "C"; "D" ]; rand } in
+  let n_pairs = 1 + Random.State.int rand 3 in
+  let gen_int_term () =
+    let arr = pick ctx ctx.arrays in
+    let off = Random.State.int ctx.rand 3 in
+    let inverse = Random.State.int ctx.rand 3 = 0 in
+    (inverse, fun d -> Printf.sprintf "%s[i+%d]" arr (off + d))
+  in
+  let body =
+    String.concat ""
+      (List.init n_pairs (fun _ ->
+           let dst = pick ctx ctx.arrays in
+           let len = 2 + Random.State.int rand 4 in
+           let terms0 =
+             (false, snd (gen_int_term ()))
+             :: List.init (len - 1) (fun _ -> gen_int_term ())
+           in
+           let terms1 =
+             if Random.State.int rand 4 = 0 then
+               (false, snd (gen_int_term ()))
+               :: List.init (len - 1) (fun _ -> gen_int_term ())
+             else
+               let rec to_front = function
+                 | (false, b) :: rest -> (false, b) :: rest
+                 | (true, b) :: rest -> to_front (rest @ [ (true, b) ])
+                 | [] -> []
+               in
+               to_front (shuffle ctx terms0)
+           in
+           Printf.sprintf "  %s[i+0] = %s;\n  %s[i+1] = %s;\n" dst
+             (render_chain ~muls:false ~d:0 terms0)
+             dst
+             (render_chain ~muls:false ~d:1 terms1)))
+  in
+  Printf.sprintf
+    "kernel igen%d(long A[], long B[], long C[], long D[], long i) {\n%s}\n" seed body
+
+let test_random_predicated_programs () =
+  (* Store pairs under random conditions: if-conversion flattens the
+     convertible diamonds/triangles and blend vectorization must keep
+     the semantics bit for bit (+,-,* only). *)
+  for seed = 3000 to 3080 do
+    let src = gen_program ~predicated:true ~seed ~muls:false () in
+    try check_source ~name:(Printf.sprintf "pgen%d" seed) src
+    with e ->
+      Printf.eprintf "failing program (seed %d):\n%s\n" seed src;
+      raise e
+  done
+
+let test_random_int_programs () =
+  for seed = 2000 to 2080 do
+    let src = gen_int_program ~seed in
+    try check_source ~name:(Printf.sprintf "igen%d" seed) src
+    with e ->
+      Printf.eprintf "failing program (seed %d):\n%s\n" seed src;
+      raise e
+  done
+
+(* Verify that vectorization actually happens on a decent fraction of
+   the generated programs — a differential suite that never vectorizes
+   tests nothing. *)
+let test_generator_hits_vectorizer () =
+  let vectorized = ref 0 in
+  let total = 60 in
+  for seed = 1 to total do
+    let src = gen_program ~seed ~muls:false () in
+    let f = Snslp_frontend.Frontend.compile_one src in
+    let result = Pipeline.run ~setting:(Some Snslp_vectorizer.Config.snslp) f in
+    match result.Pipeline.vect_report with
+    | Some rep when rep.Snslp_vectorizer.Vectorize.stats.Snslp_vectorizer.Stats.graphs_vectorized > 0 ->
+        incr vectorized
+    | _ -> ()
+  done;
+  if !vectorized * 2 < total then
+    Alcotest.failf "only %d/%d generated programs vectorized — generator too weak"
+      !vectorized total
+
+let suite =
+  [
+    ( "differential",
+      [
+        Alcotest.test_case "registry kernels, all configs" `Quick test_registry_kernels;
+        Alcotest.test_case "random add/sub programs (bitwise)" `Slow
+          test_random_addsub_programs;
+        Alcotest.test_case "random mul/div programs (tolerance)" `Slow
+          test_random_muldiv_programs;
+        Alcotest.test_case "random predicated programs (bitwise)" `Slow
+          test_random_predicated_programs;
+        Alcotest.test_case "random integer programs (bitwise)" `Slow
+          test_random_int_programs;
+        Alcotest.test_case "generator reaches the vectorizer" `Quick
+          test_generator_hits_vectorizer;
+      ] );
+  ]

@@ -1,0 +1,232 @@
+(* Edge-case coverage: verifier error branches, frontend corner
+   syntax, and vectorizer behaviour on degenerate inputs. *)
+
+open Snslp_ir
+open Snslp_passes
+open Snslp_vectorizer
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Verifier error branches ---------------------------------------------- *)
+
+let fresh_func () =
+  let f = Func.create ~name:"v" ~args:[ ("A", Ty.ptr Ty.F64); ("i", Ty.i64) ] in
+  let entry = Func.add_block f "entry" in
+  (f, entry)
+
+let reports f = Verifier.verify f <> []
+
+let test_verifier_opcode_errors () =
+  let bad build =
+    let f, entry = fresh_func () in
+    build f entry;
+    Block.set_terminator entry Defs.Ret;
+    reports f
+  in
+  check "alt_binop scalar type" true
+    (bad (fun f e ->
+         let x = Value.const_float 1.0 in
+         Block.append e (Func.fresh_instr f (Defs.Alt_binop [| Defs.Add |]) Ty.f64 [| x; x |])));
+  check "alt_binop lane count" true
+    (bad (fun f e ->
+         let v = Defs.Undef (Ty.vector ~lanes:2 Ty.F64) in
+         Block.append e
+           (Func.fresh_instr f (Defs.Alt_binop [| Defs.Add |]) (Ty.vector ~lanes:2 Ty.F64)
+              [| v; v |])));
+  check "load from non-pointer" true
+    (bad (fun f e ->
+         Block.append e (Func.fresh_instr f Defs.Load Ty.f64 [| Value.const_int 3 |])));
+  check "store elem mismatch" true
+    (bad (fun f e ->
+         let a = Defs.Arg (Func.arg f 0) in
+         Block.append e (Func.fresh_instr f Defs.Store Ty.i32 [| Value.const_int 1; a |])));
+  check "gep non-int index" true
+    (bad (fun f e ->
+         let a = Defs.Arg (Func.arg f 0) in
+         Block.append e
+           (Func.fresh_instr f Defs.Gep (Ty.ptr Ty.F64) [| a; Value.const_float 1.0 |])));
+  check "insert lane out of range" true
+    (bad (fun f e ->
+         let v = Defs.Undef (Ty.vector ~lanes:2 Ty.F64) in
+         Block.append e
+           (Func.fresh_instr f Defs.Insert (Ty.vector ~lanes:2 Ty.F64)
+              [| v; Value.const_float 1.0; Value.const_int 7 |])));
+  check "extract non-const lane" true
+    (bad (fun f e ->
+         let v = Defs.Undef (Ty.vector ~lanes:2 Ty.F64) in
+         let i = Defs.Arg (Func.arg f 1) in
+         Block.append e (Func.fresh_instr f Defs.Extract Ty.f64 [| v; i |])));
+  check "shuffle mask out of range" true
+    (bad (fun f e ->
+         let v = Defs.Undef (Ty.vector ~lanes:2 Ty.F64) in
+         Block.append e
+           (Func.fresh_instr f (Defs.Shuffle [| 9; 0 |]) (Ty.vector ~lanes:2 Ty.F64) [| v; v |])));
+  check "operand count" true
+    (bad (fun f e ->
+         Block.append e
+           (Func.fresh_instr f (Defs.Binop Defs.Add) Ty.i64 [| Value.const_int 1 |])))
+
+let test_verifier_cfg_errors () =
+  (* Branch to a foreign block. *)
+  let f, entry = fresh_func () in
+  let g = Func.create ~name:"other" ~args:[] in
+  let foreign = Func.add_block g "foreign" in
+  Block.set_terminator foreign Defs.Ret;
+  Block.set_terminator entry (Defs.Br foreign);
+  check "foreign branch target" true (reports f);
+  (* Non-integer branch condition. *)
+  let f, entry = fresh_func () in
+  let other = Func.add_block f "other" in
+  Block.set_terminator other Defs.Ret;
+  Block.set_terminator entry (Defs.Cond_br (Value.const_float 1.0, other, other));
+  check "float condition" true (reports f)
+
+(* --- Frontend corner syntax ------------------------------------------------ *)
+
+let test_frontend_corners () =
+  let ok src = ignore (Snslp_frontend.Frontend.compile src) in
+  (* Deeply nested parens. *)
+  ok "kernel p(double A[], long i) { A[i] = ((((1.0)))); }";
+  (* Scientific literals. *)
+  ok "kernel p(double A[], long i) { A[i] = 1.5e-3 + 2E2; }";
+  (* Unary minus stacking. *)
+  ok "kernel p(double A[], long i) { A[i] = - - 1.0; }";
+  (* Index expressions with nested arithmetic. *)
+  ok "kernel p(double A[], long i, long j) { A[2*(i+j)+1] = 1.0; }";
+  (* Multiple kernels per file. *)
+  let fs =
+    Snslp_frontend.Frontend.compile
+      "kernel a(double A[], long i) { A[i] = 1.0; } kernel b(double A[], long i) { A[i] = 2.0; }"
+  in
+  check_int "two kernels" 2 (List.length fs);
+  (* Empty body. *)
+  ok "kernel empty(double A[]) { }";
+  (* Kernel with no arrays. *)
+  ok "kernel scalar_only(long i) { }"
+
+let test_frontend_deep_expression () =
+  (* A 64-term chain stresses the parser, lowering and the chain
+     cap. *)
+  let terms = List.init 64 (fun k -> Printf.sprintf "B[i+%d]" k) in
+  let src =
+    Printf.sprintf "kernel deep(double A[], double B[], long i) { A[i] = %s; }"
+      (String.concat " + " terms)
+  in
+  let f = Snslp_frontend.Frontend.compile_one src in
+  Verifier.verify_exn f;
+  (* The pipeline survives and reduction vectorization fires. *)
+  let result = Pipeline.run ~setting:(Some Config.snslp) f in
+  Verifier.verify_exn result.Pipeline.func
+
+(* --- Vectorizer degenerate inputs ------------------------------------------ *)
+
+let test_empty_and_tiny_blocks () =
+  let run src =
+    let f = Snslp_frontend.Frontend.compile_one src in
+    let r = Pipeline.run ~setting:(Some Config.snslp) f in
+    Verifier.verify_exn r.Pipeline.func;
+    match r.Pipeline.vect_report with
+    | Some rep -> rep.Vectorize.stats.Stats.graphs_vectorized
+    | None -> 0
+  in
+  check_int "empty kernel" 0 (run "kernel e(double A[]) { }");
+  check_int "single store" 0 (run "kernel s(double A[], long i) { A[i] = 1.0; }");
+  (* Two stores to different arrays: no seed. *)
+  check_int "no adjacent pair" 0
+    (run "kernel d(double A[], double B[], long i) { A[i] = 1.0; B[i] = 2.0; }")
+
+let test_store_to_same_address_twice () =
+  (* Duplicate offsets are deduped by the seed collector; semantics
+     must hold (the second store wins). *)
+  let src =
+    {|
+kernel dup(double A[], double B[], long i) {
+  A[i+0] = B[i+0];
+  A[i+0] = B[i+1];
+  A[i+1] = B[i+0];
+}
+|}
+  in
+  let reg =
+    {
+      Snslp_kernels.Registry.name = "dup";
+      provenance = "";
+      description = "";
+      source = src;
+      istride = 2;
+      extent = 1;
+      default_iters = 16;
+    }
+  in
+  let wl = Snslp_kernels.Workload.prepare reg in
+  let reference = Snslp_kernels.Workload.run_interp wl wl.Snslp_kernels.Workload.func in
+  let r = Pipeline.run ~setting:(Some Config.snslp) wl.Snslp_kernels.Workload.func in
+  let got = Snslp_kernels.Workload.run_interp wl r.Pipeline.func in
+  check "duplicate-store semantics" true (Snslp_interp.Memory.equal reference got)
+
+let test_self_read_write_pair () =
+  (* A[i] = A[i+1]; A[i+1] = A[i]: the loads must happen before both
+     stores (load bundle placed at first, store bundle at last, or
+     rejected) — semantics decide. *)
+  let src =
+    {|
+kernel swapish(double A[], long i) {
+  A[i+0] = A[i+1];
+  A[i+1] = A[i+0];
+}
+|}
+  in
+  let reg =
+    {
+      Snslp_kernels.Registry.name = "swapish";
+      provenance = "";
+      description = "";
+      source = src;
+      istride = 2;
+      extent = 1;
+      default_iters = 16;
+    }
+  in
+  let wl = Snslp_kernels.Workload.prepare reg in
+  let reference = Snslp_kernels.Workload.run_interp wl wl.Snslp_kernels.Workload.func in
+  List.iter
+    (fun setting ->
+      let r = Pipeline.run ~setting wl.Snslp_kernels.Workload.func in
+      let got = Snslp_kernels.Workload.run_interp wl r.Pipeline.func in
+      check "read-write pair semantics" true (Snslp_interp.Memory.equal reference got))
+    [ None; Some Config.vanilla; Some Config.lslp; Some Config.snslp ]
+
+let test_chain_over_block_boundary_stops () =
+  (* Values flowing across blocks cannot join a chain (trunk members
+     must share the root's block). *)
+  let src =
+    {|
+kernel cb(double A[], double B[], double C[], long i) {
+  double t = B[i] + C[i];
+  if (i < 4) { A[i+4] = 0.0; }
+  A[i+0] = t + B[i] - C[i];
+  A[i+1] = t - C[i] + B[i];
+}
+|}
+  in
+  let f = Snslp_frontend.Frontend.compile_one src in
+  let r = Pipeline.run ~setting:(Some Config.snslp) f in
+  Verifier.verify_exn r.Pipeline.func
+
+let suite =
+  [
+    ( "edge-cases",
+      [
+        Alcotest.test_case "verifier opcode errors" `Quick test_verifier_opcode_errors;
+        Alcotest.test_case "verifier cfg errors" `Quick test_verifier_cfg_errors;
+        Alcotest.test_case "frontend corners" `Quick test_frontend_corners;
+        Alcotest.test_case "deep expression" `Quick test_frontend_deep_expression;
+        Alcotest.test_case "degenerate blocks" `Quick test_empty_and_tiny_blocks;
+        Alcotest.test_case "duplicate store offsets" `Quick
+          test_store_to_same_address_twice;
+        Alcotest.test_case "read-write pair" `Quick test_self_read_write_pair;
+        Alcotest.test_case "chains stop at blocks" `Quick
+          test_chain_over_block_boundary_stops;
+      ] );
+  ]

@@ -1,0 +1,261 @@
+(* Frontend tests: lexer, parser, typechecker, lowering. *)
+
+open Snslp_frontend
+open Snslp_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* --- Lexer ----------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokens "kernel f(double A[]) { A[0] = 1.5e2 + 2 * x; }" in
+  let kinds = List.map fst toks in
+  check "starts with kernel" true (List.hd kinds = Lexer.KERNEL);
+  check "has float" true (List.mem (Lexer.FLOAT 150.0) kinds);
+  check "has int" true (List.mem (Lexer.INT 2L) kinds);
+  check "has ident x" true (List.mem (Lexer.IDENT "x") kinds);
+  check "ends with eof" true (List.mem Lexer.EOF kinds)
+
+let test_lexer_comments () =
+  let toks = Lexer.tokens "// line comment\n/* block\ncomment */ kernel" in
+  check_int "only kernel and eof" 2 (List.length toks)
+
+let test_lexer_positions () =
+  let toks = Lexer.tokens "kernel\n  foo" in
+  match toks with
+  | [ (Lexer.KERNEL, p1); (Lexer.IDENT "foo", p2); (Lexer.EOF, _) ] ->
+      check_int "line 1" 1 p1.Ast.line;
+      check_int "col 1" 1 p1.Ast.col;
+      check_int "line 2" 2 p2.Ast.line;
+      check_int "col 3" 3 p2.Ast.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_operators () =
+  let toks = Lexer.tokens "== != <= >= < > = + - * /" in
+  check_int "eleven operators + eof" 12 (List.length toks)
+
+let test_lexer_errors () =
+  check "bad char" true
+    (try
+       ignore (Lexer.tokens "kernel @");
+       false
+     with Lexer.Lex_error _ -> true);
+  check "unterminated comment" true
+    (try
+       ignore (Lexer.tokens "/* never closed");
+       false
+     with Lexer.Lex_error _ -> true)
+
+(* --- Parser ---------------------------------------------------------- *)
+
+let motiv_src =
+  {|
+kernel motiv(long A[], long B[], long C[], long D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = D[i+1] - C[i+1] + B[i+1];
+}
+|}
+
+let test_parse_kernel () =
+  match Frontend.parse motiv_src with
+  | [ k ] ->
+      Alcotest.(check string) "name" "motiv" k.Ast.kname;
+      check_int "params" 5 (List.length k.Ast.kparams);
+      check_int "stmts" 2 (List.length k.Ast.kbody)
+  | _ -> Alcotest.fail "expected one kernel"
+
+let test_parse_precedence () =
+  (* a + b * c parses as a + (b * c). *)
+  let src = "kernel p(double A[], double a, double b, double c) { A[0] = a + b * c; }" in
+  match Frontend.parse src with
+  | [ { Ast.kbody = [ { Ast.sdesc = Ast.Store (_, _, e); _ } ]; _ } ] -> (
+      match e.Ast.desc with
+      | Ast.Binary (Ast.Add, _, { Ast.desc = Ast.Binary (Ast.Mul, _, _); _ }) -> ()
+      | _ -> Alcotest.fail "wrong precedence")
+  | _ -> Alcotest.fail "parse failure"
+
+let test_parse_associativity () =
+  (* a - b + c parses as (a - b) + c. *)
+  let src = "kernel p(double A[], double a, double b, double c) { A[0] = a - b + c; }" in
+  match Frontend.parse src with
+  | [ { Ast.kbody = [ { Ast.sdesc = Ast.Store (_, _, e); _ } ]; _ } ] -> (
+      match e.Ast.desc with
+      | Ast.Binary (Ast.Add, { Ast.desc = Ast.Binary (Ast.Sub, _, _); _ }, _) -> ()
+      | _ -> Alcotest.fail "wrong associativity")
+  | _ -> Alcotest.fail "parse failure"
+
+let test_parse_unary_minus () =
+  let src = "kernel p(double A[], double a) { A[0] = -a * a; }" in
+  match Frontend.parse src with
+  | [ { Ast.kbody = [ { Ast.sdesc = Ast.Store (_, _, e); _ } ]; _ } ] -> (
+      (* -a * a parses as (-a) * a. *)
+      match e.Ast.desc with
+      | Ast.Binary (Ast.Mul, { Ast.desc = Ast.Unary (Ast.Neg, _); _ }, _) -> ()
+      | _ -> Alcotest.fail "unary minus mis-parsed")
+  | _ -> Alcotest.fail "parse failure"
+
+let test_parse_if_else () =
+  let src =
+    {|
+kernel p(double A[], long i) {
+  if (i < 4) { A[i] = 1.0; } else { A[i] = 2.0; }
+}
+|}
+  in
+  match Frontend.parse src with
+  | [ { Ast.kbody = [ { Ast.sdesc = Ast.If (_, [ _ ], [ _ ]); _ } ]; _ } ] -> ()
+  | _ -> Alcotest.fail "if/else mis-parsed"
+
+let test_parse_errors () =
+  let bad src =
+    try
+      ignore (Frontend.parse src);
+      false
+    with Frontend.Error _ -> true
+  in
+  check "missing semicolon" true (bad "kernel f(double A[]) { A[0] = 1.0 }");
+  check "missing paren" true (bad "kernel f(double A[] { }");
+  check "statement without assign" true (bad "kernel f(double A[]) { A[0]; }");
+  check "condition needs comparison" true
+    (bad "kernel f(double A[], long i) { if (i) { A[0] = 1.0; } }")
+
+(* --- Typechecking ---------------------------------------------------- *)
+
+let test_type_errors () =
+  let bad src =
+    try
+      ignore (Frontend.compile src);
+      false
+    with Frontend.Error _ -> true
+  in
+  check "unbound identifier" true (bad "kernel f(double A[]) { A[0] = x; }");
+  check "array used as scalar" true (bad "kernel f(double A[], double B[]) { A[0] = B; }");
+  check "scalar indexed" true (bad "kernel f(double A[], double x) { A[0] = x[1]; }");
+  check "int/double mix" true
+    (bad "kernel f(double A[], long B[], long i) { A[i] = B[i]; }");
+  check "float index" true (bad "kernel f(double A[], double x) { A[x] = 1.0; }");
+  check "float literal in int context" true (bad "kernel f(long A[]) { A[0] = 1.5; }");
+  check "int division rejected" true
+    (bad "kernel f(long A[], long i) { A[i] = A[i] / 2; }");
+  check "duplicate param" true (bad "kernel f(double A[], double A[]) { }");
+  check "redefined local" true
+    (bad "kernel f(double A[]) { double t = 1.0; double t = 2.0; A[0] = t; }")
+
+(* --- Lowering -------------------------------------------------------- *)
+
+let test_lower_motiv () =
+  let f = Frontend.compile_one motiv_src in
+  Verifier.verify_exn f;
+  check_int "one block" 1 (List.length (Func.blocks f));
+  let text = Printer.func_to_string f in
+  check "loads present" true (has_sub text "load");
+  check "stores present" true (has_sub text "store");
+  check "adds are integer adds" true (has_sub text "= add");
+  check "subs are integer subs" true (has_sub text "= sub");
+  (* Per statement: 4 index adds, 4 geps, 3 loads, 2 arithmetic ops and
+     a store — the frontend does not fold `i+0`, the pipeline does. *)
+  check_int "instruction count" 28 (Func.num_instrs f)
+
+let test_lower_if () =
+  let src =
+    {|
+kernel p(double A[], long i) {
+  if (i < 4) { A[i] = 1.0; } else { A[i+1] = 2.0; }
+  A[i+2] = 3.0;
+}
+|}
+  in
+  let f = Frontend.compile_one src in
+  Verifier.verify_exn f;
+  check_int "four blocks" 4 (List.length (Func.blocks f));
+  match Block.terminator (Func.entry f) with
+  | Defs.Cond_br (_, _, _) -> ()
+  | _ -> Alcotest.fail "entry should end in a conditional branch"
+
+let test_lower_locals () =
+  let src =
+    {|
+kernel p(double A[], double B[], long i) {
+  double t = B[i] * 2.0;
+  A[i] = t + t;
+}
+|}
+  in
+  let f = Frontend.compile_one src in
+  Verifier.verify_exn f;
+  (* t is shared: one load, one multiply. *)
+  let muls =
+    Func.fold_instrs
+      (fun n i -> if Instr.binop_kind i = Some Defs.Mul then n + 1 else n)
+      0 f
+  in
+  check_int "one multiply" 1 muls
+
+let test_lower_scalar_float_param () =
+  let src = "kernel p(double A[], double s, long i) { A[i] = A[i] * s; }" in
+  let f = Frontend.compile_one src in
+  Verifier.verify_exn f;
+  check "float param becomes f64 arg" true
+    (Ty.equal (Func.arg f 1).Defs.arg_ty Ty.f64)
+
+let test_lower_int_literal_coercion () =
+  (* `2` in a double context becomes 2.0. *)
+  let src = "kernel p(double A[], long i) { A[i] = A[i] * 2; }" in
+  let f = Frontend.compile_one src in
+  Verifier.verify_exn f;
+  let has_float_two =
+    Func.fold_instrs
+      (fun acc i ->
+        acc
+        || Array.exists
+             (fun v -> Value.equal v (Value.const_float 2.0))
+             (Instr.operands i))
+      false f
+  in
+  check "coerced literal" true has_float_two
+
+let test_roundtrip_all_registry_kernels () =
+  List.iter
+    (fun (k : Snslp_kernels.Registry.t) ->
+      let f = Frontend.compile_one k.Snslp_kernels.Registry.source in
+      Verifier.verify_exn f)
+    Snslp_kernels.Registry.all
+
+let suite =
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+        Alcotest.test_case "comments" `Quick test_lexer_comments;
+        Alcotest.test_case "positions" `Quick test_lexer_positions;
+        Alcotest.test_case "operators" `Quick test_lexer_operators;
+        Alcotest.test_case "errors" `Quick test_lexer_errors;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "kernel structure" `Quick test_parse_kernel;
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "associativity" `Quick test_parse_associativity;
+        Alcotest.test_case "unary minus" `Quick test_parse_unary_minus;
+        Alcotest.test_case "if/else" `Quick test_parse_if_else;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      ] );
+    ( "typecheck",
+      [ Alcotest.test_case "type errors" `Quick test_type_errors ] );
+    ( "lowering",
+      [
+        Alcotest.test_case "motivating example" `Quick test_lower_motiv;
+        Alcotest.test_case "if lowering" `Quick test_lower_if;
+        Alcotest.test_case "local sharing" `Quick test_lower_locals;
+        Alcotest.test_case "scalar float param" `Quick test_lower_scalar_float_param;
+        Alcotest.test_case "int literal coercion" `Quick test_lower_int_literal_coercion;
+        Alcotest.test_case "all registry kernels lower" `Quick
+          test_roundtrip_all_registry_kernels;
+      ] );
+  ]

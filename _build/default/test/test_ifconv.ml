@@ -1,0 +1,158 @@
+(* Tests for the if-conversion pass. *)
+
+open Snslp_ir
+open Snslp_passes
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile = Snslp_frontend.Frontend.compile_one
+
+let run_both src =
+  let f = compile src in
+  let g = Func.clone f in
+  let n = Ifconv.run g in
+  (f, g, n)
+
+(* Interpret under a given i and compare final memories. *)
+let agree src ~arrays ~size ~ivals =
+  let f, g, _ = run_both src in
+  List.iter
+    (fun iv ->
+      let mem_of func =
+        let memory = Snslp_interp.Memory.create () in
+        List.iteri
+          (fun pos _ ->
+            Snslp_interp.Memory.set_float_buffer memory ~arg_pos:pos
+              (Array.init size (fun k -> float_of_int ((k mod 7) + 1) *. 0.25)))
+          arrays;
+        let args =
+          Array.of_list
+            (List.mapi (fun pos _ -> Snslp_interp.Rvalue.R_ptr { base = pos; offset = 0 }) arrays
+            @ [ Snslp_interp.Rvalue.R_int (Int64.of_int iv) ])
+        in
+        Snslp_interp.Interp.run func ~args ~memory;
+        memory
+      in
+      if not (Snslp_interp.Memory.equal (mem_of f) (mem_of g)) then
+        Alcotest.failf "if-conversion changed semantics at i=%d" iv)
+    ivals
+
+let diamond_src =
+  {|
+kernel d(double A[], double B[], long i) {
+  if (i < 4) { A[i] = B[i] * 2.0; } else { A[i] = B[i] + 1.0; }
+}
+|}
+
+let test_diamond_becomes_select () =
+  let _, g, n = run_both diamond_src in
+  check_int "one diamond converted" 1 n;
+  check_int "single block" 1 (List.length (Func.blocks g));
+  let selects =
+    Func.fold_instrs
+      (fun n j -> (match j.Defs.op with Defs.Select -> n + 1 | _ -> n))
+      0 g
+  in
+  check_int "one select" 1 selects;
+  check "no cond_br left" true
+    (match Block.terminator (Func.entry g) with Defs.Ret -> true | _ -> false)
+
+let test_diamond_semantics () =
+  agree diamond_src ~arrays:[ "A"; "B" ] ~size:16 ~ivals:[ 0; 3; 4; 9 ]
+
+let test_triangle_keeps_old_value () =
+  let src = {|
+kernel t(double A[], double B[], long i) {
+  if (i < 4) { A[i] = B[i] * 2.0; }
+  A[i+8] = 1.0;
+}
+|} in
+  let _, g, n = run_both src in
+  check_int "converted" 1 n;
+  check_int "single block" 1 (List.length (Func.blocks g));
+  agree src ~arrays:[ "A"; "B" ] ~size:32 ~ivals:[ 0; 5 ]
+
+let test_nested_ifs () =
+  let src =
+    {|
+kernel n(double A[], double B[], long i) {
+  if (i < 8) {
+    if (i < 4) { A[i] = 1.0; } else { A[i] = 2.0; }
+  } else {
+    A[i] = 3.0;
+  }
+}
+|}
+  in
+  let _, g, n = run_both src in
+  check "both diamonds converted" true (n >= 2);
+  check_int "single block" 1 (List.length (Func.blocks g));
+  agree src ~arrays:[ "A"; "B" ] ~size:16 ~ivals:[ 0; 5; 9 ]
+
+let test_unconvertible_mismatched_stores () =
+  (* Branches store to different, potentially-overlapping places:
+     A[i] vs A[i+1] are provably distinct (fine), but A[i] vs A[2*i]
+     may overlap without being provably equal: bail. *)
+  let src =
+    {|
+kernel u(double A[], long i) {
+  if (i < 4) { A[i] = 1.0; } else { A[2*i] = 2.0; }
+}
+|}
+  in
+  let _, g, n = run_both src in
+  check_int "not converted" 0 n;
+  check "blocks remain" true (List.length (Func.blocks g) > 1)
+
+let test_distinct_store_targets_convert () =
+  (* Provably distinct targets need no pairing: each gets the
+     keep-old-value treatment. *)
+  let src =
+    {|
+kernel v(double A[], long i) {
+  if (i < 4) { A[i+0] = 1.0; } else { A[i+1] = 2.0; }
+}
+|}
+  in
+  let _, _g, n = run_both src in
+  check_int "converted" 1 n;
+  agree src ~arrays:[ "A" ] ~size:16 ~ivals:[ 0; 7 ]
+
+let test_ifconv_enables_vectorization () =
+  (* Two adjacent conditional stores with the same condition: after
+     flattening, SLP sees an adjacent store pair of selects. *)
+  let src =
+    {|
+kernel w(double A[], double B[], double C[], long i) {
+  if (i < 100) { A[i+0] = B[i+0] + C[i+0]; } else { A[i+0] = B[i+0] - C[i+0]; }
+  if (i < 100) { A[i+1] = B[i+1] + C[i+1]; } else { A[i+1] = B[i+1] - C[i+1]; }
+}
+|}
+  in
+  let f = compile src in
+  let result =
+    Pipeline.run ~setting:(Some Snslp_vectorizer.Config.snslp) f
+  in
+  match result.Pipeline.vect_report with
+  | Some rep ->
+      check "flattened code vectorizes" true
+        (rep.Snslp_vectorizer.Vectorize.stats.Snslp_vectorizer.Stats.graphs_vectorized
+        >= 1)
+  | None -> Alcotest.fail "no report"
+
+let suite =
+  [
+    ( "ifconv",
+      [
+        Alcotest.test_case "diamond becomes select" `Quick test_diamond_becomes_select;
+        Alcotest.test_case "diamond semantics" `Quick test_diamond_semantics;
+        Alcotest.test_case "triangle keeps old value" `Quick test_triangle_keeps_old_value;
+        Alcotest.test_case "nested ifs" `Quick test_nested_ifs;
+        Alcotest.test_case "bails on mismatched stores" `Quick
+          test_unconvertible_mismatched_stores;
+        Alcotest.test_case "distinct targets convert" `Quick
+          test_distinct_store_targets_convert;
+        Alcotest.test_case "enables vectorization" `Quick test_ifconv_enables_vectorization;
+      ] );
+  ]

@@ -1,0 +1,212 @@
+(* Unit tests for the IR substrate: types, values, builder, printer,
+   verifier, cloning, dominance. *)
+
+open Snslp_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* A tiny function: A[i] = B[i] + C[i]. *)
+let sample_func () =
+  let f =
+    Func.create ~name:"sample"
+      ~args:
+        [
+          ("A", Ty.ptr Ty.F64);
+          ("B", Ty.ptr Ty.F64);
+          ("C", Ty.ptr Ty.F64);
+          ("i", Ty.i64);
+        ]
+  in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let arg n = Defs.Arg (Func.arg f n) in
+  let gb = Builder.gep b (arg 1) (arg 3) in
+  let gc = Builder.gep b (arg 2) (arg 3) in
+  let lb = Builder.load b (Instr.value gb) in
+  let lc = Builder.load b (Instr.value gc) in
+  let sum = Builder.add b (Instr.value lb) (Instr.value lc) in
+  let ga = Builder.gep b (arg 0) (arg 3) in
+  let _st = Builder.store b (Instr.value sum) (Instr.value ga) in
+  Builder.ret b;
+  f
+
+let test_ty_basics () =
+  check "int" true (Ty.is_int Ty.i64);
+  check "not float" false (Ty.is_float Ty.i64);
+  check "float" true (Ty.is_float Ty.f32);
+  check_int "lanes of scalar" 1 (Ty.lanes Ty.f64);
+  check_int "lanes of vector" 4 (Ty.lanes (Ty.vector ~lanes:4 Ty.F32));
+  check_int "bits of vector" 128 (Ty.bits (Ty.vector ~lanes:2 Ty.F64));
+  check_str "vector syntax" "<2 x f64>" (Ty.to_string (Ty.vector ~lanes:2 Ty.F64));
+  check_str "pointer syntax" "f64*" (Ty.to_string (Ty.ptr Ty.F64));
+  check "vector eq" true (Ty.equal (Ty.vector ~lanes:2 Ty.F64) (Ty.vector ~lanes:2 Ty.F64));
+  check "vector neq lanes" false
+    (Ty.equal (Ty.vector ~lanes:2 Ty.F64) (Ty.vector ~lanes:4 Ty.F64));
+  Alcotest.check_raises "lanes < 2 rejected" (Invalid_argument "Ty.vector: lanes must be >= 2")
+    (fun () -> ignore (Ty.vector ~lanes:1 Ty.F64))
+
+let test_lit () =
+  check "int lit eq" true (Lit.equal (Lit.int 42) (Lit.int64 42L));
+  check "float lit eq" true (Lit.equal (Lit.float 1.5) (Lit.float 1.5));
+  check "nan lit eq (bitwise)" true (Lit.equal (Lit.float nan) (Lit.float nan));
+  check "int/float differ" false (Lit.equal (Lit.int 1) (Lit.float 1.0));
+  check "matches int ty" true (Lit.matches_ty (Lit.int 1) Ty.i64);
+  check "int lit does not match float ty" false (Lit.matches_ty (Lit.int 1) Ty.f64)
+
+let test_value () =
+  let c1 = Value.const_int 7 in
+  let c2 = Value.const_int 7 in
+  check "structural const equality" true (Value.equal c1 c2);
+  check "different consts" false (Value.equal c1 (Value.const_int 8));
+  check_str "const name" "7" (Value.name c1);
+  Alcotest.check_raises "const_int rejects float ty"
+    (Invalid_argument "Value.const_int: not an int type") (fun () ->
+      ignore (Value.const_int ~ty:Ty.f64 1))
+
+let test_builder_and_printer () =
+  let f = sample_func () in
+  Verifier.verify_exn f;
+  let text = Printer.func_to_string f in
+  check "has header" true
+    (String.length text > 0
+    && String.sub text 0 12 = "func @sample");
+  let has_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "prints fadd" true (has_sub text "fadd");
+  check "prints load" true (has_sub text "load");
+  check "prints store" true (has_sub text "store");
+  check "prints ret" true (has_sub text "ret")
+
+let test_builder_type_errors () =
+  let f = Func.create ~name:"t" ~args:[ ("x", Ty.f64); ("n", Ty.i64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let x = Defs.Arg (Func.arg f 0) and n = Defs.Arg (Func.arg f 1) in
+  Alcotest.check_raises "mixed binop types"
+    (Invalid_argument "Builder.binop: operand types differ") (fun () ->
+      ignore (Builder.add b x n));
+  Alcotest.check_raises "int division rejected"
+    (Invalid_argument "Builder.binop: integer division is not part of the IR") (fun () ->
+      ignore (Builder.div b n n))
+
+let test_uses_and_rauw () =
+  let f = sample_func () in
+  let entry = Func.entry f in
+  let instrs = Block.instrs entry in
+  let lb = List.nth instrs 2 in
+  let sum = List.nth instrs 4 in
+  check_int "load has one use" 1 (List.length (Func.uses_of f (Instr.value lb)));
+  check "sum uses load" true (Value.equal (Instr.operand sum 0) (Instr.value lb));
+  (* Replace the load with a constant and check rewiring. *)
+  Func.replace_all_uses f ~old_v:(Instr.value lb) ~new_v:(Value.const_float 1.0);
+  check_int "load now unused" 0 (List.length (Func.uses_of f (Instr.value lb)));
+  check "sum rewired" true (Value.equal (Instr.operand sum 0) (Value.const_float 1.0));
+  Func.erase_instr f lb;
+  check_int "erased from block" 6 (List.length (Block.instrs entry))
+
+let test_erase_with_uses_fails () =
+  let f = sample_func () in
+  let entry = Func.entry f in
+  let lb = List.nth (Block.instrs entry) 2 in
+  check "erase of used instr raises" true
+    (try
+       Func.erase_instr f lb;
+       false
+     with Invalid_argument _ -> true)
+
+let test_clone_independent () =
+  let f = sample_func () in
+  let g = Func.clone f in
+  check_int "same instr count" (Func.num_instrs f) (Func.num_instrs g);
+  check_str "same text" (Printer.func_to_string f) (Printer.func_to_string g);
+  (* Mutating the clone leaves the original alone. *)
+  let ge = Func.entry g in
+  let first = List.hd (Block.instrs ge) in
+  Func.replace_all_uses g ~old_v:(Instr.value first) ~new_v:(Defs.Arg (Func.arg g 1));
+  Func.erase_instr g first;
+  check "original unchanged" true (Func.num_instrs f = Func.num_instrs g + 1)
+
+let test_verifier_catches_bad_ir () =
+  let f = Func.create ~name:"bad" ~args:[ ("x", Ty.f64) ] in
+  let entry = Func.add_block f "entry" in
+  let x = Defs.Arg (Func.arg f 0) in
+  (* Hand-build an ill-typed instruction, bypassing the builder. *)
+  let i = Func.fresh_instr f (Defs.Binop Defs.Add) Ty.i64 [| x; x |] in
+  Block.append entry i;
+  Block.set_terminator entry Defs.Ret;
+  check "verifier reports" true (Verifier.verify f <> []);
+  (* Unterminated blocks are reported too. *)
+  let g = Func.create ~name:"unterm" ~args:[] in
+  let _ = Func.add_block g "entry" in
+  check "unterminated reported" true (Verifier.verify g <> [])
+
+let test_verifier_use_before_def () =
+  let f = Func.create ~name:"ubd" ~args:[ ("x", Ty.f64) ] in
+  let entry = Func.add_block f "entry" in
+  let x = Defs.Arg (Func.arg f 0) in
+  let a = Func.fresh_instr f (Defs.Binop Defs.Add) Ty.f64 [| x; x |] in
+  let b = Func.fresh_instr f (Defs.Binop Defs.Mul) Ty.f64 [| Defs.Instr a; x |] in
+  (* b placed before a. *)
+  Block.append entry b;
+  Block.append entry a;
+  Block.set_terminator entry Defs.Ret;
+  check "use-before-def reported" true (Verifier.verify f <> [])
+
+let test_dominance () =
+  let f = Func.create ~name:"dom" ~args:[ ("c", Ty.i64) ] in
+  let entry = Func.add_block f "entry" in
+  let then_b = Func.add_block f "then" in
+  let join = Func.add_block f "join" in
+  Block.set_terminator entry (Defs.Cond_br (Defs.Arg (Func.arg f 0), then_b, join));
+  Block.set_terminator then_b (Defs.Br join);
+  Block.set_terminator join Defs.Ret;
+  let dom = Dominance.compute f in
+  check "entry dominates all" true
+    (Dominance.dominates dom entry then_b && Dominance.dominates dom entry join);
+  check "then does not dominate join" false (Dominance.dominates dom then_b join);
+  check "self-domination" true (Dominance.dominates dom join join)
+
+let test_block_ops () =
+  let f = sample_func () in
+  let entry = Func.entry f in
+  let n = Block.length entry in
+  check_int "length" 7 n;
+  let first = List.hd (Block.instrs entry) in
+  let fresh = Func.fresh_instr f (Defs.Binop Defs.Add) Ty.i64
+      [| Value.const_int 1; Value.const_int 2 |] in
+  Block.insert_before entry ~anchor:first fresh;
+  check "inserted at head" true (Instr.equal (List.hd (Block.instrs entry)) fresh);
+  Block.remove entry fresh;
+  check_int "removed" n (Block.length entry);
+  (* Reorder must be a permutation. *)
+  check "reorder rejects non-permutation" true
+    (try
+       Block.reorder entry [];
+       false
+     with Invalid_argument _ -> true);
+  Block.reorder entry (List.rev (Block.instrs entry));
+  check_int "reorder applied" n (Block.length entry)
+
+let suite =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "ty basics" `Quick test_ty_basics;
+        Alcotest.test_case "literals" `Quick test_lit;
+        Alcotest.test_case "values" `Quick test_value;
+        Alcotest.test_case "builder and printer" `Quick test_builder_and_printer;
+        Alcotest.test_case "builder type errors" `Quick test_builder_type_errors;
+        Alcotest.test_case "uses and rauw" `Quick test_uses_and_rauw;
+        Alcotest.test_case "erase with uses fails" `Quick test_erase_with_uses_fails;
+        Alcotest.test_case "clone independence" `Quick test_clone_independent;
+        Alcotest.test_case "verifier catches bad ir" `Quick test_verifier_catches_bad_ir;
+        Alcotest.test_case "verifier use-before-def" `Quick test_verifier_use_before_def;
+        Alcotest.test_case "dominance" `Quick test_dominance;
+        Alcotest.test_case "block operations" `Quick test_block_ops;
+      ] );
+  ]

@@ -1,0 +1,188 @@
+(* Tests for the scalar pass pipeline. *)
+
+open Snslp_ir
+open Snslp_passes
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile = Snslp_frontend.Frontend.compile_one
+
+let count_instrs = Func.num_instrs
+
+let test_fold_arithmetic () =
+  let f = compile "kernel f(double A[], long i) { A[i] = 2.0 * 3.0 + 1.0; }" in
+  let n = Fold.run f in
+  check "folded something" true (n >= 2);
+  (* The store now stores the constant 7.0 directly. *)
+  let store = List.find Instr.is_store (Block.instrs (Func.entry f)) in
+  check "constant stored" true (Value.equal (Instr.operand store 0) (Value.const_float 7.0))
+
+let test_fold_index_addition () =
+  let f = compile "kernel f(double A[], long i) { A[i+0] = 1.0; }" in
+  ignore (Fold.run f);
+  ignore (Simplify.run f);
+  (* i+0 simplifies away: the gep indexes the argument directly. *)
+  let gep =
+    List.find (fun j -> j.Defs.op = Defs.Gep) (Block.instrs (Func.entry f))
+  in
+  check "gep uses arg" true
+    (match Instr.operand gep 1 with Defs.Arg _ -> true | _ -> false)
+
+let test_fold_int_cmp () =
+  let f = compile "kernel f(double A[], long i) { if (1 < 2) { A[i] = 1.0; } }" in
+  let n = Fold.run f in
+  check "comparison folded" true (n >= 1)
+
+let test_simplify_identities () =
+  let f =
+    compile
+      {|
+kernel f(double A[], double B[], long i) {
+  A[i] = B[i] * 1.0 + 0.0;
+  A[i+1] = B[i+1] / 1.0 - 0.0;
+}
+|}
+  in
+  let before = count_instrs f in
+  let n = Simplify.run f in
+  check "four identities" true (n >= 4);
+  check "smaller" true (count_instrs f < before);
+  Verifier.verify_exn f
+
+let test_cse_loads_and_geps () =
+  let f =
+    compile
+      {|
+kernel f(double A[], double B[], long i) {
+  A[i+0] = B[i] + B[i];
+  A[i+1] = B[i] * B[i];
+}
+|}
+  in
+  ignore (Fold.run f);
+  ignore (Simplify.run f);
+  let n = Cse.run f in
+  check "eliminated repeats" true (n >= 3);
+  let loads =
+    Func.fold_instrs (fun n j -> if Instr.is_load j then n + 1 else n) 0 f
+  in
+  check_int "one load of B[i] remains" 1 loads;
+  Verifier.verify_exn f
+
+let test_cse_commutative_normalisation () =
+  let f =
+    compile
+      {|
+kernel f(double A[], double B[], double C[], long i) {
+  A[i+0] = B[i] + C[i];
+  A[i+1] = C[i] + B[i];
+}
+|}
+  in
+  ignore (Cse.run f);
+  let adds =
+    Func.fold_instrs
+      (fun n j -> if Instr.binop_kind j = Some Defs.Add && Ty.is_float j.Defs.ty then n + 1 else n)
+      0 f
+  in
+  check_int "a+b meets b+a" 1 adds
+
+let test_cse_store_kills_load () =
+  let f =
+    compile
+      {|
+kernel f(double A[], long i) {
+  double t = A[i];
+  A[i] = t + 1.0;
+  A[i+4] = A[i];
+}
+|}
+  in
+  ignore (Cse.run f);
+  let loads =
+    Func.fold_instrs (fun n j -> if Instr.is_load j then n + 1 else n) 0 f
+  in
+  (* The second A[i] load must NOT be unified with the first: a store
+     to A[i] intervenes. *)
+  check_int "both loads survive" 2 loads;
+  Verifier.verify_exn f
+
+let test_dce_removes_dead_code () =
+  let f =
+    compile
+      {|
+kernel f(double A[], double B[], long i) {
+  double dead = B[i] * 3.0;
+  A[i] = 1.0;
+}
+|}
+  in
+  let n = Dce.run f in
+  check "dead multiply removed" true (n >= 2);
+  let muls = Func.fold_instrs (fun n j -> if Instr.binop_kind j = Some Defs.Mul then n + 1 else n) 0 f in
+  check_int "no multiplies" 0 muls
+
+let test_dce_keeps_branch_condition () =
+  let f =
+    compile
+      {|
+kernel f(double A[], long i) {
+  if (i < 4) { A[i] = 1.0; }
+}
+|}
+  in
+  ignore (Dce.run f);
+  let cmps =
+    Func.fold_instrs
+      (fun n j -> (match j.Defs.op with Defs.Icmp _ -> n + 1 | _ -> n))
+      0 f
+  in
+  check_int "condition survives" 1 cmps;
+  Verifier.verify_exn f
+
+let test_pipeline_end_to_end () =
+  let f =
+    compile
+      {|
+kernel f(double A[], double B[], long i) {
+  A[i+0] = B[i+0] * 1.0 + 0.0;
+  A[i+1] = B[i+1] + 0.0;
+}
+|}
+  in
+  let result = Pipeline.run ~setting:(Some Snslp_vectorizer.Config.snslp) f in
+  Verifier.verify_exn result.Pipeline.func;
+  check "input untouched" true (Func.num_instrs f > 0);
+  check "timings recorded" true (List.length result.Pipeline.timings >= 5);
+  check "total time positive" true (result.Pipeline.total_seconds >= 0.0);
+  (* The multiplicative identities are gone, and the pair vectorizes
+     into B[i:i+1] + splat-free pure vector code. *)
+  let out = result.Pipeline.func in
+  let muls = Func.fold_instrs (fun n j -> if Instr.binop_kind j = Some Defs.Mul then n + 1 else n) 0 out in
+  check_int "identity multiply eliminated" 0 muls
+
+let test_pipeline_o3_has_no_vect_report () =
+  let f = compile "kernel f(double A[], long i) { A[i] = 1.0; }" in
+  let result = Pipeline.run ~setting:None f in
+  check "no report under o3" true (result.Pipeline.vect_report = None)
+
+let suite =
+  [
+    ( "passes",
+      [
+        Alcotest.test_case "fold arithmetic" `Quick test_fold_arithmetic;
+        Alcotest.test_case "fold index addition" `Quick test_fold_index_addition;
+        Alcotest.test_case "fold integer compare" `Quick test_fold_int_cmp;
+        Alcotest.test_case "simplify identities" `Quick test_simplify_identities;
+        Alcotest.test_case "cse loads and geps" `Quick test_cse_loads_and_geps;
+        Alcotest.test_case "cse commutative" `Quick test_cse_commutative_normalisation;
+        Alcotest.test_case "cse store kills load" `Quick test_cse_store_kills_load;
+        Alcotest.test_case "dce removes dead code" `Quick test_dce_removes_dead_code;
+        Alcotest.test_case "dce keeps branch condition" `Quick
+          test_dce_keeps_branch_condition;
+        Alcotest.test_case "pipeline end to end" `Quick test_pipeline_end_to_end;
+        Alcotest.test_case "o3 has no vectorizer report" `Quick
+          test_pipeline_o3_has_no_vect_report;
+      ] );
+  ]

@@ -1,0 +1,77 @@
+(* Tests for the reporting helpers: statistics, table rendering and
+   CSV output. *)
+
+open Snslp_report
+
+let check = Alcotest.(check bool)
+let check_f = Alcotest.(check (float 1e-9))
+let check_str = Alcotest.(check string)
+
+let test_mean_stddev () =
+  check_f "mean" 2.0 (Stat.mean [ 1.0; 2.0; 3.0 ]);
+  check_f "stddev" 1.0 (Stat.stddev [ 1.0; 2.0; 3.0 ]);
+  check_f "single sample stddev" 0.0 (Stat.stddev [ 5.0 ]);
+  check "empty mean is nan" true (Float.is_nan (Stat.mean []));
+  check_f "geomean" 2.0 (Stat.geomean [ 1.0; 4.0 ]);
+  check_f "geomean of equal" 3.0 (Stat.geomean [ 3.0; 3.0; 3.0 ])
+
+let test_sample_protocol () =
+  let calls = ref 0 in
+  let samples =
+    Stat.sample ~runs:5 ~warmup:2 (fun () ->
+        incr calls;
+        float_of_int !calls)
+  in
+  Alcotest.(check int) "warmup + runs calls" 7 !calls;
+  (* The warm-up results are dropped: samples are runs 3..7. *)
+  check "keeps the last runs" true (samples = [ 3.0; 4.0; 5.0; 6.0; 7.0 ])
+
+let test_table_render () =
+  let s = Table.render ~headers:[ "a"; "bb" ] [ [ "xx"; "1" ]; [ "y"; "22" ] ] in
+  let lines = String.split_on_char '\n' s |> List.filter (( <> ) "") in
+  Alcotest.(check int) "header + rule + rows" 4 (List.length lines);
+  (* All lines align to the same width. *)
+  match lines with
+  | first :: rest ->
+      List.iter
+        (fun l -> Alcotest.(check int) "aligned" (String.length first) (String.length l))
+        rest
+  | [] -> Alcotest.fail "no output"
+
+let test_bar () =
+  check_str "full bar" "####" (Table.bar ~width:4 ~max_value:1.0 1.0);
+  check_str "half bar" "##" (Table.bar ~width:4 ~max_value:1.0 0.5);
+  check_str "clamped" "####" (Table.bar ~width:4 ~max_value:1.0 9.0);
+  check_str "degenerate max" "" (Table.bar ~width:4 ~max_value:0.0 1.0)
+
+let test_csv_write () =
+  let path = Filename.temp_file "snslp" ".csv" in
+  Csv.write path ~headers:[ "a"; "b" ]
+    [ [ "plain"; "with,comma" ]; [ "with\"quote"; "multi\nline" ] ];
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  check "header line" true (String.length content > 0);
+  check "comma quoted" true
+    (let rec has s sub i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || has s sub (i + 1))
+     in
+     has content "\"with,comma\"" 0);
+  check "quote doubled" true
+    (let rec has s sub i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || has s sub (i + 1))
+     in
+     has content "\"with\"\"quote\"" 0)
+
+let suite =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "mean/stddev/geomean" `Quick test_mean_stddev;
+        Alcotest.test_case "sample protocol" `Quick test_sample_protocol;
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "bars" `Quick test_bar;
+        Alcotest.test_case "csv write" `Quick test_csv_write;
+      ] );
+  ]

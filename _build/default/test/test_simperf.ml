@@ -1,0 +1,91 @@
+(* Tests for the performance simulator and the workload harness. *)
+
+open Snslp_ir
+open Snslp_costmodel
+open Snslp_kernels
+open Snslp_passes
+
+let check = Alcotest.(check bool)
+let check_f = Alcotest.(check (float 1e-9))
+
+let test_instr_costs () =
+  let f = Func.create ~name:"c" ~args:[ ("A", Ty.ptr Ty.F64); ("x", Ty.f64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) and x = Defs.Arg (Func.arg f 1) in
+  let ld = Builder.load b a in
+  let dv = Builder.div b (Instr.value ld) x in
+  let vl = Builder.vload b ~lanes:2 a in
+  let vd = Builder.div b (Instr.value vl) (Instr.value vl) in
+  let g = Builder.gep b a (Value.const_int 1) in
+  ignore (Builder.store b (Instr.value dv) (Instr.value g));
+  Builder.ret b;
+  let cost i = Snslp_simperf.Simperf.instr_cost Model.x86 Target.sse i in
+  check_f "scalar load" 1.0 (cost ld);
+  check_f "scalar div" 7.0 (cost dv);
+  check_f "vector load" 1.0 (cost vl);
+  check_f "vector div scales" 8.0 (cost vd);
+  check_f "gep is free" 0.0 (cost g)
+
+let test_alt_cost_depends_on_target () =
+  let f = Func.create ~name:"c" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let vl = Builder.vload b ~lanes:2 a in
+  let alt = Builder.alt_binop b [| Defs.Sub; Defs.Add |] (Instr.value vl) (Instr.value vl) in
+  Builder.ret b;
+  let with_addsub = Snslp_simperf.Simperf.instr_cost Model.x86 Target.sse alt in
+  let without = Snslp_simperf.Simperf.instr_cost Model.x86 Target.sse_no_addsub alt in
+  check "addsub is cheaper" true (with_addsub < without)
+
+let test_measure_counts_iterations () =
+  let k = Option.get (Registry.find "motiv_leaf") in
+  let wl = Workload.prepare ~iters:10 k in
+  let r = Workload.measure wl wl.Workload.func in
+  let r2 =
+    Workload.measure { wl with Workload.iters = 20 } wl.Workload.func
+  in
+  check "cycles scale with iterations" true
+    (abs_float ((2.0 *. r.Snslp_simperf.Simperf.cycles) -. r2.Snslp_simperf.Simperf.cycles)
+     < 1e-6);
+  check "instrs counted" true (r.Snslp_simperf.Simperf.instrs_executed > 0)
+
+let test_vectorized_is_faster () =
+  let k = Option.get (Registry.find "motiv_leaf") in
+  let wl = Workload.prepare ~iters:50 k in
+  let o3 = Pipeline.run ~setting:None wl.Workload.func in
+  let sn = Pipeline.run ~setting:(Some Snslp_vectorizer.Config.snslp) wl.Workload.func in
+  let c_o3 = Workload.measure wl o3.Pipeline.func in
+  let c_sn = Workload.measure wl sn.Pipeline.func in
+  let speedup = Snslp_simperf.Simperf.speedup ~baseline:c_o3 ~candidate:c_sn in
+  check "sn-slp speeds up motiv" true (speedup > 1.5)
+
+let test_workload_determinism () =
+  let k = Option.get (Registry.find "gromacs_force") in
+  let wl = Workload.prepare ~iters:16 k in
+  let m1 = Workload.run_interp wl wl.Workload.func in
+  let m2 = Workload.run_interp wl wl.Workload.func in
+  check "same memory twice" true (Snslp_interp.Memory.equal m1 m2)
+
+let test_workload_values_dyadic_nonzero () =
+  for k = 0 to 200 do
+    let v = Workload.float_value ~seed:3 k in
+    check "in range" true (v >= 0.25 && v < 8.5);
+    (* Dyadic with a coarse grid: v*4 is an integer. *)
+    check "dyadic" true (Float.is_integer (v *. 4.0))
+  done
+
+let suite =
+  [
+    ( "simperf",
+      [
+        Alcotest.test_case "instruction costs" `Quick test_instr_costs;
+        Alcotest.test_case "alt cost by target" `Quick test_alt_cost_depends_on_target;
+        Alcotest.test_case "measure scales" `Quick test_measure_counts_iterations;
+        Alcotest.test_case "vectorized is faster" `Quick test_vectorized_is_faster;
+        Alcotest.test_case "workload determinism" `Quick test_workload_determinism;
+        Alcotest.test_case "workload values dyadic" `Quick
+          test_workload_values_dyadic_nonzero;
+      ] );
+  ]

@@ -1,0 +1,313 @@
+(* Focused tests of Super-Node recognition, reordering and code
+   morphing (Supernode.massage), plus the multi-width seed driver. *)
+
+open Snslp_ir
+open Snslp_vectorizer
+open Snslp_passes
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let canonical src =
+  (Pipeline.run ~setting:None (Snslp_frontend.Frontend.compile_one src)).Pipeline.func
+
+(* The root (outermost) binop of each statement, in statement order:
+   the binops that feed stores. *)
+let store_roots (f : Defs.func) : Defs.instr array =
+  Block.instrs (Func.entry f)
+  |> List.filter_map (fun (i : Defs.instr) ->
+         if Instr.is_store i then
+           match i.Defs.ops.(0) with
+           | Defs.Instr r when Instr.is_binop r -> Some r
+           | _ -> None
+         else None)
+  |> Array.of_list
+
+let motiv_src =
+  {|
+kernel m(double A[], double B[], double C[], double D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = D[i+1] - C[i+1] + B[i+1];
+}
+|}
+
+let test_massage_reorders_fig2 () =
+  let f = canonical motiv_src in
+  let roots = store_roots f in
+  check_int "two roots" 2 (Array.length roots);
+  match Supernode.massage Config.snslp f roots with
+  | None -> Alcotest.fail "Super-Node should form"
+  | Some r ->
+      check "reordered" true r.Supernode.reordered;
+      check_int "size" 2 r.Supernode.size;
+      Verifier.verify_exn f;
+      (* The regenerated lanes are isomorphic: same opcode sequence
+         down the spine. *)
+      let spine (root : Defs.instr) =
+        let rec go (i : Defs.instr) acc =
+          match i.Defs.ops.(0) with
+          | Defs.Instr j when Instr.is_binop j -> go j (Instr.opcode i :: acc)
+          | _ -> Instr.opcode i :: acc
+        in
+        go root []
+      in
+      check "isomorphic spines" true
+        (spine r.Supernode.new_roots.(0) = spine r.Supernode.new_roots.(1))
+
+let test_massage_identity_is_stable () =
+  (* Already isomorphic, canonical order: no rewrite. *)
+  let f =
+    canonical
+      {|
+kernel m(double A[], double B[], double C[], double D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = B[i+1] - C[i+1] + D[i+1];
+}
+|}
+  in
+  let before = Func.num_instrs f in
+  let roots = store_roots f in
+  match Supernode.massage Config.snslp f roots with
+  | None -> Alcotest.fail "Super-Node should form"
+  | Some r ->
+      check "no rewrite needed" false r.Supernode.reordered;
+      check "roots unchanged" true
+        (Instr.equal r.Supernode.new_roots.(0) roots.(0)
+        && Instr.equal r.Supernode.new_roots.(1) roots.(1));
+      check_int "instruction count unchanged" before (Func.num_instrs f)
+
+let test_massage_rejects_incompatible () =
+  (* Different leaf counts across lanes. *)
+  let f =
+    canonical
+      {|
+kernel m(double A[], double B[], double C[], double D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = B[i+1] - C[i+1] + D[i+1] + B[i+1];
+}
+|}
+  in
+  check "leaf-count mismatch rejected" true
+    (Supernode.massage Config.snslp f (store_roots f) = None);
+  (* Mixed families across lanes. *)
+  let g =
+    canonical
+      {|
+kernel m(double A[], double B[], double C[], double D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = B[i+1] / C[i+1] * D[i+1];
+}
+|}
+  in
+  check "family mismatch rejected" true
+    (Supernode.massage Config.snslp g (store_roots g) = None);
+  (* A single lane is not a Super-Node. *)
+  let h = canonical "kernel m(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] - C[i] + D[i]; }" in
+  check "one lane rejected" true (Supernode.massage Config.snslp h (store_roots h) = None)
+
+let test_massage_vanilla_never_fires () =
+  let f = canonical motiv_src in
+  check "vanilla does not massage" true
+    (Supernode.massage Config.vanilla f (store_roots f) = None)
+
+let test_massage_muldiv_reservation () =
+  (* x*y/z vs x/z*y: the reservation must keep a Plus (direct) leaf
+     for the chain head in both lanes. *)
+  let f =
+    canonical
+      {|
+kernel m(double N[], double X[], double Y[], double Z[], long i) {
+  N[i+0] = X[i+0] * Y[i+0] / Z[i+0];
+  N[i+1] = X[i+1] / Z[i+1] * Y[i+1];
+}
+|}
+  in
+  let roots = store_roots f in
+  match Supernode.massage Config.snslp f roots with
+  | None -> Alcotest.fail "mul/div Super-Node should form"
+  | Some r ->
+      Verifier.verify_exn f;
+      (* Both lanes must start from a direct (multiplied) leaf: the
+         deepest op of each spine cannot be a division of two leaves
+         where the left one carries a reciprocal APO — structurally,
+         the spine ops across lanes must match. *)
+      let ops_of (root : Defs.instr) =
+        let rec go (i : Defs.instr) acc =
+          match i.Defs.ops.(0) with
+          | Defs.Instr j when Instr.is_binop j -> go j (Instr.opcode i :: acc)
+          | _ -> Instr.opcode i :: acc
+        in
+        go root []
+      in
+      check "lanes isomorphic" true
+        (ops_of r.Supernode.new_roots.(0) = ops_of r.Supernode.new_roots.(1))
+
+let test_massage_four_lanes () =
+  let f =
+    canonical
+      {|
+kernel m(float A[], float B[], float C[], float D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = D[i+1] - C[i+1] + B[i+1];
+  A[i+2] = B[i+2] + D[i+2] - C[i+2];
+  A[i+3] = D[i+3] + B[i+3] - C[i+3];
+}
+|}
+  in
+  let roots = store_roots f in
+  check_int "four roots" 4 (Array.length roots);
+  match Supernode.massage Config.snslp f roots with
+  | None -> Alcotest.fail "4-lane Super-Node should form"
+  | Some r ->
+      Verifier.verify_exn f;
+      check_int "four new roots" 4 (Array.length r.Supernode.new_roots)
+
+(* --- Multi-width seeding ------------------------------------------------ *)
+
+let test_widths () =
+  Alcotest.(check (list int)) "max 4" [ 4; 2 ] (Seeds.widths ~max_width:4);
+  Alcotest.(check (list int)) "max 2" [ 2 ] (Seeds.widths ~max_width:2);
+  Alcotest.(check (list int)) "max 1" [] (Seeds.widths ~max_width:1)
+
+let test_chunk_and_recut () =
+  let f =
+    canonical
+      {|
+kernel s(double A[], long i) {
+  A[i+0] = 1.0;
+  A[i+1] = 2.0;
+  A[i+2] = 3.0;
+  A[i+3] = 4.0;
+  A[i+4] = 5.0;
+}
+|}
+  in
+  match Seeds.runs (Func.entry f) with
+  | [ run ] ->
+      check_int "run of five" 5 (List.length run);
+      let groups, rest = Seeds.chunk ~width:2 run in
+      check_int "two pairs" 2 (List.length groups);
+      check_int "one left" 1 (List.length rest);
+      (* Removing the middle store splits the recut. *)
+      let without_middle = List.filteri (fun k _ -> k <> 2) run in
+      check_int "recut splits at the gap" 2 (List.length (Seeds.recut without_middle))
+  | _ -> Alcotest.fail "expected one run"
+
+let test_narrower_width_retry () =
+  (* Four f32 stores whose upper half cannot join the lower half (one
+     half adds, the other multiplies): the 4-wide attempt fails, the
+     2-wide retries succeed. *)
+  let src =
+    {|
+kernel s(float A[], float B[], float C[], long i) {
+  A[i+0] = B[i+0] + C[i+0];
+  A[i+1] = B[i+1] + C[i+1];
+  A[i+2] = B[i+2] * C[i+2];
+  A[i+3] = B[i+3] * C[i+3];
+}
+|}
+  in
+  let func = Snslp_frontend.Frontend.compile_one src in
+  let result = Pipeline.run ~setting:(Some Config.snslp) func in
+  match result.Pipeline.vect_report with
+  | Some rep ->
+      check_int "two graphs vectorized" 2 rep.Vectorize.stats.Stats.graphs_vectorized;
+      let out = result.Pipeline.func in
+      let two_lane_stores =
+        Func.fold_instrs
+          (fun n j ->
+            if Instr.is_store j && Ty.lanes (Value.ty j.Defs.ops.(0)) = 2 then n + 1
+            else n)
+          0 out
+      in
+      check_int "two 2-lane vector stores" 2 two_lane_stores
+  | None -> Alcotest.fail "no report"
+
+let test_four_wide_when_isomorphic () =
+  let src =
+    {|
+kernel s(float A[], float B[], float C[], long i) {
+  A[i+0] = B[i+0] + C[i+0];
+  A[i+1] = B[i+1] + C[i+1];
+  A[i+2] = B[i+2] + C[i+2];
+  A[i+3] = B[i+3] + C[i+3];
+}
+|}
+  in
+  let func = Snslp_frontend.Frontend.compile_one src in
+  let result = Pipeline.run ~setting:(Some Config.snslp) func in
+  let four_lane_stores =
+    Func.fold_instrs
+      (fun n j ->
+        if Instr.is_store j && Ty.lanes (Value.ty j.Defs.ops.(0)) = 4 then n + 1 else n)
+      0 result.Pipeline.func
+  in
+  check_int "one 4-lane vector store" 1 four_lane_stores
+
+(* --- Full benchmarks ---------------------------------------------------- *)
+
+let test_fullbench_compile_and_verify () =
+  List.iter
+    (fun (b : Snslp_kernels.Fullbench.t) ->
+      let f = Snslp_frontend.Frontend.compile_one (Snslp_kernels.Fullbench.source b) in
+      Verifier.verify_exn f;
+      List.iter
+        (fun setting ->
+          let result = Pipeline.run ~setting f in
+          Verifier.verify_exn result.Pipeline.func)
+        [ None; Some Config.vanilla; Some Config.lslp; Some Config.snslp ])
+    Snslp_kernels.Fullbench.all
+
+let test_fullbench_activation_pattern () =
+  List.iter
+    (fun (b : Snslp_kernels.Fullbench.t) ->
+      let f = Snslp_frontend.Frontend.compile_one (Snslp_kernels.Fullbench.source b) in
+      let result = Pipeline.run ~setting:(Some Config.snslp) f in
+      match result.Pipeline.vect_report with
+      | Some rep ->
+          let sn = Stats.num_supernodes rep.Vectorize.stats in
+          if b.Snslp_kernels.Fullbench.activates then
+            check (b.Snslp_kernels.Fullbench.name ^ " activates") true (sn > 0)
+      | None -> Alcotest.fail "no report")
+    Snslp_kernels.Fullbench.all
+
+let test_fullbench_milc_semantics () =
+  let b = Option.get (Snslp_kernels.Fullbench.find "433.milc") in
+  let reg = Snslp_kernels.Fullbench.to_registry b in
+  let wl = Snslp_kernels.Workload.prepare ~iters:16 reg in
+  let reference = Snslp_kernels.Workload.run_interp wl wl.Snslp_kernels.Workload.func in
+  List.iter
+    (fun setting ->
+      let result = Pipeline.run ~setting wl.Snslp_kernels.Workload.func in
+      let got = Snslp_kernels.Workload.run_interp wl result.Pipeline.func in
+      check "milc full benchmark agrees" true
+        (Snslp_interp.Memory.max_rel_diff reference got <= 1e-12))
+    [ None; Some Config.vanilla; Some Config.lslp; Some Config.snslp ]
+
+let suite =
+  [
+    ( "supernode",
+      [
+        Alcotest.test_case "massage reorders fig2" `Quick test_massage_reorders_fig2;
+        Alcotest.test_case "identity is stable" `Quick test_massage_identity_is_stable;
+        Alcotest.test_case "rejects incompatible lanes" `Quick
+          test_massage_rejects_incompatible;
+        Alcotest.test_case "vanilla never fires" `Quick test_massage_vanilla_never_fires;
+        Alcotest.test_case "mul/div reservation" `Quick test_massage_muldiv_reservation;
+        Alcotest.test_case "four lanes" `Quick test_massage_four_lanes;
+      ] );
+    ( "seed-widths",
+      [
+        Alcotest.test_case "widths" `Quick test_widths;
+        Alcotest.test_case "chunk and recut" `Quick test_chunk_and_recut;
+        Alcotest.test_case "narrower-width retry" `Quick test_narrower_width_retry;
+        Alcotest.test_case "four wide when isomorphic" `Quick
+          test_four_wide_when_isomorphic;
+      ] );
+    ( "fullbench",
+      [
+        Alcotest.test_case "all compile and verify" `Slow test_fullbench_compile_and_verify;
+        Alcotest.test_case "activation pattern" `Slow test_fullbench_activation_pattern;
+        Alcotest.test_case "milc semantics" `Quick test_fullbench_milc_semantics;
+      ] );
+  ]

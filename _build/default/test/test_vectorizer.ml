@@ -1,0 +1,494 @@
+(* Vectorizer tests: seeds, look-ahead scoring, chain discovery and
+   APOs, Super-Node legality/reordering, graph shapes, the paper's
+   exact cost numbers, and code generation. *)
+
+open Snslp_ir
+open Snslp_vectorizer
+open Snslp_passes
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_f = Alcotest.(check (float 1e-9))
+
+let compile src = Snslp_frontend.Frontend.compile_one src
+
+(* A float binop whose first operand is itself a binop — the root of a
+   chain, as opposed to index arithmetic or the deepest operator. *)
+let find_chain_root ?(kind : Defs.binop option) f =
+  List.find
+    (fun (j : Defs.instr) ->
+      Instr.is_binop j
+      && Ty.is_float j.Defs.ty
+      && (match kind with Some k -> Instr.binop_kind j = Some k | None -> true)
+      && (match j.Defs.ops.(0) with Defs.Instr k -> Instr.is_binop k | _ -> false))
+    (Block.instrs (Func.entry f))
+
+(* The frontend output canonicalised by the scalar pre-passes, the
+   state SLP actually sees. *)
+let canonical src =
+  let result = Pipeline.run ~setting:None (compile src) in
+  result.Pipeline.func
+
+let entry_of f = Func.entry f
+
+(* --- Seeds --------------------------------------------------------------- *)
+
+let lanes_for = Snslp_costmodel.Target.lanes_for Snslp_costmodel.Target.sse
+
+let test_seeds_adjacent_stores () =
+  let f =
+    canonical
+      {|
+kernel s(double A[], double B[], long i) {
+  A[i+0] = 1.0;
+  A[i+1] = 2.0;
+  B[i+0] = 3.0;
+  B[i+7] = 4.0;
+}
+|}
+  in
+  let seeds = Seeds.collect (entry_of f) ~lanes_for in
+  check_int "one full-width group" 1 (List.length seeds);
+  check_int "group width" 2 (List.length (List.hd seeds))
+
+let test_seeds_runs_are_chunked () =
+  let f =
+    canonical
+      {|
+kernel s(double A[], long i) {
+  A[i+0] = 1.0;
+  A[i+1] = 2.0;
+  A[i+2] = 3.0;
+  A[i+3] = 4.0;
+  A[i+4] = 5.0;
+}
+|}
+  in
+  let seeds = Seeds.collect (entry_of f) ~lanes_for in
+  (* Five consecutive f64 stores, width 2: two full groups. *)
+  check_int "two groups" 2 (List.length seeds)
+
+let test_seeds_respect_element_width () =
+  let f =
+    canonical
+      {|
+kernel s(float A[], long i) {
+  A[i+0] = 1.0;
+  A[i+1] = 2.0;
+}
+|}
+  in
+  (* f32 on SSE needs 4 lanes; a run of 2 yields no seed. *)
+  check_int "no seed" 0 (List.length (Seeds.collect (entry_of f) ~lanes_for))
+
+let test_seeds_gap_splits_run () =
+  let f =
+    canonical
+      {|
+kernel s(double A[], long i) {
+  A[i+0] = 1.0;
+  A[i+2] = 2.0;
+  A[i+3] = 3.0;
+}
+|}
+  in
+  let seeds = Seeds.collect (entry_of f) ~lanes_for in
+  check_int "one group from the second run" 1 (List.length seeds)
+
+(* --- Look-ahead ----------------------------------------------------------- *)
+
+let test_lookahead_scores () =
+  let f =
+    canonical
+      {|
+kernel la(double A[], double B[], double C[], long i) {
+  A[i+0] = B[i+0] * C[i+0] + B[i+1];
+  A[i+1] = B[i+1] * C[i+1] + B[i+0];
+}
+|}
+  in
+  (* Loads of B, ordered by offset. *)
+  let loads =
+    List.filter
+      (fun (j : Defs.instr) ->
+        Instr.is_load j
+        &&
+        match Snslp_analysis.Address.of_instr j with
+        | Some a -> (
+            match a.Snslp_analysis.Address.base with
+            | Defs.Arg g -> g.Defs.arg_pos = 1
+            | _ -> false)
+        | None -> false)
+      (Block.instrs (entry_of f))
+    |> List.sort (fun a b ->
+           let off j =
+             (Option.get (Snslp_analysis.Address.of_instr j)).Snslp_analysis.Address.index
+               .Snslp_analysis.Affine.const
+           in
+           Int.compare (off a) (off b))
+  in
+  let muls =
+    List.filter (fun j -> Instr.binop_kind j = Some Defs.Mul) (Block.instrs (entry_of f))
+  in
+  (match loads with
+  | b0 :: b1 :: _ ->
+      check_int "consecutive loads" 4
+        (Lookahead.score ~depth:0 (Instr.value b0) (Instr.value b1));
+      check_int "reversed loads" 1
+        (Lookahead.score ~depth:0 (Instr.value b1) (Instr.value b0));
+      check_int "splat" 3 (Lookahead.score ~depth:0 (Instr.value b0) (Instr.value b0))
+  | _ -> Alcotest.fail "loads not found");
+  (match muls with
+  | [ m0; m1 ] ->
+      let shallow = Lookahead.score ~depth:0 (Instr.value m0) (Instr.value m1) in
+      let deep = Lookahead.score ~depth:2 (Instr.value m0) (Instr.value m1) in
+      check_int "same opcode shallow" 2 shallow;
+      check "look-ahead sees operands" true (deep > shallow)
+  | _ -> Alcotest.fail "muls not found");
+  check_int "constants pair" 2
+    (Lookahead.score ~depth:0 (Value.const_float 1.0) (Value.const_float 2.0));
+  check_int "mismatch fails" 0
+    (Lookahead.score ~depth:0 (Value.const_float 1.0)
+       (Instr.value (List.hd loads)))
+
+(* --- Chains and APOs ------------------------------------------------------- *)
+
+(* Chain of A[i] = B[i] - C[i] + D[i] has trunk 2 and leaves B+ C- D+. *)
+let test_chain_discovery () =
+  let f = canonical "kernel c(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] - C[i] + D[i]; }" in
+  let root =
+    List.find (fun j -> Instr.binop_kind j = Some Defs.Add) (Block.instrs (entry_of f))
+  in
+  match Chain.discover Config.snslp f root with
+  | None -> Alcotest.fail "chain not discovered"
+  | Some chain ->
+      check_int "trunk size" 2 (Chain.size chain);
+      check_int "leaves" 3 (Array.length chain.Chain.leaves);
+      let apos = Array.map (fun (l : Chain.leaf) -> l.Chain.lapo) chain.Chain.leaves in
+      check "APOs are + - +" true (apos = [| Apo.Plus; Apo.Minus; Apo.Plus |]);
+      check "canonical left-leaning" true (Chain.is_canonical chain)
+
+(* A - (B + C): right-subtree flips APOs (paper Fig. 4 rule). *)
+let test_apo_right_subtree () =
+  let f = canonical "kernel c(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] - (C[i] + D[i]); }" in
+  let root =
+    List.find (fun j -> Instr.binop_kind j = Some Defs.Sub) (Block.instrs (entry_of f))
+  in
+  match Chain.discover Config.snslp f root with
+  | None -> Alcotest.fail "chain not discovered"
+  | Some chain ->
+      let apos = Array.map (fun (l : Chain.leaf) -> l.Chain.lapo) chain.Chain.leaves in
+      check "APOs are + - -" true (apos = [| Apo.Plus; Apo.Minus; Apo.Minus |]);
+      check "not canonical (right subtree)" false (Chain.is_canonical chain)
+
+(* Nested inverse: A - (B - C) gives C a Plus APO (double flip). *)
+let test_apo_double_flip () =
+  let f = canonical "kernel c(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] - (C[i] - D[i]); }" in
+  let root =
+    List.find
+      (fun (j : Defs.instr) ->
+        Instr.binop_kind j = Some Defs.Sub
+        && match j.Defs.ops.(1) with Defs.Instr k -> Instr.is_binop k | _ -> false)
+      (Block.instrs (entry_of f))
+  in
+  match Chain.discover Config.snslp f root with
+  | None -> Alcotest.fail "chain not discovered"
+  | Some chain ->
+      let apos = Array.map (fun (l : Chain.leaf) -> l.Chain.lapo) chain.Chain.leaves in
+      check "APOs are + - +" true (apos = [| Apo.Plus; Apo.Minus; Apo.Plus |])
+
+let test_apo_muldiv () =
+  let f = canonical "kernel c(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] / (C[i] * D[i]); }" in
+  let root =
+    List.find (fun j -> Instr.binop_kind j = Some Defs.Div) (Block.instrs (entry_of f))
+  in
+  match Chain.discover Config.snslp f root with
+  | None -> Alcotest.fail "mul/div chain not discovered"
+  | Some chain ->
+      check "family" true (chain.Chain.fam = Family.Mul_div);
+      let apos = Array.map (fun (l : Chain.leaf) -> l.Chain.lapo) chain.Chain.leaves in
+      check "reciprocal APOs" true (apos = [| Apo.Plus; Apo.Minus; Apo.Minus |])
+
+let test_lslp_chain_rejects_inverse () =
+  let f = canonical "kernel c(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] - C[i] + D[i]; }" in
+  let root =
+    List.find (fun j -> Instr.binop_kind j = Some Defs.Add) (Block.instrs (entry_of f))
+  in
+  (* In LSLP mode the sub interrupts the chain: only one trunk op
+     remains, below the minimum size. *)
+  check "no Multi-Node across a sub" true (Chain.discover Config.lslp f root = None);
+  (* But a pure add chain is a Multi-Node. *)
+  let g = canonical "kernel c(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] + C[i] + D[i]; }" in
+  let root = find_chain_root ~kind:Defs.Add g in
+  check "Multi-Node on pure adds" true (Chain.discover Config.lslp g root <> None)
+
+let test_vanilla_never_chains () =
+  let f = canonical "kernel c(double A[], double B[], double C[], double D[], long i) { A[i] = B[i] + C[i] + D[i]; }" in
+  let root = find_chain_root ~kind:Defs.Add f in
+  check "vanilla has no chains" true (Chain.discover Config.vanilla f root = None)
+
+let test_chain_multi_use_interrupts () =
+  (* t is used twice, so it cannot be an interior trunk node. *)
+  let f =
+    canonical
+      {|
+kernel c(double A[], double B[], double C[], double D[], long i) {
+  double t = B[i] + C[i];
+  A[i] = t + D[i];
+  A[i+4] = t;
+}
+|}
+  in
+  let root =
+    List.find
+      (fun j ->
+        Instr.binop_kind j = Some Defs.Add
+        && (match j.Defs.ops.(0) with Defs.Instr k -> Instr.is_binop k | _ -> false))
+      (Block.instrs (entry_of f))
+  in
+  check "multi-use stops the chain" true (Chain.discover Config.snslp f root = None)
+
+let test_max_chain_cap () =
+  let terms = List.init 20 (fun k -> Printf.sprintf "B[i+%d]" k) in
+  let expr = String.concat " + " terms in
+  let src =
+    Printf.sprintf "kernel c(double A[], double B[], long i) { A[i] = %s; }" expr
+  in
+  let f = canonical src in
+  let root =
+    List.find
+      (fun (j : Defs.instr) ->
+        Instr.is_binop j
+        && Ty.is_float j.Defs.ty
+        && not
+             (List.exists (fun (u, _) -> Instr.is_binop u) (Func.uses_of f (Instr.value j))))
+      (Block.instrs (entry_of f))
+  in
+  let config = { Config.snslp with Config.max_chain = 4 } in
+  match Chain.discover config f root with
+  | None -> Alcotest.fail "capped chain should still form"
+  | Some chain -> check "cap respected" true (Chain.size chain <= 4)
+
+(* --- Paper cost numbers ---------------------------------------------------- *)
+
+let vect_cost setting src =
+  let f = compile src in
+  let result = Pipeline.run ~setting:(Some setting) f in
+  match result.Pipeline.vect_report with
+  | Some { Vectorize.trees = [ t ]; _ } -> t.Vectorize.cost.Cost.total
+  | _ -> Alcotest.fail "expected exactly one SLP tree"
+
+let motiv_leaf_src = (Option.get (Snslp_kernels.Registry.find "motiv_leaf")).Snslp_kernels.Registry.source
+let motiv_trunk_src = (Option.get (Snslp_kernels.Registry.find "motiv_trunk")).Snslp_kernels.Registry.source
+
+let test_fig2_costs () =
+  (* Paper Fig. 2: vanilla SLP total cost 0 (not profitable); SN-SLP
+     -6 (fully vectorized). LSLP behaves like vanilla here. *)
+  check_f "SLP cost" 0.0 (vect_cost Config.vanilla motiv_leaf_src);
+  check_f "LSLP cost" 0.0 (vect_cost Config.lslp motiv_leaf_src);
+  check_f "SN-SLP cost" (-6.0) (vect_cost Config.snslp motiv_leaf_src)
+
+let test_fig3_costs () =
+  (* Paper Fig. 3: SLP +4; SN-SLP -6. *)
+  check_f "SLP cost" 4.0 (vect_cost Config.vanilla motiv_trunk_src);
+  check_f "LSLP cost" 4.0 (vect_cost Config.lslp motiv_trunk_src);
+  check_f "SN-SLP cost" (-6.0) (vect_cost Config.snslp motiv_trunk_src)
+
+(* --- Graph shapes ----------------------------------------------------------- *)
+
+let graph_of setting src =
+  let f = compile src in
+  ignore (Fold.run f);
+  ignore (Simplify.run f);
+  ignore (Cse.run f);
+  let block = Func.entry f in
+  let seeds = Seeds.collect block ~lanes_for in
+  match seeds with
+  | [ seed ] -> (
+      match Graph.build setting f block seed with
+      | Some g -> g
+      | None -> Alcotest.fail "graph not built")
+  | _ -> Alcotest.fail "expected one seed"
+
+let count_kind g p = List.length (List.filter (fun (n : Graph.node) -> p n.Graph.kind) (Graph.nodes g))
+
+let test_graph_fig2_vanilla_shape () =
+  let g = graph_of Config.vanilla motiv_leaf_src in
+  check_int "six nodes" 6 (List.length (Graph.nodes g));
+  check_int "two gathers" 2
+    (count_kind g (function Graph.K_gather -> true | _ -> false));
+  check_int "no alt nodes" 0
+    (count_kind g (function Graph.K_alt _ -> true | _ -> false))
+
+let test_graph_fig3_vanilla_has_alt () =
+  let g = graph_of Config.vanilla motiv_trunk_src in
+  check_int "two alternating nodes" 2
+    (count_kind g (function Graph.K_alt _ -> true | _ -> false))
+
+let test_graph_fig2_snslp_shape () =
+  let g = graph_of Config.snslp motiv_leaf_src in
+  check_int "six nodes" 6 (List.length (Graph.nodes g));
+  check_int "no gathers" 0
+    (count_kind g (function Graph.K_gather | Graph.K_splat -> true | _ -> false));
+  check_int "one supernode recorded" 1 (List.length g.Graph.supernode_sizes);
+  check_int "supernode size 2" 2 (List.hd g.Graph.supernode_sizes)
+
+let test_graph_splat_detection () =
+  let g =
+    graph_of Config.vanilla
+      {|
+kernel sp(double A[], double B[], double s, long i) {
+  A[i+0] = B[i+0] * s;
+  A[i+1] = B[i+1] * s;
+}
+|}
+  in
+  check_int "one splat" 1 (count_kind g (function Graph.K_splat -> true | _ -> false))
+
+(* --- Codegen ----------------------------------------------------------------- *)
+
+let test_codegen_motiv_leaf () =
+  let f = compile motiv_leaf_src in
+  let result = Pipeline.run ~setting:(Some Config.snslp) f in
+  let out = result.Pipeline.func in
+  Verifier.verify_exn out;
+  let vec_instrs =
+    Func.fold_instrs (fun n j -> if Ty.is_vector j.Defs.ty then n + 1 else n) 0 out
+  in
+  let vstores =
+    Func.fold_instrs
+      (fun n j ->
+        if Instr.is_store j && Ty.is_vector (Value.ty j.Defs.ops.(0)) then n + 1 else n)
+      0 out
+  in
+  check "vector code present" true (vec_instrs >= 5);
+  check_int "one vector store" 1 vstores;
+  (* No scalar arithmetic remains. *)
+  let scalar_fp_ops =
+    Func.fold_instrs
+      (fun n j -> if Instr.is_binop j && Ty.is_int j.Defs.ty = false && not (Ty.is_vector j.Defs.ty) then n + 1 else n)
+      0 out
+  in
+  check_int "no scalar fp arithmetic left" 0 scalar_fp_ops
+
+let test_codegen_extract_for_external_use () =
+  (* B[i]+C[i] pair is vectorized; the scalar sum of lane 0 is also
+     stored elsewhere, forcing an extract. *)
+  let src =
+    {|
+kernel ext(double A[], double B[], double C[], long i) {
+  double t = B[i+0] + C[i+0];
+  double u = B[i+1] + C[i+1];
+  A[i+0] = t;
+  A[i+1] = u;
+  A[i+7] = t * 2.0;
+}
+|}
+  in
+  let f = compile src in
+  let result = Pipeline.run ~setting:(Some Config.snslp) f in
+  let out = result.Pipeline.func in
+  Verifier.verify_exn out;
+  let extracts =
+    Func.fold_instrs
+      (fun n j -> (match j.Defs.op with Defs.Extract -> n + 1 | _ -> n))
+      0 out
+  in
+  check "extract emitted" true (extracts >= 1)
+
+let test_codegen_gather_inserts () =
+  (* Non-adjacent loads become an insertelement chain. *)
+  let src =
+    {|
+kernel ga(double A[], double B[], long i) {
+  A[i+0] = B[2*i+0] + 1.0;
+  A[i+1] = B[2*i+4] + 1.0;
+}
+|}
+  in
+  let f = compile src in
+  let result = Pipeline.run ~setting:(Some Config.snslp) f in
+  let out = result.Pipeline.func in
+  (match result.Pipeline.vect_report with
+  | Some rep ->
+      if rep.Vectorize.stats.Stats.graphs_vectorized = 1 then begin
+        let inserts =
+          Func.fold_instrs
+            (fun n j -> (match j.Defs.op with Defs.Insert -> n + 1 | _ -> n))
+            0 out
+        in
+        check "inserts emitted" true (inserts >= 2)
+      end
+  | None -> Alcotest.fail "no vectorizer report")
+
+let test_stats_accounting () =
+  let f = compile motiv_leaf_src in
+  let result = Pipeline.run ~setting:(Some Config.snslp) f in
+  match result.Pipeline.vect_report with
+  | Some rep ->
+      let s = rep.Vectorize.stats in
+      check_int "one graph" 1 s.Stats.graphs_built;
+      check_int "one vectorized" 1 s.Stats.graphs_vectorized;
+      check_int "aggregate size" 2 (Stats.aggregate_supernode_size s);
+      check_f "average size" 2.0 (Stats.average_supernode_size s);
+      check "scalars erased" true (s.Stats.scalars_erased >= 8);
+      check "vector instrs counted" true (s.Stats.vector_instrs_emitted >= 5)
+  | None -> Alcotest.fail "no vectorizer report"
+
+let test_rejected_graph_keeps_scalar_code () =
+  (* Vanilla on motiv_leaf rejects: output must stay scalar and be
+     semantically identical to the input. *)
+  let f = compile motiv_leaf_src in
+  let result = Pipeline.run ~setting:(Some Config.vanilla) f in
+  let vec_instrs =
+    Func.fold_instrs
+      (fun n j -> if Ty.is_vector j.Defs.ty then n + 1 else n)
+      0 result.Pipeline.func
+  in
+  check_int "no vector instructions" 0 vec_instrs
+
+let suite =
+  [
+    ( "seeds",
+      [
+        Alcotest.test_case "adjacent stores" `Quick test_seeds_adjacent_stores;
+        Alcotest.test_case "runs chunked" `Quick test_seeds_runs_are_chunked;
+        Alcotest.test_case "element width" `Quick test_seeds_respect_element_width;
+        Alcotest.test_case "gaps split runs" `Quick test_seeds_gap_splits_run;
+      ] );
+    ( "lookahead",
+      [ Alcotest.test_case "score table" `Quick test_lookahead_scores ] );
+    ( "chains",
+      [
+        Alcotest.test_case "discovery and APOs" `Quick test_chain_discovery;
+        Alcotest.test_case "right-subtree APO flip" `Quick test_apo_right_subtree;
+        Alcotest.test_case "double flip" `Quick test_apo_double_flip;
+        Alcotest.test_case "mul/div family" `Quick test_apo_muldiv;
+        Alcotest.test_case "LSLP rejects inverses" `Quick test_lslp_chain_rejects_inverse;
+        Alcotest.test_case "vanilla never chains" `Quick test_vanilla_never_chains;
+        Alcotest.test_case "multi-use interrupts" `Quick test_chain_multi_use_interrupts;
+        Alcotest.test_case "max chain cap" `Quick test_max_chain_cap;
+      ] );
+    ( "paper-costs",
+      [
+        Alcotest.test_case "figure 2" `Quick test_fig2_costs;
+        Alcotest.test_case "figure 3" `Quick test_fig3_costs;
+      ] );
+    ( "graph",
+      [
+        Alcotest.test_case "fig2 vanilla shape" `Quick test_graph_fig2_vanilla_shape;
+        Alcotest.test_case "fig3 vanilla alt nodes" `Quick test_graph_fig3_vanilla_has_alt;
+        Alcotest.test_case "fig2 sn-slp shape" `Quick test_graph_fig2_snslp_shape;
+        Alcotest.test_case "splat detection" `Quick test_graph_splat_detection;
+      ] );
+    ( "codegen",
+      [
+        Alcotest.test_case "motiv_leaf vector code" `Quick test_codegen_motiv_leaf;
+        Alcotest.test_case "extract for external use" `Quick
+          test_codegen_extract_for_external_use;
+        Alcotest.test_case "gather inserts" `Quick test_codegen_gather_inserts;
+        Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+        Alcotest.test_case "rejected graphs stay scalar" `Quick
+          test_rejected_graph_keeps_scalar_code;
+      ] );
+  ]
