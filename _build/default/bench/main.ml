@@ -297,6 +297,218 @@ let fig11 () =
   pr "  here than in the paper because our scalar pipeline is a 5-pass mini-O3,@.";
   pr "  not a full LLVM -O3 (see EXPERIMENTS.md).@."
 
+(* --- Compile time: memoization speedup and BENCH_compile_time.json --------- *)
+
+(* Memoized vs legacy SN-SLP compile time at a given look-ahead depth.
+   [Config.memoize = false] reproduces the pre-memoization compile
+   path (per-query look-ahead recursion, per-seed dependence analysis,
+   uncached reachability windows); the vectorized output is
+   bit-identical either way.  Rounds interleave the two configurations
+   so GC pressure and cache warm-up drift cancel instead of biasing
+   whichever side runs last. *)
+let memo_vs_legacy ~depth ~rounds (func : Snslp_ir.Defs.func) =
+  let mk memoize =
+    Some { Config.snslp with Config.lookahead_depth = depth; Config.memoize }
+  in
+  ignore (Pipeline.run ~setting:(mk true) func);
+  ignore (Pipeline.run ~setting:(mk false) func);
+  let memo_s = ref 0.0 and legacy_s = ref 0.0 in
+  let stats = ref (Stats.create ()) in
+  for _ = 1 to rounds do
+    let m = Pipeline.run ~setting:(mk true) func in
+    memo_s := !memo_s +. m.Pipeline.total_seconds;
+    (match m.Pipeline.vect_report with
+    | Some rep -> stats := rep.Vectorize.stats
+    | None -> ());
+    let l = Pipeline.run ~setting:(mk false) func in
+    legacy_s := !legacy_s +. l.Pipeline.total_seconds
+  done;
+  let n = float_of_int rounds in
+  (!memo_s /. n, !legacy_s /. n, !stats)
+
+(* The memoized and legacy paths must produce bit-identical output;
+   checked here (cheaply, on final printed IR) so the bench smoke run
+   under `dune runtest` guards the equivalence, not just the
+   dedicated test suite. *)
+let memo_identity ~depth (kernels : Registry.t list) =
+  List.iter
+    (fun (k : Registry.t) ->
+      let func = Snslp_frontend.Frontend.compile_one k.Registry.source in
+      let ir memoize =
+        let setting =
+          Some { Config.snslp with Config.lookahead_depth = depth; Config.memoize }
+        in
+        Snslp_ir.Printer.func_to_string (Pipeline.run ~setting func).Pipeline.func
+      in
+      if not (String.equal (ir true) (ir false)) then (
+        pr "  !! %s: memoized and legacy outputs differ at depth %d@." k.Registry.name
+          depth;
+        exit 1))
+    kernels
+
+let headline_depth = 3
+
+let compile_time_report ~rounds ~(kernels : Registry.t list) () =
+  pr "%s"
+    (Table.section
+       (Printf.sprintf
+          "Compile time: SN-SLP memoization speedup (depth %d, %d interleaved rounds)"
+          headline_depth rounds));
+  let entries =
+    List.map
+      (fun (k : Registry.t) ->
+        (k, Snslp_frontend.Frontend.compile_one k.Registry.source))
+      kernels
+  in
+  let us s = s *. 1e6 in
+  let measured =
+    List.map
+      (fun ((k : Registry.t), func) ->
+        let per_setting =
+          List.map
+            (fun (sname, setting) ->
+              let samples =
+                Stat.sample ~runs:rounds ~warmup:1 (fun () ->
+                    (Pipeline.run ~setting func).Pipeline.total_seconds)
+              in
+              (sname, Stat.mean samples, Stat.stddev samples))
+            settings
+        in
+        let memo, legacy, stats = memo_vs_legacy ~depth:headline_depth ~rounds func in
+        (k, Snslp_ir.Func.num_instrs func, per_setting, memo, legacy, stats))
+      entries
+  in
+  let rows =
+    List.map
+      (fun ((k : Registry.t), instrs, per_setting, memo, legacy, stats) ->
+        let setting_cell name =
+          let _, mean, _ = List.find (fun (n, _, _) -> String.equal n name) per_setting in
+          Printf.sprintf "%.1f" (us mean)
+        in
+        [
+          k.Registry.name;
+          string_of_int instrs;
+          setting_cell "o3";
+          setting_cell "slp";
+          setting_cell "lslp";
+          setting_cell "sn-slp";
+          Printf.sprintf "%.1f" (us memo);
+          Printf.sprintf "%.1f" (us legacy);
+          Printf.sprintf "%.2fx" (legacy /. memo);
+          Printf.sprintf "%.0f%%"
+            (100.0
+            *. Stats.hit_rate ~hits:stats.Stats.lookahead_hits
+                 ~misses:stats.Stats.lookahead_misses);
+        ])
+      measured
+  in
+  emit ~name:"compile-time"
+    ~headers:
+      [
+        "kernel"; "instrs"; "o3 us"; "slp us"; "lslp us"; "sn-slp us";
+        "memo us (d3)"; "legacy us (d3)"; "speedup"; "la-hit";
+      ]
+    rows;
+  (* The headline criterion: on the largest registry kernel, the
+     memoized hot path must be at least 3x faster than the legacy
+     path at look-ahead depth >= 3. *)
+  let ((hk : Registry.t), hinstrs, _, hmemo, hlegacy, hstats) =
+    List.fold_left
+      (fun acc ((_, instrs, _, _, _, _) as entry) ->
+        let _, best, _, _, _, _ = acc in
+        if instrs > best then entry else acc)
+      (List.hd measured) (List.tl measured)
+  in
+  let speedup = hlegacy /. hmemo in
+  pr "  largest kernel %s (%d instrs): memoized %.0f us, legacy %.0f us — %.2fx %s@."
+    hk.Registry.name hinstrs (us hmemo) (us hlegacy) speedup
+    (if speedup >= 3.0 then "(criterion >= 3x: PASS)" else "(criterion >= 3x: FAIL)");
+  let stat_obj ~hits ~misses =
+    Json.Obj
+      [
+        ("hits", Json.Int hits);
+        ("misses", Json.Int misses);
+        ("hit_rate", Json.Float (Stats.hit_rate ~hits ~misses));
+      ]
+  in
+  let kernel_json ((k : Registry.t), instrs, per_setting, memo, legacy, stats) =
+    Json.Obj
+      [
+        ("name", Json.String k.Registry.name);
+        ("instrs", Json.Int instrs);
+        ( "settings",
+          Json.Obj
+            (List.map
+               (fun (sname, mean, sd) ->
+                 ( sname,
+                   Json.Obj
+                     [
+                       ("mean_us", Json.Float (us mean));
+                       ("stddev_us", Json.Float (us sd));
+                     ] ))
+               per_setting) );
+        ( "snslp_memoization",
+          Json.Obj
+            [
+              ("lookahead_depth", Json.Int headline_depth);
+              ("memoized_us", Json.Float (us memo));
+              ("legacy_us", Json.Float (us legacy));
+              ("speedup", Json.Float (legacy /. memo));
+              ( "lookahead",
+                stat_obj ~hits:stats.Stats.lookahead_hits
+                  ~misses:stats.Stats.lookahead_misses );
+              ( "reachability",
+                stat_obj ~hits:stats.Stats.reach_hits ~misses:stats.Stats.reach_misses
+              );
+              ( "deps",
+                Json.Obj
+                  [
+                    ("builds", Json.Int stats.Stats.deps_builds);
+                    ("refreshes", Json.Int stats.Stats.deps_refreshes);
+                  ] );
+            ] );
+      ]
+  in
+  Json.write "BENCH_compile_time.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-compile-time/1");
+         ("rounds", Json.Int rounds);
+         ("kernels", Json.List (List.map kernel_json measured));
+         ( "headline",
+           Json.Obj
+             [
+               ("kernel", Json.String hk.Registry.name);
+               ("instrs", Json.Int hinstrs);
+               ("lookahead_depth", Json.Int headline_depth);
+               ("speedup", Json.Float speedup);
+               ( "lookahead_hit_rate",
+                 Json.Float
+                   (Stats.hit_rate ~hits:hstats.Stats.lookahead_hits
+                      ~misses:hstats.Stats.lookahead_misses) );
+               ( "criterion",
+                 Json.String
+                   "memoized SN-SLP >= 3x faster than legacy on the largest registry \
+                    kernel at lookahead_depth >= 3" );
+               ("pass", Json.Bool (speedup >= 3.0));
+             ] );
+       ]);
+  pr "  wrote BENCH_compile_time.json@."
+
+let compile_time () = compile_time_report ~rounds:10 ~kernels:Registry.all ()
+
+(* Reduced-iteration smoke variant wired into `dune runtest` (see
+   bench/dune): exercises the full reporting path, including the JSON
+   emission and the memoized/legacy output-identity guard, in a few
+   seconds. *)
+let smoke () =
+  let kernels =
+    List.filter_map Registry.find [ "milc_su3"; "sphinx_gau_f32"; "milc_mat_vec" ]
+  in
+  compile_time_report ~rounds:2 ~kernels ();
+  memo_identity ~depth:headline_depth kernels;
+  pr "bench-smoke OK@."
+
 (* --- Bechamel: statistically sound compile-time microbenchmarks ------------- *)
 
 let bechamel () =
@@ -343,7 +555,55 @@ let bechamel () =
       rows := [ name; est; r2 ] :: !rows)
     results;
   let rows = List.sort compare !rows in
-  emit ~name:"bechamel" ~headers:[ "benchmark"; "time/run"; "r2" ] rows
+  emit ~name:"bechamel" ~headers:[ "benchmark"; "time/run"; "r2" ] rows;
+  (* The memoization headline under the same statistical machinery:
+     SN-SLP at depth 3 with and without [Config.memoize] on the
+     largest registry kernel. *)
+  let largest =
+    List.fold_left
+      (fun best (k : Registry.t) ->
+        let n k = Snslp_ir.Func.num_instrs (Snslp_frontend.Frontend.compile_one k.Registry.source) in
+        match best with
+        | Some (bk, bn) -> let kn = n k in if kn > bn then Some (k, kn) else Some (bk, bn)
+        | None -> Some (k, n k))
+      None Registry.all
+  in
+  let (largest : Registry.t), largest_instrs = Option.get largest in
+  let lfunc = Snslp_frontend.Frontend.compile_one largest.Registry.source in
+  let memo_test memoize =
+    let setting = Some { Config.snslp with Config.lookahead_depth = 3; Config.memoize } in
+    Test.make
+      ~name:(if memoize then "memoized" else "legacy")
+      (Staged.stage (fun () -> ignore (Pipeline.run ~setting lfunc)))
+  in
+  let memo_tests =
+    Test.make_grouped ~name:("memo/" ^ largest.Registry.name) ~fmt:"%s %s"
+      [ memo_test true; memo_test false ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] memo_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let memoized_ns = ref nan and legacy_ns = ref nan in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (e :: _) ->
+          let ends_with suffix =
+            String.length name >= String.length suffix
+            && String.equal suffix
+                 (String.sub name
+                    (String.length name - String.length suffix)
+                    (String.length suffix))
+          in
+          if ends_with "memoized" then memoized_ns := e
+          else if ends_with "legacy" then legacy_ns := e
+      | _ -> ())
+    results;
+  let speedup = !legacy_ns /. !memoized_ns in
+  pr "  %s (%d instrs), SN-SLP depth 3: memoized %.0f us, legacy %.0f us@."
+    largest.Registry.name largest_instrs (!memoized_ns /. 1e3) (!legacy_ns /. 1e3);
+  pr "  memoization speedup %.2fx %s@." speedup
+    (if speedup >= 3.0 then "(criterion >= 3x: PASS)" else "(criterion >= 3x: FAIL)")
 
 (* --- Ablations ----------------------------------------------------------------
    Design-choice sweeps beyond the paper's figures (DESIGN.md §4):
@@ -449,6 +709,8 @@ let experiments =
     ("ablation-lookahead", ablation_lookahead);
     ("ablation-target", ablation_target);
     ("ablation-model", ablation_model);
+    ("compile-time", compile_time);
+    ("smoke", smoke);
     ("bechamel", bechamel);
   ]
 

@@ -1,0 +1,1 @@
+fingerprint_tmp/fbcheck.ml: Config List Printf Snslp_frontend Snslp_ir Snslp_kernels Snslp_passes Snslp_vectorizer

@@ -1,0 +1,1 @@
+fingerprint_tmp/fbcheck.mli:

@@ -1,0 +1,1 @@
+fingerprint_tmp/mini.ml: Config Format Snslp_frontend Snslp_passes Snslp_vectorizer Stats Vectorize

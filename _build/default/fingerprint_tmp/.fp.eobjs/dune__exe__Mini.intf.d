@@ -1,0 +1,1 @@
+fingerprint_tmp/mini.mli:

@@ -1,0 +1,1 @@
+fingerprint_tmp/prof1.mli:

@@ -1,0 +1,1 @@
+fingerprint_tmp/timeit2.ml: Array Config Format Hashtbl List Printf Snslp_frontend Snslp_kernels Snslp_passes Snslp_vectorizer Stats Sys Vectorize

@@ -1,0 +1,34 @@
+(* memoize=true vs memoize=false must produce identical IR everywhere. *)
+let () =
+  let open Snslp_vectorizer in
+  let dump cfg func =
+    let r = Snslp_passes.Pipeline.run ~setting:(Some cfg) func in
+    Snslp_ir.Printer.func_to_string r.Snslp_passes.Pipeline.func
+  in
+  let mismatches = ref 0 in
+  let check name func =
+    List.iter
+      (fun depth ->
+        let mk memoize =
+          { Config.snslp with Config.lookahead_depth = depth; Config.memoize }
+        in
+        let a = dump (mk true) func and b = dump (mk false) func in
+        if a <> b then begin
+          incr mismatches;
+          Printf.printf "MISMATCH %s depth %d\n" name depth
+        end)
+      [ 0; 3; 5 ]
+  in
+  List.iter
+    (fun (k : Snslp_kernels.Registry.t) ->
+      check k.Snslp_kernels.Registry.name
+        (Snslp_frontend.Frontend.compile_one k.Snslp_kernels.Registry.source))
+    Snslp_kernels.Registry.all;
+  List.iter
+    (fun (fb : Snslp_kernels.Fullbench.t) ->
+      let r = Snslp_kernels.Fullbench.to_registry fb in
+      check fb.Snslp_kernels.Fullbench.name
+        (Snslp_frontend.Frontend.compile_one r.Snslp_kernels.Registry.source))
+    Snslp_kernels.Fullbench.all;
+  if !mismatches = 0 then print_endline "ALL-IDENTICAL"
+  else Printf.printf "%d mismatches\n" !mismatches

@@ -1,0 +1,19 @@
+(* Dump optimised IR for every registry kernel x setting, for differential comparison. *)
+let () =
+  let settings = [
+    ("o3", None);
+    ("slp", Some Snslp_vectorizer.Config.vanilla);
+    ("lslp", Some Snslp_vectorizer.Config.lslp);
+    ("sn-slp", Some Snslp_vectorizer.Config.snslp);
+    ("sn-slp-d3", Some { Snslp_vectorizer.Config.snslp with Snslp_vectorizer.Config.lookahead_depth = 3 });
+  ] in
+  List.iter
+    (fun (k : Snslp_kernels.Registry.t) ->
+      let func = Snslp_frontend.Frontend.compile_one k.Snslp_kernels.Registry.source in
+      List.iter
+        (fun (name, setting) ->
+          let r = Snslp_passes.Pipeline.run ~setting func in
+          Printf.printf "=== %s / %s ===\n%s\n" k.Snslp_kernels.Registry.name name
+            (Snslp_ir.Printer.func_to_string r.Snslp_passes.Pipeline.func))
+        settings)
+    Snslp_kernels.Registry.all

@@ -1,0 +1,14 @@
+let () =
+  let open Snslp_vectorizer in
+  let src = {|
+kernel mini(double a[], double b[], double c[], long i) {
+  c[48*i+0] = c[48*i+0] + a[144*i+0]*b[48*i+0] - a[144*i+1]*b[48*i+1] + a[144*i+6]*b[48*i+2] - a[144*i+7]*b[48*i+3] + a[144*i+12]*b[48*i+4] - a[144*i+13]*b[48*i+5];
+  c[48*i+1] = a[144*i+0]*b[48*i+1] + a[144*i+1]*b[48*i+0] + a[144*i+6]*b[48*i+3] + a[144*i+7]*b[48*i+2] + a[144*i+12]*b[48*i+5] + a[144*i+13]*b[48*i+4] + c[48*i+1];
+}
+|} in
+  let func = Snslp_frontend.Frontend.compile_one src in
+  let cfg = { Config.snslp with Config.lookahead_depth = 3 } in
+  let r = Snslp_passes.Pipeline.run ~setting:(Some cfg) func in
+  (match r.Snslp_passes.Pipeline.vect_report with
+  | Some rep -> Format.printf "%a@." Stats.pp rep.Vectorize.stats
+  | None -> print_endline "no report")

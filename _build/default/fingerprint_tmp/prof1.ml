@@ -1,0 +1,43 @@
+let () =
+  let open Snslp_vectorizer in
+  let name = try Sys.argv.(1) with _ -> "433.milc" in
+  let depth = try int_of_string Sys.argv.(2) with _ -> 3 in
+  let runs = try int_of_string Sys.argv.(3) with _ -> 10 in
+  let mk memoize = { Config.snslp with Config.lookahead_depth = depth; Config.memoize } in
+  let fb = match Snslp_kernels.Fullbench.find name with
+    | Some fb -> Snslp_kernels.Fullbench.to_registry fb
+    | None ->
+        List.find (fun (k : Snslp_kernels.Registry.t) -> k.Snslp_kernels.Registry.name = name)
+          Snslp_kernels.Registry.all
+  in
+  let func = Snslp_frontend.Frontend.compile_one fb.Snslp_kernels.Registry.source in
+  let profile label cfg =
+    ignore (Snslp_passes.Pipeline.run ~setting:(Some cfg) func);
+    let acc = Hashtbl.create 8 and phases = Hashtbl.create 8 in
+    let total = ref 0.0 and last = ref None in
+    for _ = 1 to runs do
+      let r = Snslp_passes.Pipeline.run ~setting:(Some cfg) func in
+      total := !total +. r.Snslp_passes.Pipeline.total_seconds;
+      List.iter (fun (t : Snslp_passes.Pipeline.timing) ->
+        Hashtbl.replace acc t.Snslp_passes.Pipeline.pass
+          (t.Snslp_passes.Pipeline.seconds +. (try Hashtbl.find acc t.Snslp_passes.Pipeline.pass with Not_found -> 0.0)))
+        r.Snslp_passes.Pipeline.timings;
+      (match r.Snslp_passes.Pipeline.vect_report with
+       | Some rep ->
+          let st = rep.Vectorize.stats in
+          List.iter (fun (n, s) ->
+            Hashtbl.replace phases n (s +. (try Hashtbl.find phases n with Not_found -> 0.0)))
+            st.Stats.phases;
+          last := Some st
+       | None -> ())
+    done;
+    let n = float_of_int runs in
+    Printf.printf "%s total %.0f us\n" label (!total /. n *. 1e6);
+    Hashtbl.iter (fun k v -> Printf.printf "  pass  %-10s %9.0f us\n" k (v /. n *. 1e6)) acc;
+    Hashtbl.iter (fun k v -> Printf.printf "  phase %-10s %9.0f us\n" k (v /. n *. 1e6)) phases;
+    (match !last with
+     | Some st -> Printf.printf "  %s\n" (Format.asprintf "%a" Stats.pp st)
+     | None -> ())
+  in
+  profile "memo" (mk true);
+  profile "legacy" (mk false)

@@ -1,0 +1,42 @@
+(* Per-kernel size + memo-vs-legacy timing sweep. *)
+let () =
+  let open Snslp_vectorizer in
+  let depth = try int_of_string Sys.argv.(1) with _ -> 3 in
+  let runs = try int_of_string Sys.argv.(2) with _ -> 30 in
+  let mk memoize = { Config.snslp with Config.lookahead_depth = depth; Config.memoize } in
+  let time cfg func =
+    ignore (Snslp_passes.Pipeline.run ~setting:(Some cfg) func);
+    let t = ref 0.0 in
+    for _ = 1 to runs do
+      let r = Snslp_passes.Pipeline.run ~setting:(Some cfg) func in
+      t := !t +. r.Snslp_passes.Pipeline.total_seconds
+    done;
+    !t /. float_of_int runs *. 1e6
+  in
+  let bench name func =
+    let n =
+      List.fold_left
+        (fun acc b -> acc + List.length (Snslp_ir.Block.instrs b))
+        0
+        (Snslp_ir.Func.blocks func)
+    in
+    let m1 = time (mk true) func in
+    let l1 = time (mk false) func in
+    let m2 = time (mk true) func in
+    let l2 = time (mk false) func in
+    let m = (m1 +. m2) /. 2.0 and l = (l1 +. l2) /. 2.0 in
+    Printf.printf "%-24s %5d instrs  memo %9.1f us  legacy %9.1f us  %5.2fx\n"
+      name n m l (l /. m)
+  in
+  List.iter
+    (fun (k : Snslp_kernels.Registry.t) ->
+      bench k.Snslp_kernels.Registry.name
+        (Snslp_frontend.Frontend.compile_one k.Snslp_kernels.Registry.source))
+    Snslp_kernels.Registry.all;
+  print_endline "--- fullbench ---";
+  List.iter
+    (fun (fb : Snslp_kernels.Fullbench.t) ->
+      let r = Snslp_kernels.Fullbench.to_registry fb in
+      bench fb.Snslp_kernels.Fullbench.name
+        (Snslp_frontend.Frontend.compile_one r.Snslp_kernels.Registry.source))
+    Snslp_kernels.Fullbench.all

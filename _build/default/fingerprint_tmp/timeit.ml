@@ -1,0 +1,14 @@
+let () =
+  let cfg3 = { Snslp_vectorizer.Config.snslp with Snslp_vectorizer.Config.lookahead_depth = 3 } in
+  List.iter
+    (fun (k : Snslp_kernels.Registry.t) ->
+      let func = Snslp_frontend.Frontend.compile_one k.Snslp_kernels.Registry.source in
+      let n = Snslp_ir.Func.num_instrs func in
+      (* warm *)
+      ignore (Snslp_passes.Pipeline.run ~setting:(Some cfg3) func);
+      let t0 = Unix.gettimeofday () in
+      let runs = 20 in
+      for _ = 1 to runs do ignore (Snslp_passes.Pipeline.run ~setting:(Some cfg3) func) done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int runs in
+      Printf.printf "%-18s %4d instrs  %8.1f us/compile (sn-slp depth3)\n" k.Snslp_kernels.Registry.name n (dt *. 1e6))
+    Snslp_kernels.Registry.all

@@ -1,0 +1,62 @@
+(* Interleaved per-pass + per-phase profile, memoized vs legacy. *)
+let () =
+  let open Snslp_vectorizer in
+  let kernel = try Sys.argv.(1) with _ -> "sphinx_gau_f32" in
+  let depth = try int_of_string Sys.argv.(2) with _ -> 3 in
+  let runs = try int_of_string Sys.argv.(3) with _ -> 100 in
+  let mk memoize = { Config.snslp with Config.lookahead_depth = depth; Config.memoize } in
+  let k =
+    List.find
+      (fun (k : Snslp_kernels.Registry.t) -> k.Snslp_kernels.Registry.name = kernel)
+      Snslp_kernels.Registry.all
+  in
+  let func = Snslp_frontend.Frontend.compile_one k.Snslp_kernels.Registry.source in
+  let profile cfg (acc, phases, total, last) =
+    for _ = 1 to runs do
+      let r = Snslp_passes.Pipeline.run ~setting:(Some cfg) func in
+      total := !total +. r.Snslp_passes.Pipeline.total_seconds;
+      List.iter
+        (fun (t : Snslp_passes.Pipeline.timing) ->
+          let c = try Hashtbl.find acc t.Snslp_passes.Pipeline.pass with Not_found -> 0.0 in
+          Hashtbl.replace acc t.Snslp_passes.Pipeline.pass
+            (c +. t.Snslp_passes.Pipeline.seconds))
+        r.Snslp_passes.Pipeline.timings;
+      match r.Snslp_passes.Pipeline.vect_report with
+      | Some rep ->
+          let st = rep.Vectorize.stats in
+          List.iter
+            (fun (n, s) ->
+              Hashtbl.replace phases n
+                (s +. (try Hashtbl.find phases n with Not_found -> 0.0)))
+            st.Stats.phases;
+          last := Some st
+      | None -> ()
+    done
+  in
+  let st_m = (Hashtbl.create 8, Hashtbl.create 8, ref 0.0, ref None) in
+  let st_l = (Hashtbl.create 8, Hashtbl.create 8, ref 0.0, ref None) in
+  (* warmup both *)
+  for _ = 1 to 5 do
+    ignore (Snslp_passes.Pipeline.run ~setting:(Some (mk true)) func);
+    ignore (Snslp_passes.Pipeline.run ~setting:(Some (mk false)) func)
+  done;
+  (* interleave rounds to cancel GC / warm-up drift *)
+  for _ = 1 to 4 do
+    profile (mk true) st_m;
+    profile (mk false) st_l
+  done;
+  let n = float_of_int (4 * runs) in
+  let dump name (acc, phases, total, last) =
+    Printf.printf "%s total %.1f us per run\n" name (!total /. n *. 1e6);
+    Hashtbl.iter (fun k v -> Printf.printf "  pass  %-10s %8.2f us\n" k (v /. n *. 1e6)) acc;
+    Hashtbl.iter
+      (fun k v -> Printf.printf "  phase %-10s %8.2f us\n" k (v /. n *. 1e6))
+      phases;
+    match !last with
+    | Some st -> Printf.printf "  counters: %s\n" (Format.asprintf "%a" Stats.pp st)
+    | None -> ()
+  in
+  dump "memo" st_m;
+  dump "legacy" st_l;
+  let (_, _, tm, _) = st_m and (_, _, tl, _) = st_l in
+  Printf.printf "speedup(total): %.2fx\n" (!tl /. !tm)

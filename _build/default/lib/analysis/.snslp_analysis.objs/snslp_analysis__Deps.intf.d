@@ -1,1 +1,1 @@
-lib/analysis/deps.mli: Address Defs Hashtbl Snslp_ir
+lib/analysis/deps.mli: Address Bytes Defs Hashtbl Snslp_ir

@@ -49,16 +49,67 @@ let may_overlap (a : memloc) (b : memloc) =
   else true
 
 type t = {
-  instrs : Defs.instr array; (* block order *)
+  mutable instrs : Defs.instr array; (* block order *)
   index : (int, int) Hashtbl.t; (* iid -> position *)
-  memlocs : memloc option array;
+  mutable memlocs : memloc option array;
+  caching : bool;
+  mutable reach_cache : ((int * int) * Bytes.t array) list;
+      (* recently built reachability windows, newest first *)
+  mutable reach_hits : int;
+  mutable reach_misses : int;
+  mutable refreshes : int;
 }
 
-let of_block (b : Defs.block) : t =
+let of_block ?(caching = true) (b : Defs.block) : t =
   let instrs = Array.of_list (Block.instrs b) in
   let index = Hashtbl.create (2 * Array.length instrs) in
   Array.iteri (fun pos i -> Hashtbl.replace index i.Defs.iid pos) instrs;
-  { instrs; index; memlocs = Array.map memloc_of_instr instrs }
+  {
+    instrs;
+    index;
+    memlocs = Array.map memloc_of_instr instrs;
+    caching;
+    reach_cache = [];
+    reach_hits = 0;
+    reach_misses = 0;
+    refreshes = 0;
+  }
+
+(* Re-analyse after the Super-Node machinery rewrote the block: new
+   positions and memory summaries without recomputing the affine
+   address of every surviving access.  Massaging regenerates
+   arithmetic chains but never rewrites a load/store address operand,
+   so an instruction that keeps its id keeps its [memloc]; only the
+   freshly inserted instructions are summarised from scratch.  The
+   reachability cache is position-based and must be dropped. *)
+let refresh (t : t) (b : Defs.block) =
+  let instrs = Array.of_list (Block.instrs b) in
+  let memlocs =
+    Array.map
+      (fun (i : Defs.instr) ->
+        match Hashtbl.find_opt t.index i.Defs.iid with
+        | Some p -> t.memlocs.(p)
+        | None -> memloc_of_instr i)
+      instrs
+  in
+  Hashtbl.reset t.index;
+  Array.iteri (fun pos (i : Defs.instr) -> Hashtbl.replace t.index i.Defs.iid pos) instrs;
+  t.instrs <- instrs;
+  t.memlocs <- memlocs;
+  t.reach_cache <- [];
+  t.refreshes <- t.refreshes + 1
+
+let reach_stats (t : t) = (t.reach_hits, t.reach_misses)
+let refresh_count (t : t) = t.refreshes
+
+(* The analysed memory summary of [i], when [i] was part of the block
+   at analysis time; [None] for instructions inserted since.  Lets
+   post-rewrite consumers (codegen rescheduling) reuse the affine
+   address computations instead of redoing them per instruction. *)
+let known_memloc (t : t) (i : Defs.instr) : memloc option option =
+  match Hashtbl.find_opt t.index i.Defs.iid with
+  | Some p -> Some t.memlocs.(p)
+  | None -> None
 
 let position (t : t) (i : Defs.instr) =
   match Hashtbl.find_opt t.index i.Defs.iid with
@@ -77,7 +128,7 @@ let conflict (t : t) a b =
    window positions (as offsets from [lo]) that position [lo + k]
    transitively depends on.  O(w²) bits of state, built in one forward
    sweep — windows are the span of one SLP tree, not the block. *)
-let window_reachability (t : t) ~lo ~hi =
+let compute_reachability (t : t) ~lo ~hi =
   let w = hi - lo + 1 in
   let reach = Array.init w (fun _ -> Bytes.make w '\000') in
   let add_edge src dst =
@@ -110,6 +161,37 @@ let window_reachability (t : t) ~lo ~hi =
   done;
   reach
 
+(* One graph build issues many legality queries over overlapping
+   windows (every candidate group of one tree spans roughly the same
+   region), so recent matrices are kept and served for any
+   sub-window.  Soundness of sub-window reuse: every dependence edge
+   points backward in program order, so a path between two positions
+   of [lo, hi] never leaves [lo, hi] — the restriction of a wider
+   window's reachability equals the narrow window's own.  The view is
+   [(base, matrix)]: offsets relative to the queried [lo] are
+   re-based by [base] into the possibly wider cached matrix. *)
+let max_cached_windows = 8
+
+let window_reach (t : t) ~lo ~hi =
+  if not t.caching then (0, compute_reachability t ~lo ~hi)
+  else
+    match List.find_opt (fun ((l, h), _) -> l <= lo && h >= hi) t.reach_cache with
+    | Some ((l, _), mat) ->
+        t.reach_hits <- t.reach_hits + 1;
+        (lo - l, mat)
+    | None ->
+        t.reach_misses <- t.reach_misses + 1;
+        let mat = compute_reachability t ~lo ~hi in
+        let rec take n = function
+          | [] -> []
+          | e :: rest -> if n = 0 then [] else e :: take (n - 1) rest
+        in
+        t.reach_cache <- ((lo, hi), mat) :: take (max_cached_windows - 1) t.reach_cache;
+        (0, mat)
+
+let reaches ((base, mat) : int * Bytes.t array) ~src ~dst =
+  Bytes.get mat.(dst + base) (src + base) = '\001'
+
 let group_window (t : t) (group : Defs.instr list) =
   let positions = List.map (position t) group in
   (List.fold_left min max_int positions, List.fold_left max min_int positions)
@@ -119,8 +201,8 @@ let depends (t : t) ~(on : Defs.instr) (i : Defs.instr) =
   let po = position t on and pi = position t i in
   if po >= pi then false
   else
-    let reach = window_reachability t ~lo:po ~hi:pi in
-    Bytes.get reach.(pi - po) 0 = '\001'
+    let r = window_reach t ~lo:po ~hi:pi in
+    reaches r ~src:0 ~dst:(pi - po)
 
 (* A group can be bundled into one vector instruction only if no
    member depends on another. *)
@@ -129,7 +211,7 @@ let independent_group (t : t) (group : Defs.instr list) =
   | [] | [ _ ] -> true
   | _ ->
       let lo, hi = group_window t group in
-      let reach = window_reachability t ~lo ~hi in
+      let r = window_reach t ~lo ~hi in
       let offsets = List.map (fun i -> position t i - lo) group in
       let rec pairs = function
         | [] -> true
@@ -137,7 +219,7 @@ let independent_group (t : t) (group : Defs.instr list) =
             List.for_all
               (fun y ->
                 let a = min x y and b = max x y in
-                Bytes.get reach.(b) a = '\000')
+                not (reaches r ~src:a ~dst:b))
               rest
             && pairs rest
       in
@@ -163,11 +245,14 @@ let bundle_placement_memory (t : t) (group : Defs.instr list) : placement option
   | _ ->
       let lo = List.fold_left min max_int members in
       let hi = List.fold_left max min_int members in
-      let in_group pos = List.mem pos members in
+      (* Membership array over the window: the [List.mem] it replaces
+         made the sweep O(w × |group|). *)
+      let in_group = Array.make (hi - lo + 1) false in
+      List.iter (fun p -> in_group.(p - lo) <- true) members;
       let legal ~down =
         let ok = ref true in
         for p = lo + 1 to hi - 1 do
-          if (not (in_group p)) && t.memlocs.(p) <> None then begin
+          if (not in_group.(p - lo)) && t.memlocs.(p) <> None then begin
             let blocked mp =
               (* Sliding down passes instructions after the member;
                  sliding up passes those before it. *)

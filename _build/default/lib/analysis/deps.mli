@@ -15,12 +15,38 @@ val memloc_of_instr : Defs.instr -> memloc option
 val may_overlap : memloc -> memloc -> bool
 
 type t = {
-  instrs : Defs.instr array; (** block order *)
+  mutable instrs : Defs.instr array; (** block order *)
   index : (int, int) Hashtbl.t;
-  memlocs : memloc option array;
+  mutable memlocs : memloc option array;
+  caching : bool;  (** serve reachability queries from recent windows *)
+  mutable reach_cache : ((int * int) * Bytes.t array) list;
+  mutable reach_hits : int;
+  mutable reach_misses : int;
+  mutable refreshes : int;
 }
 
-val of_block : Defs.block -> t
+val of_block : ?caching:bool -> Defs.block -> t
+(** [caching] (default true) keeps recently built reachability
+    windows and serves any sub-window from them; disable to reproduce
+    the uncached per-query cost. *)
+
+val refresh : t -> Defs.block -> unit
+(** Re-analyse in place after instructions were inserted/erased within
+    the block (Super-Node massaging): positions are recomputed, but
+    surviving instructions keep their memory summary — massaging never
+    rewrites a load/store address operand — so only fresh instructions
+    pay for affine address analysis.  Drops the reachability cache. *)
+
+val reach_stats : t -> int * int
+(** Reachability-window cache (hits, misses) since construction. *)
+
+val refresh_count : t -> int
+
+val known_memloc : t -> Defs.instr -> memloc option option
+(** The analysed memory summary of an instruction that was part of
+    the block at analysis time; [None] for instructions inserted
+    since.  Lets post-rewrite consumers reuse the affine address
+    computations. *)
 
 val position : t -> Defs.instr -> int
 (** Raises [Invalid_argument] for instructions outside the analysed

@@ -1,1 +1,1 @@
-lib/ir/block.ml: Defs Instr List
+lib/ir/block.ml: Defs Instr List Use

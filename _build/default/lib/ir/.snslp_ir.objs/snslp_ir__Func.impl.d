@@ -1,1 +1,1 @@
-lib/ir/func.ml: Array Block Defs Hashtbl List Printf String Value
+lib/ir/func.ml: Array Block Defs Hashtbl Instr List Printf String Use Value

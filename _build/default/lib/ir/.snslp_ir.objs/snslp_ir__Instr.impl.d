@@ -1,1 +1,1 @@
-lib/ir/instr.ml: Array Defs Fmt Int List Printf String Ty Value
+lib/ir/instr.ml: Array Defs Fmt Int List Printf String Ty Use Value

@@ -1,0 +1,1 @@
+lib/ir/use.ml: Array Defs

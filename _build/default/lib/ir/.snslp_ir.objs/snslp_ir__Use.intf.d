@@ -1,0 +1,1 @@
+lib/ir/use.mli: Defs

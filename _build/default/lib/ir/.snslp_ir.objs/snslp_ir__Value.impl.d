@@ -1,1 +1,1 @@
-lib/ir/value.ml: Defs Fmt Int64 Lit String Ty
+lib/ir/value.ml: Defs Fmt Int64 Lit Printf String Ty

@@ -50,6 +50,19 @@ let remove (b : t) (i : instr) =
   b.instrs <- List.filter (fun x -> not (Instr.equal x i)) b.instrs;
   i.iblock <- None
 
+(* Bulk discard for rewriting passes: one traversal detaches every
+   instruction satisfying [pred] and retires its operand uses (a
+   discarded instruction never executes again, unlike one merely
+   {!remove}d for re-insertion elsewhere). *)
+let discard_if (b : t) pred =
+  let keep, dropped = List.partition (fun i -> not (pred i)) b.instrs in
+  b.instrs <- keep;
+  List.iter
+    (fun (i : instr) ->
+      i.iblock <- None;
+      Use.unregister_all i)
+    dropped
+
 (* Replace the whole instruction order, e.g. after scheduling.  The new
    order must be a permutation of the current instructions. *)
 let reorder (b : t) (order : instr list) =

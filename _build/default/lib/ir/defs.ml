@@ -51,6 +51,13 @@ and instr = {
   mutable ops : value array;
   mutable iname : string;
   mutable iblock : block option;
+  mutable iuses : (instr * int) list;
+      (* persistent def-use chain: every (user, operand index) slot
+         currently holding this instruction's result, newest first.
+         Maintained by [Use] through the creation/mutation chokepoints
+         ([Func.fresh_instr], [Func.clone], [Instr.set_operand],
+         [Block.discard_if], [Func.erase_instr]); may include users
+         detached from any block — queries filter on [iblock]. *)
 }
 
 and block = {

@@ -34,7 +34,9 @@ let fresh_instr (f : t) ?name op ty ops =
   let iid = f.next_iid in
   f.next_iid <- f.next_iid + 1;
   let iname = match name with Some n -> n | None -> string_of_int iid in
-  { iid; op; ty; ops; iname; iblock = None }
+  let i = { iid; op; ty; ops; iname; iblock = None; iuses = [] } in
+  Use.register_all i;
+  i
 
 let iter_instrs f (fn : t) = List.iter (fun b -> Block.iter f b) fn.blocks
 
@@ -44,10 +46,11 @@ let fold_instrs f acc (fn : t) =
 let num_instrs (fn : t) = fold_instrs (fun n _ -> n + 1) 0 fn
 
 (* All uses of [v] among instruction operands, as (user, operand index)
-   pairs, in block order.  Computed by scanning: the IR does not
-   maintain persistent use lists, which keeps mutation simple and is
-   cheap at SLP-region sizes. *)
-let uses_of (fn : t) (v : value) =
+   pairs, found by scanning the whole function in block order.  Kept
+   as the reference implementation (and the only one that can answer
+   for constants and arguments); instruction results are served from
+   the persistent use lists by {!uses_of} below. *)
+let scan_uses_of (fn : t) (v : value) =
   let acc = ref [] in
   iter_instrs
     (fun i ->
@@ -55,22 +58,40 @@ let uses_of (fn : t) (v : value) =
     fn;
   List.rev !acc
 
+(* Only users attached to a block count: an instruction detached for
+   code motion (or discarded) is invisible, exactly as it is to a
+   scan over the function's blocks. *)
+let attached ((u : instr), _) = u.iblock <> None
+
+let uses_of (fn : t) (v : value) =
+  match v with
+  | Instr d -> List.filter attached d.iuses
+  | Const _ | Undef _ | Arg _ -> scan_uses_of fn v
+
 let has_uses (fn : t) (v : value) =
-  let exception Found in
-  try
-    iter_instrs
-      (fun i -> Array.iter (fun o -> if Value.equal o v then raise Found) i.ops)
-    fn;
-    false
-  with Found -> true
+  match v with
+  | Instr d -> List.exists attached d.iuses
+  | Const _ | Undef _ | Arg _ -> scan_uses_of fn v <> []
 
 (* Replace all uses of [old_v] by [new_v] across the function
-   (including terminator conditions). *)
+   (including terminator conditions).  O(uses) when [old_v] is an
+   instruction result: the use list is walked directly instead of
+   scanning the function. *)
 let replace_all_uses (fn : t) ~old_v ~new_v =
-  iter_instrs
-    (fun i ->
-      Array.iteri (fun n o -> if Value.equal o old_v then i.ops.(n) <- new_v) i.ops)
-    fn;
+  (match old_v with
+  | Instr d ->
+      (* Snapshot: [Instr.set_operand] rewrites [d.iuses] as we go.
+         Detached users are left alone, as a scan would. *)
+      List.iter
+        (fun ((u : instr), n) -> if u.iblock <> None then Instr.set_operand u n new_v)
+        d.iuses
+  | Const _ | Undef _ | Arg _ ->
+      iter_instrs
+        (fun i ->
+          Array.iteri
+            (fun n o -> if Value.equal o old_v then Instr.set_operand i n new_v)
+            i.ops)
+        fn);
   List.iter
     (fun b ->
       match b.term with
@@ -83,7 +104,42 @@ let erase_instr (fn : t) (i : instr) =
     invalid_arg (Printf.sprintf "Func.erase_instr: %%%s still has uses" i.iname);
   match i.iblock with
   | None -> invalid_arg "Func.erase_instr: instruction not in a block"
-  | Some b -> Block.remove b i
+  | Some b ->
+      Block.remove b i;
+      Use.unregister_all i
+
+(* Check the def-use invariant over the whole function: every operand
+   slot holding an instruction result has exactly one mirroring use
+   entry, and every use entry points back at a slot holding the
+   definition.  O(n × uses); for tests and debugging. *)
+let check_use_lists (fn : t) =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  iter_instrs
+    (fun i ->
+      Array.iteri
+        (fun n o ->
+          match o with
+          | Instr d ->
+              let entries =
+                List.length (List.filter (fun (u, m) -> u == i && m = n) d.iuses)
+              in
+              if entries <> 1 then
+                fail "%%%s operand %d: %d use entries on %%%s (want 1)" i.iname n
+                  entries d.iname
+          | Const _ | Undef _ | Arg _ -> ())
+        i.ops;
+      List.iter
+        (fun ((u : instr), n) ->
+          if n < 0 || n >= Array.length u.ops then
+            fail "use list of %%%s: slot %d out of range on %%%s" i.iname n u.iname
+          else
+            match u.ops.(n) with
+            | Instr d when d == i -> ()
+            | _ -> fail "use list of %%%s: %%%s.ops.(%d) holds another value" i.iname u.iname n)
+        i.iuses)
+    fn;
+  match !err with None -> Ok () | Some m -> Error m
 
 (* Deep copy.  Instruction and block identities are preserved (same
    ids, fresh records), so analyses keyed by id can be replayed on the
@@ -127,8 +183,10 @@ let clone (fn : t) : t =
                 ops = Array.map map_value i.ops;
                 iname = i.iname;
                 iblock = Some b';
+                iuses = [];
               }
             in
+            Use.register_all i';
             Hashtbl.add instr_map i.iid i';
             i' :: acc)
           [] b.instrs

@@ -18,7 +18,10 @@ let block (i : t) = i.iblock
 let operands (i : t) = i.ops
 let operand (i : t) n = i.ops.(n)
 let num_operands (i : t) = Array.length i.ops
-let set_operand (i : t) n v = i.ops.(n) <- v
+let set_operand (i : t) n v =
+  Use.unregister ~user:i n;
+  i.ops.(n) <- v;
+  Use.register ~user:i n
 
 let value (i : t) = Instr i
 

@@ -17,6 +17,8 @@ val operands : t -> Defs.value array
 val operand : t -> int -> Defs.value
 val num_operands : t -> int
 val set_operand : t -> int -> Defs.value -> unit
+(** The only supported way to overwrite an operand slot: keeps the
+    def-use chains of both the old and the new operand consistent. *)
 
 val value : t -> Defs.value
 (** The instruction as a value (its result). *)

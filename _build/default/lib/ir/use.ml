@@ -1,0 +1,32 @@
+(* Maintenance of the persistent def-use chains ([Defs.instr.iuses]).
+
+   Every operand slot holding an instruction result is mirrored by
+   exactly one (user, index) entry on the defining instruction's use
+   list.  The list is an unordered bag (newest registration first);
+   callers that need block order must sort or scan.  Entries are keyed
+   by physical identity of the user, so clones (which reuse ids) never
+   alias across functions. *)
+
+open Defs
+
+let register ~(user : instr) n =
+  match user.ops.(n) with
+  | Instr d -> d.iuses <- (user, n) :: d.iuses
+  | Const _ | Undef _ | Arg _ -> ()
+
+let register_all (user : instr) = Array.iteri (fun n _ -> register ~user n) user.ops
+
+(* Drop the single entry for [user]'s slot [n] from the use list of
+   the value currently in that slot. *)
+let unregister ~(user : instr) n =
+  match user.ops.(n) with
+  | Instr d ->
+      let rec drop = function
+        | [] -> []
+        | (u, m) :: rest when u == user && m = n -> rest
+        | e :: rest -> e :: drop rest
+      in
+      d.iuses <- drop d.iuses
+  | Const _ | Undef _ | Arg _ -> ()
+
+let unregister_all (user : instr) = Array.iteri (fun n _ -> unregister ~user n) user.ops

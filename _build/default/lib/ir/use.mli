@@ -1,0 +1,20 @@
+(** Maintenance of the persistent def-use chains
+    ([Defs.instr.iuses]).
+
+    Invariant: every operand slot [user.ops.(n)] holding an [Instr d]
+    is mirrored by exactly one [(user, n)] entry in [d.iuses], and
+    vice versa.  Only the IR mutation chokepoints should call these;
+    everything else reads the chains through {!Func.uses_of} and
+    friends. *)
+
+val register : user:Defs.instr -> int -> unit
+(** Add the entry for [user]'s operand slot [n] (no-op when the slot
+    does not hold an instruction result). *)
+
+val register_all : Defs.instr -> unit
+
+val unregister : user:Defs.instr -> int -> unit
+(** Remove the entry for [user]'s operand slot [n] from the use list
+    of the value currently in that slot. *)
+
+val unregister_all : Defs.instr -> unit

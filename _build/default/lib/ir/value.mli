@@ -27,6 +27,10 @@ val const_of_lit : Ty.t -> Lit.t -> t
 val as_const_int : t -> int option
 (** The value of an integer constant, if that is what [t] is. *)
 
+val key : t -> string
+(** A compact identity key: two values have the same key iff they are
+    {!equal} (within one function).  Suitable as a hashtable key. *)
+
 val name : t -> string
 (** Printable name: ["%3"], ["%A"], ["42"], ["undef"]. *)
 

@@ -1,1 +1,1 @@
-lib/kernels/registry.ml: Fmt List String
+lib/kernels/registry.ml: Buffer Fmt List Printf String

@@ -1,1 +1,1 @@
-lib/passes/rewrite.ml: Array Block Defs Func Hashtbl List Snslp_ir
+lib/passes/rewrite.ml: Array Block Defs Func Hashtbl Instr List Snslp_ir

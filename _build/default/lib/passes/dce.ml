@@ -46,7 +46,6 @@ let run (func : Defs.func) : int =
   done;
   List.iter
     (fun (b : Defs.block) ->
-      b.Defs.instrs <-
-        List.filter (fun (i : Defs.instr) -> not (Hashtbl.mem erased i.Defs.iid)) b.Defs.instrs)
+      Block.discard_if b (fun (i : Defs.instr) -> Hashtbl.mem erased i.Defs.iid))
     (Func.blocks func);
   Hashtbl.length erased

@@ -25,7 +25,11 @@ let rec resolve (ctx : ctx) (v : Defs.value) : Defs.value =
   | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> v
 
 let rewrite_operands (ctx : ctx) (i : Defs.instr) =
-  Array.iteri (fun n o -> i.Defs.ops.(n) <- resolve ctx o) i.Defs.ops
+  Array.iteri
+    (fun n o ->
+      let o' = resolve ctx o in
+      if not (o' == o) then Instr.set_operand i n o')
+    i.Defs.ops
 
 let replace (ctx : ctx) (i : Defs.instr) (v : Defs.value) =
   Hashtbl.replace ctx.repl i.Defs.iid v;
@@ -48,10 +52,7 @@ let run (func : Defs.func) (step : ctx -> Defs.block -> Defs.instr -> Defs.value
           | None -> ())
         (Block.instrs b);
       (* Drop replaced instructions. *)
-      b.Defs.instrs <-
-        List.filter
-          (fun (i : Defs.instr) -> not (Hashtbl.mem ctx.repl i.Defs.iid))
-          b.Defs.instrs;
+      Block.discard_if b (fun (i : Defs.instr) -> Hashtbl.mem ctx.repl i.Defs.iid);
       match b.Defs.term with
       | Defs.Cond_br (c, t1, t2) -> b.Defs.term <- Defs.Cond_br (resolve ctx c, t1, t2)
       | Defs.Ret | Defs.Br _ | Defs.Unterminated -> ())

@@ -1,0 +1,1 @@
+lib/report/json.ml: Buffer Char Filename Float List Out_channel Printf String Sys

@@ -11,6 +11,7 @@ module Ty = Snslp_ir.Ty
 module Lit = Snslp_ir.Lit
 module Defs = Snslp_ir.Defs
 module Value = Snslp_ir.Value
+module Use = Snslp_ir.Use
 module Instr = Snslp_ir.Instr
 module Block = Snslp_ir.Block
 module Func = Snslp_ir.Func

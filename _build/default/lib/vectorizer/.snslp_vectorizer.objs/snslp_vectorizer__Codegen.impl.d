@@ -1,1 +1,1 @@
-lib/vectorizer/codegen.ml: Array Block Builder Defs Deps Float Func Graph Hashtbl Instr List Printf Queue Snslp_analysis Snslp_ir Ty Value Verifier
+lib/vectorizer/codegen.ml: Array Block Builder Defs Deps Float Func Graph Hashtbl Instr List Option Printf Queue Snslp_analysis Snslp_ir Stats Ty Value Verifier

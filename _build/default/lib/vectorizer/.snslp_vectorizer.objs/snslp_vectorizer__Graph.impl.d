@@ -1,1 +1,1 @@
-lib/vectorizer/graph.ml: Address Array Block Config Defs Deps Family Fmt Func Hashtbl Instr Int List Lit Lookahead Option Printf Snslp_analysis Snslp_ir String Supernode Ty Value
+lib/vectorizer/graph.ml: Address Array Block Config Defs Deps Family Fmt Func Hashtbl Instr Int List Lookahead Option Snslp_analysis Snslp_ir Stats String Supernode Ty Value

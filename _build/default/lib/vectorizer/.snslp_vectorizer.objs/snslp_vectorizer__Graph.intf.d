@@ -1,1 +1,1 @@
-lib/vectorizer/graph.mli: Config Defs Deps Fmt Hashtbl Snslp_analysis Snslp_ir
+lib/vectorizer/graph.mli: Config Defs Deps Fmt Hashtbl Lookahead Snslp_analysis Snslp_ir Stats

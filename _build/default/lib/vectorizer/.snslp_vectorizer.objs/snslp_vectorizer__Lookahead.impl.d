@@ -1,1 +1,1 @@
-lib/vectorizer/lookahead.ml: Address Array Defs Family Instr Snslp_analysis Snslp_ir Value
+lib/vectorizer/lookahead.ml: Address Array Defs Family Hashtbl Instr Snslp_analysis Snslp_ir Value

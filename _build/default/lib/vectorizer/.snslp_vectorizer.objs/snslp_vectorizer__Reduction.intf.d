@@ -1,1 +1,1 @@
-lib/vectorizer/reduction.mli: Config Defs Deps Snslp_analysis Snslp_ir
+lib/vectorizer/reduction.mli: Config Defs Deps Snslp_analysis Snslp_ir Stats

@@ -1,1 +1,1 @@
-lib/vectorizer/stats.ml: Fmt List
+lib/vectorizer/stats.ml: Fmt List String Unix

@@ -1,1 +1,1 @@
-lib/vectorizer/supernode.mli: Config Defs Snslp_ir
+lib/vectorizer/supernode.mli: Config Defs Lookahead Snslp_ir

@@ -1,1 +1,1 @@
-lib/vectorizer/vectorize.ml: Block Codegen Config Cost Defs Fmt Func Graph Instr List Logs Reduction Seeds Snslp_costmodel Snslp_ir Stats String Target Verifier
+lib/vectorizer/vectorize.ml: Block Codegen Config Cost Defs Deps Fmt Func Graph Instr List Logs Lookahead Reduction Seeds Snslp_analysis Snslp_costmodel Snslp_ir Stats String Target Verifier

@@ -282,10 +282,7 @@ let erase_vectorized (ctx : ctx) =
     raise
       (Scheduling_failure
          (Printf.sprintf "codegen: %d vectorized scalars still have uses" missed));
-  ctx.block.Defs.instrs <-
-    List.filter
-      (fun (i : Defs.instr) -> not (Hashtbl.mem erased i.Defs.iid))
-      ctx.block.Defs.instrs;
+  Block.discard_if ctx.block (fun (i : Defs.instr) -> Hashtbl.mem erased i.Defs.iid);
   Hashtbl.length erased
 
 (* --- Scheduling --------------------------------------------------------- *)
@@ -371,35 +368,92 @@ let reschedule (ctx : ctx) =
             | Defs.Const _ | Defs.Undef _ | Defs.Arg _ -> ())
           i.Defs.ops)
       window;
-    (* Memory dependences within the window, ordered by rank. *)
-    let memlocs = Array.map Deps.memloc_of_instr window in
-    for a = 0 to w - 1 do
-      for b = a + 1 to w - 1 do
-        match (memlocs.(a), memlocs.(b)) with
-        | Some la, Some lb ->
-            let both_reads =
-              (not (Instr.writes_memory window.(a)))
-              && not (Instr.writes_memory window.(b))
-            in
-            if (not both_reads) && Deps.may_overlap la lb then
-              if rank window.(a) <= rank window.(b) then add_edge a b else add_edge b a
-        | _ -> ()
+    (* Memory dependences within the window, ordered by rank.  The
+       graph's dependence analysis is current up to this run's own
+       insertions, so its affine summaries are reused; only the fresh
+       vector instructions are summarised from scratch. *)
+    let memlocs =
+      Array.map
+        (fun (i : Defs.instr) ->
+          match Deps.known_memloc ctx.g.Graph.deps i with
+          | Some ml -> ml
+          | None -> Deps.memloc_of_instr i)
+        window
+    in
+    let ranks = Array.map rank window in
+    let writes = Array.map Instr.writes_memory window in
+    (* Only positions that touch memory can conflict: pair over those,
+       not the whole window. *)
+    let mem_idx = ref [] in
+    for k = w - 1 downto 0 do
+      if Option.is_some memlocs.(k) then mem_idx := k :: !mem_idx
+    done;
+    let mem = Array.of_list !mem_idx in
+    let m = Array.length mem in
+    for x = 0 to m - 1 do
+      let a = mem.(x) in
+      for y = x + 1 to m - 1 do
+        let b = mem.(y) in
+        if writes.(a) || writes.(b) then
+          match (memlocs.(a), memlocs.(b)) with
+          | Some la, Some lb ->
+              if Deps.may_overlap la lb then
+                if ranks.(a) <= ranks.(b) then add_edge a b else add_edge b a
+          | _ -> ()
       done
     done;
-    (* Kahn's algorithm, min-rank first. *)
-    let scheduled = ref [] in
-    let done_ = Array.make w false in
-    for _ = 1 to w do
-      let best = ref (-1) in
-      for k = 0 to w - 1 do
-        if (not done_.(k)) && indeg.(k) = 0 then
-          if !best < 0 || rank window.(k) < rank window.(!best) then best := k
+    (* Kahn's algorithm, min-rank first; ties by window position, the
+       order the former linear scan picked them in.  A binary heap
+       makes the selection O(log w) instead of O(w). *)
+    let heap = Array.make (w + 1) (-1) in
+    let heap_len = ref 0 in
+    let before a b = ranks.(a) < ranks.(b) || (ranks.(a) = ranks.(b) && a < b) in
+    let push k =
+      incr heap_len;
+      let p = ref !heap_len in
+      heap.(!p) <- k;
+      while !p > 1 && before heap.(!p) heap.(!p / 2) do
+        let t = heap.(!p / 2) in
+        heap.(!p / 2) <- heap.(!p);
+        heap.(!p) <- t;
+        p := !p / 2
+      done
+    in
+    let pop () =
+      let top = heap.(1) in
+      heap.(1) <- heap.(!heap_len);
+      decr heap_len;
+      let p = ref 1 in
+      let continue = ref (!heap_len > 1) in
+      while !continue do
+        let l = 2 * !p and r = (2 * !p) + 1 in
+        let s = ref !p in
+        if l <= !heap_len && before heap.(l) heap.(!s) then s := l;
+        if r <= !heap_len && before heap.(r) heap.(!s) then s := r;
+        if !s = !p then continue := false
+        else begin
+          let t = heap.(!s) in
+          heap.(!s) <- heap.(!p);
+          heap.(!p) <- t;
+          p := !s
+        end
       done;
-      if !best < 0 then raise (Scheduling_failure "dependence cycle after vectorization");
-      let k = !best in
-      done_.(k) <- true;
+      top
+    in
+    for k = 0 to w - 1 do
+      if indeg.(k) = 0 then push k
+    done;
+    let scheduled = ref [] in
+    for _ = 1 to w do
+      if !heap_len = 0 then
+        raise (Scheduling_failure "dependence cycle after vectorization");
+      let k = pop () in
       scheduled := window.(k) :: !scheduled;
-      List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) edges.(k)
+      List.iter
+        (fun j ->
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then push j)
+        edges.(k)
     done;
     Block.reorder ctx.block (List.rev !prefix @ List.rev !scheduled @ List.rev !suffix)
   end
@@ -430,9 +484,10 @@ let run (g : Graph.t) : report =
   List.iteri
     (fun k (i : Defs.instr) -> Hashtbl.replace ctx.ranks i.Defs.iid (float_of_int k))
     (Block.instrs block);
-  let _root_vec = vec_of ctx (Graph.root g) in
-  rewire_external_uses ctx;
-  let erased = erase_vectorized ctx in
-  reschedule ctx;
-  Verifier.verify_exn func;
+  let stats = g.Graph.stats in
+  let _root_vec = Stats.time ?stats "emit" (fun () -> vec_of ctx (Graph.root g)) in
+  Stats.time ?stats "rewire" (fun () -> rewire_external_uses ctx);
+  let erased = Stats.time ?stats "erase" (fun () -> erase_vectorized ctx) in
+  Stats.time ?stats "sched" (fun () -> reschedule ctx);
+  Stats.time ?stats "cg-verify" (fun () -> Verifier.verify_exn func);
   { vector_instrs = ctx.emitted; scalars_erased = erased }

@@ -29,6 +29,12 @@ type t = {
   max_chain : int; (* cap on trunk length, bounds compile time *)
   threshold : float; (* vectorize when cost < threshold *)
   reductions : bool; (* seed from reduction trees (-slp-vectorize-hor) *)
+  memoize : bool;
+      (* look-ahead memoization, incremental dependence refresh,
+         use-list-backed queries.  [false] reproduces the legacy
+         compile path (unmemoized recursion, full rebuilds, function
+         scans) for benchmarking — the vectorization output is
+         identical either way. *)
 }
 
 let default =
@@ -40,6 +46,7 @@ let default =
     max_chain = 16;
     threshold = 0.0;
     reductions = true;
+    memoize = true;
   }
 
 let vanilla = { default with mode = Vanilla }

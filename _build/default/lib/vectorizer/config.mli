@@ -19,6 +19,11 @@ type t = {
   max_chain : int; (** cap on trunk length, bounds compile time *)
   threshold : float; (** vectorize when cost < threshold *)
   reductions : bool; (** seed from reduction trees (-slp-vectorize-hor) *)
+  memoize : bool;
+      (** look-ahead memoization, incremental dependence refresh and
+          use-list-backed queries; [false] reproduces the legacy
+          compile path for benchmarking.  Output is identical either
+          way. *)
 }
 
 val default : t

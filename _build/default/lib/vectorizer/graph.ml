@@ -39,6 +39,7 @@ type t = {
   config : Config.t;
   func : Defs.func;
   block : Defs.block;
+  stats : Stats.t option; (* phase-timing sink, when the caller profiles *)
   mutable deps : Deps.t;
   mutable nodes : node list; (* creation order, root first *)
   mutable root : node option;
@@ -47,6 +48,8 @@ type t = {
   by_key : (string, node) Hashtbl.t;
   no_remassage : (int, unit) Hashtbl.t; (* trunk iids of built Super-Nodes *)
   mutable supernode_sizes : int list; (* pending stats, committed on acceptance *)
+  lookahead_cache : Lookahead.cache option; (* one memo per graph build *)
+  mutable deps_rebuilds : int; (* full Deps constructions, initial included *)
 }
 
 let nodes (t : t) = List.rev t.nodes
@@ -63,15 +66,8 @@ let is_vectorizable_kind = function
 
 let is_claimed (t : t) (i : Defs.instr) = Hashtbl.mem t.claimed i.Defs.iid
 
-let value_key (v : Defs.value) =
-  match v with
-  | Defs.Instr i -> Printf.sprintf "i%d" i.Defs.iid
-  | Defs.Const { ty; lit } -> Printf.sprintf "c%s:%s" (Ty.to_string ty) (Lit.to_string lit)
-  | Defs.Arg a -> Printf.sprintf "a%d" a.Defs.arg_pos
-  | Defs.Undef ty -> Printf.sprintf "u%s" (Ty.to_string ty)
-
 let group_key (vals : Defs.value array) =
-  String.concat "," (Array.to_list (Array.map value_key vals))
+  String.concat "," (Array.to_list (Array.map Value.key vals))
 
 let new_node (t : t) ?(children = [||]) kind scalars =
   let n = { nid = t.next_id; scalars; kind; children; vec = None; at_first = false } in
@@ -93,44 +89,63 @@ let new_node (t : t) ?(children = [||]) kind scalars =
    shallow opcode-matching swap; LSLP and SN-SLP use the look-ahead
    score (this is the "standard feature" reordering of the paper's
    footnote 2, upgraded by LSLP).  Non-commutative lanes (sub, div)
-   keep their order. *)
+   keep their order.
+
+   Scoring scope: lane k is scored only against lane k−1's CHOSEN
+   order — a greedy left-to-right chain, not a global optimum over all
+   2^lanes assignments.  This matches LLVM's
+   reorderInputsAccordingToOpcode (and LSLP's look-ahead upgrade of
+   it): each lane commits before the next is examined, so a bad early
+   choice is never revisited. *)
 let reorder_operands (t : t) (instrs : Defs.instr array) :
     Defs.value array * Defs.value array =
   let lanes = Array.length instrs in
   let op0 = Array.make lanes instrs.(0).Defs.ops.(0) in
   let op1 = Array.make lanes instrs.(0).Defs.ops.(1) in
-  let depth =
-    match t.config.Config.mode with
-    | Config.Vanilla -> 0 (* shallow matching only *)
-    | Config.Lslp | Config.Snslp -> t.config.Config.lookahead_depth
+  let commutative (i : Defs.instr) =
+    match i.Defs.op with Defs.Binop bop -> Defs.is_commutative bop | _ -> false
   in
+  (* Scoring is only ever invoked for a commutative lane at index ≥ 1;
+     when there is none — e.g. a pure sub/div group under Vanilla —
+     every lane keeps its operand order and the score machinery
+     (shallow matching included) is skipped outright. *)
+  let any_commutative = ref false in
   for k = 1 to lanes - 1 do
-    let i = instrs.(k) in
-    let a = i.Defs.ops.(0) and b = i.Defs.ops.(1) in
-    let commutative =
-      match i.Defs.op with Defs.Binop bop -> Defs.is_commutative bop | _ -> false
+    if commutative instrs.(k) then any_commutative := true
+  done;
+  if not !any_commutative then
+    for k = 1 to lanes - 1 do
+      op0.(k) <- instrs.(k).Defs.ops.(0);
+      op1.(k) <- instrs.(k).Defs.ops.(1)
+    done
+  else begin
+    let depth =
+      match t.config.Config.mode with
+      | Config.Vanilla -> 0 (* shallow matching only *)
+      | Config.Lslp | Config.Snslp -> t.config.Config.lookahead_depth
     in
-    if commutative then begin
-      let aligned =
-        Lookahead.score ~depth op0.(k - 1) a + Lookahead.score ~depth op1.(k - 1) b
-      in
-      let crossed =
-        Lookahead.score ~depth op0.(k - 1) b + Lookahead.score ~depth op1.(k - 1) a
-      in
-      if crossed > aligned then begin
-        op0.(k) <- b;
-        op1.(k) <- a
+    let score = Lookahead.score ?cache:t.lookahead_cache ~depth in
+    for k = 1 to lanes - 1 do
+      let i = instrs.(k) in
+      let a = i.Defs.ops.(0) and b = i.Defs.ops.(1) in
+      if commutative i then begin
+        let aligned = score op0.(k - 1) a + score op1.(k - 1) b in
+        let crossed = score op0.(k - 1) b + score op1.(k - 1) a in
+        if crossed > aligned then begin
+          op0.(k) <- b;
+          op1.(k) <- a
+        end
+        else begin
+          op0.(k) <- a;
+          op1.(k) <- b
+        end
       end
       else begin
         op0.(k) <- a;
         op1.(k) <- b
       end
-    end
-    else begin
-      op0.(k) <- a;
-      op1.(k) <- b
-    end
-  done;
+    done
+  end;
   (op0, op1)
 
 (* --- Node construction ------------------------------------------------- *)
@@ -306,14 +321,30 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
         || Array.for_all (fun i -> Hashtbl.mem t.no_remassage i.Defs.iid) instrs
       then (instrs, kinds)
       else
-        match Supernode.massage t.config t.func instrs with
+        match
+          Stats.time ?stats:t.stats "massage" (fun () ->
+              Supernode.massage ?cache:t.lookahead_cache t.config t.func instrs)
+        with
         | None -> (instrs, kinds)
         | Some r ->
             t.supernode_sizes <- r.Supernode.size :: t.supernode_sizes;
             if r.Supernode.reordered then begin
-              (* The block content changed: refresh the dependence
-                 analysis. *)
-              t.deps <- Deps.of_block t.block
+              (* The block content changed: bring the dependence
+                 analysis up to date — in place, reusing the memory
+                 summaries of surviving instructions — and drop the
+                 look-ahead memo, whose entries describe the
+                 pre-massage operand DAG. *)
+              (match t.lookahead_cache with
+              | Some c -> Lookahead.cache_clear c
+              | None -> ());
+              if t.config.Config.memoize then
+                Stats.time ?stats:t.stats "deps" (fun () -> Deps.refresh t.deps t.block)
+              else begin
+                t.deps <-
+                  Stats.time ?stats:t.stats "deps" (fun () ->
+                      Deps.of_block ~caching:false t.block);
+                t.deps_rebuilds <- t.deps_rebuilds + 1
+              end
             end;
             Array.iter
               (fun (root : Defs.instr) ->
@@ -324,8 +355,12 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
                     ->
                       (* Only the freshly generated left-leaning spine
                          is protected; stop at leaves. *)
+                      let uses =
+                        if t.config.Config.memoize then Func.uses_of t.func (Defs.Instr j)
+                        else Func.scan_uses_of t.func (Defs.Instr j)
+                      in
                       if
-                        List.length (Func.uses_of t.func (Defs.Instr j)) = 1
+                        List.length uses = 1
                         && (match j.Defs.op with
                            | Defs.Binop b -> Family.of_binop b = fam
                            | _ -> false)
@@ -347,7 +382,9 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
     let node =
       if uniform then new_node t K_vec vals else new_node t (K_alt kinds) vals
     in
-    let op0, op1 = reorder_operands t instrs in
+    let op0, op1 =
+      Stats.time ?stats:t.stats "reorder" (fun () -> reorder_operands t instrs)
+    in
     let c0 = build_group t op0 in
     let c1 = build_group t op1 in
     node.children <- [| c0; c1 |];
@@ -358,15 +395,29 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
 
 (* [build config func block seed] builds the SLP graph rooted at the
    seed group of adjacent stores.  Returns [None] when the seed cannot
-   even be bundled. *)
-let build (config : Config.t) (func : Defs.func) (block : Defs.block)
+   even be bundled.
+
+   [?deps] lets the caller share one block-wide dependence analysis
+   across consecutive seeds of the same block (refreshed between seeds
+   only when the IR actually changed); without it the graph constructs
+   its own, as the unmemoized vectorizer always does. *)
+let build ?stats ?deps (config : Config.t) (func : Defs.func) (block : Defs.block)
     (seed : Defs.instr list) : t option =
+  let deps, deps_rebuilds =
+    match deps with
+    | Some d -> (d, 0)
+    | None ->
+        ( Stats.time ?stats "deps" (fun () ->
+              Deps.of_block ~caching:config.Config.memoize block),
+          1 )
+  in
   let t =
     {
       config;
       func;
       block;
-      deps = Deps.of_block block;
+      stats;
+      deps;
       nodes = [];
       root = None;
       next_id = 0;
@@ -374,6 +425,9 @@ let build (config : Config.t) (func : Defs.func) (block : Defs.block)
       by_key = Hashtbl.create 64;
       no_remassage = Hashtbl.create 16;
       supernode_sizes = [];
+      lookahead_cache =
+        (if config.Config.memoize then Some (Lookahead.cache_create ()) else None);
+      deps_rebuilds;
     }
   in
   let instrs = Array.of_list seed in

@@ -33,6 +33,7 @@ type t = {
   config : Config.t;
   func : Defs.func;
   block : Defs.block;
+  stats : Stats.t option;  (** phase-timing sink, when the caller profiles *)
   mutable deps : Deps.t;
   mutable nodes : node list;
   mutable root : node option;
@@ -41,6 +42,13 @@ type t = {
   by_key : (string, node) Hashtbl.t;
   no_remassage : (int, unit) Hashtbl.t;
   mutable supernode_sizes : int list; (** pending stats *)
+  lookahead_cache : Lookahead.cache option;
+      (** one look-ahead memo per graph build; cleared whenever a
+          massage rewrites the IR *)
+  mutable deps_rebuilds : int;
+      (** full [Deps.of_block] constructions (the initial one
+          included); in-place refreshes are counted by the [Deps.t]
+          itself *)
 }
 
 val nodes : t -> node list
@@ -53,10 +61,20 @@ val is_vectorizable_kind : kind -> bool
 (** Kinds whose scalars are replaced by a vector instruction (claimed,
     erased, extract-priced). *)
 
-val build : Config.t -> Defs.func -> Defs.block -> Defs.instr list -> t option
+val build :
+  ?stats:Stats.t ->
+  ?deps:Deps.t ->
+  Config.t ->
+  Defs.func ->
+  Defs.block ->
+  Defs.instr list ->
+  t option
 (** [build config func block seed] builds the graph rooted at the
     store seed; [None] when the seed cannot even be bundled.  May
-    rewrite the IR (Super-Node massaging). *)
+    rewrite the IR (Super-Node massaging).  [?deps] shares a caller
+    -owned block-wide dependence analysis (the caller must refresh it
+    between seeds if the IR changed); [?stats] charges phase timings
+    ("deps", "massage", "reorder") to the given sink. *)
 
 val pp_node : node Fmt.t
 val pp : t Fmt.t

@@ -15,6 +15,7 @@ val attempt :
 (** Try to reduce the chain rooted at the value stored by the given
     store instruction. *)
 
-val run : Config.t -> Defs.func -> int
-(** Apply to every block; returns the number of reductions
-    rewritten. *)
+val run : Config.t -> Stats.t -> Defs.func -> int
+(** Apply to every block; returns the number of reductions rewritten.
+    Cache counters and "deps" phase time are charged to the given
+    stats. *)

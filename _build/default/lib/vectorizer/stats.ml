@@ -15,6 +15,16 @@ type t = {
   mutable vector_instrs_emitted : int;
   mutable scalars_erased : int;
   mutable reductions : int; (* horizontal reductions rewritten *)
+  (* Compile-time counters for the memoization layers (look-ahead
+     score cache, dependence reachability windows, full dependence
+     constructions vs. in-place refreshes). *)
+  mutable lookahead_hits : int;
+  mutable lookahead_misses : int;
+  mutable reach_hits : int;
+  mutable reach_misses : int;
+  mutable deps_builds : int;
+  mutable deps_refreshes : int;
+  mutable phases : (string * float) list; (* cumulative seconds per phase *)
 }
 
 let create () =
@@ -27,7 +37,50 @@ let create () =
     vector_instrs_emitted = 0;
     scalars_erased = 0;
     reductions = 0;
+    lookahead_hits = 0;
+    lookahead_misses = 0;
+    reach_hits = 0;
+    reach_misses = 0;
+    deps_builds = 0;
+    deps_refreshes = 0;
+    phases = [];
   }
+
+let add_phase (t : t) name seconds =
+  let rec go = function
+    | [] -> [ (name, seconds) ]
+    | (n, s) :: rest ->
+        if String.equal n name then (n, s +. seconds) :: rest else (n, s) :: go rest
+  in
+  t.phases <- go t.phases
+
+let phase_seconds (t : t) name = try List.assoc name t.phases with Not_found -> 0.0
+
+(* [time ?stats name f] runs [f] and charges its wall-clock time to
+   phase [name]; with no stats sink it is just [f ()]. *)
+let time ?stats name f =
+  match stats with
+  | None -> f ()
+  | Some t ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      add_phase t name (Unix.gettimeofday () -. t0);
+      r
+
+let hit_rate ~hits ~misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let merge_phases (a : (string * float) list) (b : (string * float) list) =
+  List.fold_left
+    (fun acc (name, s) ->
+      let rec go = function
+        | [] -> [ (name, s) ]
+        | (n, s') :: rest ->
+            if String.equal n name then (n, s' +. s) :: rest else (n, s') :: go rest
+      in
+      go acc)
+    a b
 
 let record_supernode (t : t) ~size = t.supernode_sizes <- size :: t.supernode_sizes
 
@@ -52,11 +105,28 @@ let merge (a : t) (b : t) =
     vector_instrs_emitted = a.vector_instrs_emitted + b.vector_instrs_emitted;
     scalars_erased = a.scalars_erased + b.scalars_erased;
     reductions = a.reductions + b.reductions;
+    lookahead_hits = a.lookahead_hits + b.lookahead_hits;
+    lookahead_misses = a.lookahead_misses + b.lookahead_misses;
+    reach_hits = a.reach_hits + b.reach_hits;
+    reach_misses = a.reach_misses + b.reach_misses;
+    deps_builds = a.deps_builds + b.deps_builds;
+    deps_refreshes = a.deps_refreshes + b.deps_refreshes;
+    phases = merge_phases a.phases b.phases;
   }
 
 let pp ppf (t : t) =
   Fmt.pf ppf
     "graphs=%d vectorized=%d nodes=%d gathers=%d supernodes=%d aggregate=%d avg=%.2f \
-     reductions=%d"
+     reductions=%d lookahead=%d/%d reach=%d/%d deps=%d+%dr"
     t.graphs_built t.graphs_vectorized t.nodes_formed t.gathers (num_supernodes t)
     (aggregate_supernode_size t) (average_supernode_size t) t.reductions
+    t.lookahead_hits
+    (t.lookahead_hits + t.lookahead_misses)
+    t.reach_hits
+    (t.reach_hits + t.reach_misses)
+    t.deps_builds t.deps_refreshes
+
+let pp_phases ppf (t : t) =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any " ") (fun ppf (n, s) -> Fmt.pf ppf "%s=%.1fus" n (s *. 1e6)))
+    t.phases

@@ -14,10 +14,31 @@ type t = {
   mutable vector_instrs_emitted : int;
   mutable scalars_erased : int;
   mutable reductions : int;
+  mutable lookahead_hits : int;
+  mutable lookahead_misses : int;
+  mutable reach_hits : int;
+  mutable reach_misses : int;
+  mutable deps_builds : int;
+      (** full {!Snslp_analysis.Deps.of_block} constructions *)
+  mutable deps_refreshes : int;
+      (** in-place {!Snslp_analysis.Deps.refresh} calls *)
+  mutable phases : (string * float) list;
+      (** cumulative wall-clock seconds per vectorizer phase *)
 }
 
 val create : unit -> t
 val record_supernode : t -> size:int -> unit
+
+val add_phase : t -> string -> float -> unit
+val phase_seconds : t -> string -> float
+
+val time : ?stats:t -> string -> (unit -> 'a) -> 'a
+(** [time ?stats name f] runs [f], charging its wall-clock time to
+    phase [name] when a stats sink is given. *)
+
+val hit_rate : hits:int -> misses:int -> float
+(** Fraction of queries served from a cache; 0 when it was never
+    consulted. *)
 
 val aggregate_supernode_size : t -> int
 (** Figures 6 and 9. *)
@@ -29,3 +50,4 @@ val average_supernode_size : t -> float
 
 val merge : t -> t -> t
 val pp : t Fmt.t
+val pp_phases : t Fmt.t

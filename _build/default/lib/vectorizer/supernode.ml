@@ -29,6 +29,10 @@ type t = {
   func : Defs.func;
   lanes : Chain.t array;
   n : int; (* leaves per lane *)
+  cache : Lookahead.cache option;
+      (* the graph builder's look-ahead memo; scoring here happens
+         strictly before this node's own IR rewrite, so the memo stays
+         valid throughout one massage *)
 }
 
 (* --- Construction legality -------------------------------------------- *)
@@ -51,7 +55,8 @@ let disjoint_trunks (lanes : Chain.t array) =
    given root group, if the lanes form compatible chains (same family,
    same element type, same operand count — the areCompatible checks of
    Listing 1). *)
-let recognise (config : Config.t) (func : Defs.func) (roots : Defs.instr array) : t option =
+let recognise ?cache (config : Config.t) (func : Defs.func) (roots : Defs.instr array) :
+    t option =
   if Array.length roots < 2 then None
   else
     let chains = Array.map (Chain.discover config func) roots in
@@ -65,7 +70,7 @@ let recognise (config : Config.t) (func : Defs.func) (roots : Defs.instr array) 
         && Array.length c.Chain.leaves = Array.length c0.Chain.leaves
       in
       if Array.for_all compatible lanes && disjoint_trunks lanes then
-        Some { config; func; lanes; n = Array.length c0.Chain.leaves }
+        Some { config; func; lanes; n = Array.length c0.Chain.leaves; cache }
       else None
 
 (* --- Reordering state -------------------------------------------------- *)
@@ -138,7 +143,10 @@ let build_group (sn : t) (states : lane_state array) ~(left : int) ~(pos : int) 
              move first, the trunk-assisted move second. *)
           if can_move_leaf_only st ~leaf:k ~pos || can_move_with_trunk st ~leaf:k ~pos
           then begin
-            let s = boosted (Lookahead.score ~depth !prev l.Chain.lvalue) ~leaf:l ~pos in
+            let s =
+              boosted (Lookahead.score ?cache:sn.cache ~depth !prev l.Chain.lvalue) ~leaf:l
+                ~pos
+            in
             match !best with
             | Some (_, bs) when bs >= s -> ()
             | _ -> best := Some (k, s)
@@ -160,7 +168,9 @@ let group_score (sn : t) (states : lane_state array) (chosen : int array) ~pos =
          (fun lane k -> states.(lane).chain.Chain.leaves.(k).Chain.lvalue)
          chosen)
   in
-  let base = Lookahead.group_score ~depth:sn.config.Config.lookahead_depth vals in
+  let base =
+    Lookahead.group_score ?cache:sn.cache ~depth:sn.config.Config.lookahead_depth vals
+  in
   let identity_bonus =
     Array.to_list chosen
     |> List.mapi (fun lane k ->
@@ -227,7 +237,8 @@ let assignment_is_identity (states : lane_state array) =
 
 (* Rebuild one lane as a left-leaning chain realising the chosen leaf
    order; returns the new root. *)
-let regenerate_lane (func : Defs.func) (st : lane_state) : Defs.instr =
+let regenerate_lane (config : Config.t) (func : Defs.func) (st : lane_state) :
+    Defs.instr =
   let chain = st.chain in
   let root = chain.Chain.root in
   let block =
@@ -250,23 +261,36 @@ let regenerate_lane (func : Defs.func) (st : lane_state) : Defs.instr =
   done;
   let new_root = match !last with Some i -> i | None -> assert false in
   Func.replace_all_uses func ~old_v:(Defs.Instr root) ~new_v:(Defs.Instr new_root);
-  (* The old trunk is now dead; erase it bottom-up. *)
-  let dead = ref chain.Chain.trunk in
-  let progress = ref true in
-  while !dead <> [] && !progress do
-    progress := false;
-    dead :=
-      List.filter
-        (fun i ->
-          if Func.has_uses func (Defs.Instr i) then true
-          else begin
-            Func.erase_instr func i;
-            progress := true;
-            false
-          end)
-        !dead
-  done;
-  assert (!dead = []);
+  (* The old trunk is now dead.  [trunk] is in discovery pre-order —
+     root first, every other trunk node below its single user — so one
+     root-first pass erases the whole thing in O(trunk): by the time a
+     node is visited, its user is already gone. *)
+  if config.Config.memoize then begin
+    List.iter
+      (fun i -> if not (Func.has_uses func (Defs.Instr i)) then Func.erase_instr func i)
+      chain.Chain.trunk;
+    assert (List.for_all (fun (i : Defs.instr) -> i.Defs.iblock = None) chain.Chain.trunk)
+  end
+  else begin
+    (* Legacy path for benchmarking: fixpoint over the trunk with a
+       whole-function use scan per candidate, O(trunk² × func). *)
+    let dead = ref chain.Chain.trunk in
+    let progress = ref true in
+    while !dead <> [] && !progress do
+      progress := false;
+      dead :=
+        List.filter
+          (fun i ->
+            if Func.scan_uses_of func (Defs.Instr i) <> [] then true
+            else begin
+              Func.erase_instr func i;
+              progress := true;
+              false
+            end)
+          !dead
+    done;
+    assert (!dead = [])
+  end;
   new_root
 
 type result = {
@@ -280,9 +304,9 @@ type result = {
    modified when a reordering was applied (this is semantics-preserving
    scalar code motion, so it needs no undo even if the surrounding
    graph is later judged unprofitable). *)
-let massage (config : Config.t) (func : Defs.func) (roots : Defs.instr array) :
+let massage ?cache (config : Config.t) (func : Defs.func) (roots : Defs.instr array) :
     result option =
-  match recognise config func roots with
+  match recognise ?cache config func roots with
   | None -> None
   | Some sn ->
       let states = reorder sn in
@@ -290,5 +314,5 @@ let massage (config : Config.t) (func : Defs.func) (roots : Defs.instr array) :
       if assignment_is_identity states && Array.for_all Chain.is_canonical sn.lanes then
         Some { new_roots = roots; size; reordered = false }
       else
-        let new_roots = Array.map (regenerate_lane func) states in
+        let new_roots = Array.map (regenerate_lane config func) states in
         Some { new_roots; size; reordered = true }

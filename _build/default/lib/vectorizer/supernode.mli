@@ -19,8 +19,12 @@ type result = {
   reordered : bool; (** whether the IR was rewritten *)
 }
 
-val massage : Config.t -> Defs.func -> Defs.instr array -> result option
+val massage :
+  ?cache:Lookahead.cache -> Config.t -> Defs.func -> Defs.instr array -> result option
 (** [massage config func roots] recognises, reorders and regenerates
     the Super-Node covering the group [roots]; [None] when the lanes
     do not form compatible chains (different family, element type or
-    operand count, or chains below the minimum size). *)
+    operand count, or chains below the minimum size).  All look-ahead
+    scoring goes through [?cache] when given; the caller must clear
+    that cache after a [reordered = true] result, since the rewrite
+    invalidates entries describing the old chains. *)

@@ -7,6 +7,7 @@
    graphs that were actually vectorized. *)
 
 open Snslp_ir
+open Snslp_analysis
 open Snslp_costmodel
 
 type tree_report = {
@@ -32,13 +33,27 @@ let describe_seed (seed : Defs.instr list) =
 let count_kind (g : Graph.t) kindp =
   List.length (List.filter (fun (n : Graph.node) -> kindp n.Graph.kind) (Graph.nodes g))
 
-(* Attempt one seed group; returns true if it was vectorized. *)
+(* Attempt one seed group; returns true if it was vectorized.
+   [shared_deps]/[dirty] implement the per-block incremental
+   dependence analysis: one [Deps.t] serves every seed of the block,
+   refreshed in place only after a rewrite actually changed the IR, so
+   reachability windows survive across rejected and retried seeds. *)
 let try_seed (config : Config.t) (stats : Stats.t) trees func block
-    (seed : Defs.instr list) : bool =
+    ~(shared_deps : Deps.t option) ~(dirty : bool ref) (seed : Defs.instr list) : bool =
   (* Earlier trees may have consumed these stores. *)
   if not (List.for_all (Block.mem block) seed) then false
-  else
-    match Graph.build config func block seed with
+  else begin
+    let deps =
+      match shared_deps with
+      | Some d ->
+          if !dirty then begin
+            Stats.time ~stats "deps" (fun () -> Deps.refresh d block);
+            dirty := false
+          end;
+          Some d
+      | None -> None
+    in
+    match Stats.time ~stats "graph" (fun () -> Graph.build ~stats ?deps config func block seed) with
     | None -> false
     | Some g ->
         stats.Stats.graphs_built <- stats.Stats.graphs_built + 1;
@@ -48,13 +63,14 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
           + count_kind g (function
               | Graph.K_gather | Graph.K_splat -> true
               | Graph.K_vec | Graph.K_alt _ | Graph.K_perm _ -> false);
-        let cost = Cost.of_graph config g in
+        let cost = Stats.time ~stats "cost" (fun () -> Cost.of_graph config g) in
         let vectorized = Cost.profitable config cost in
         Log.debug (fun m ->
             m "seed [%s]: %a -> %s" (describe_seed seed) Cost.pp cost
               (if vectorized then "vectorize" else "reject"));
         if vectorized then begin
-          let rep = Codegen.run g in
+          let rep = Stats.time ~stats "codegen" (fun () -> Codegen.run g) in
+          dirty := true;
           stats.Stats.graphs_vectorized <- stats.Stats.graphs_vectorized + 1;
           stats.Stats.vector_instrs_emitted <-
             stats.Stats.vector_instrs_emitted + rep.Codegen.vector_instrs;
@@ -62,10 +78,21 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
             stats.Stats.scalars_erased + rep.Codegen.scalars_erased;
           List.iter (fun size -> Stats.record_supernode stats ~size) g.Graph.supernode_sizes
         end;
+        (* Harvest the per-graph memoization counters.  The shared
+           dependence analysis is harvested once per block by [run];
+           a graph-owned one reports its full builds here. *)
+        (match g.Graph.lookahead_cache with
+        | Some c ->
+            let h, m = Lookahead.cache_stats c in
+            stats.Stats.lookahead_hits <- stats.Stats.lookahead_hits + h;
+            stats.Stats.lookahead_misses <- stats.Stats.lookahead_misses + m
+        | None -> ());
+        stats.Stats.deps_builds <- stats.Stats.deps_builds + g.Graph.deps_rebuilds;
         trees :=
           { seed = describe_seed seed; cost; vectorized; graph_dump = Fmt.str "%a" Graph.pp g }
           :: !trees;
         vectorized
+  end
 
 (* [run config func] vectorizes [func] in place and returns the
    detailed report.
@@ -81,6 +108,16 @@ let run (config : Config.t) (func : Defs.func) : report =
   List.iter
     (fun block ->
       let runs = Seeds.runs block in
+      (* One dependence analysis per block under memoization; the
+         unmemoized vectorizer lets every graph build its own. *)
+      let shared_deps =
+        if config.Config.memoize && runs <> [] then begin
+          stats.Stats.deps_builds <- stats.Stats.deps_builds + 1;
+          Some (Stats.time ~stats "deps" (fun () -> Deps.of_block block))
+        end
+        else None
+      in
+      let dirty = ref false in
       List.iter
         (fun run ->
           let max_width = lanes_for (Seeds.elem_of_run run) in
@@ -97,7 +134,9 @@ let run (config : Config.t) (func : Defs.func) : report =
                     let failed =
                       List.concat_map
                         (fun seed ->
-                          if try_seed config stats trees func block seed then [] else seed)
+                          if try_seed config stats trees func block ~shared_deps ~dirty seed
+                          then []
+                          else seed)
                         groups
                     in
                     next := !next @ failed @ rest
@@ -106,9 +145,18 @@ let run (config : Config.t) (func : Defs.func) : report =
                 (Seeds.recut !leftover);
               leftover := !next)
             (Seeds.widths ~max_width))
-        runs)
+        runs;
+      match shared_deps with
+      | Some d ->
+          let h, m = Deps.reach_stats d in
+          stats.Stats.reach_hits <- stats.Stats.reach_hits + h;
+          stats.Stats.reach_misses <- stats.Stats.reach_misses + m;
+          stats.Stats.deps_refreshes <- stats.Stats.deps_refreshes + Deps.refresh_count d
+      | None -> ())
     (Func.blocks func);
   if config.Config.reductions then
-    stats.Stats.reductions <- stats.Stats.reductions + Reduction.run config func;
+    stats.Stats.reductions <-
+      stats.Stats.reductions
+      + Stats.time ~stats "reduction" (fun () -> Reduction.run config stats func);
   Verifier.verify_exn func;
   { config; stats; trees = List.rev !trees }

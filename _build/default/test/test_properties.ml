@@ -513,6 +513,130 @@ let cost_breakdown_sums =
           | None -> QCheck.assume_fail ())
       | _ -> QCheck.assume_fail ())
 
+(* --- Memoized look-ahead equals the reference -------------------------------- *)
+
+let lookahead_memo_matches_reference =
+  QCheck.Test.make ~count:100 ~name:"memoized look-ahead equals the unmemoized reference"
+    QCheck.(make Gen.(int_range 1 100_000))
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      (* Random two-lane expression trees over few arrays and small
+         offsets; CSE turns the repeated loads into genuine sharing,
+         so the scored operand structure is a DAG — the shape where a
+         wrong cache key (collision across pairs, depths, or operand
+         order) would be observable. *)
+      let term () =
+        Printf.sprintf "%s[i+%d]"
+          [| "A"; "B"; "C" |].(Random.State.int rand 3)
+          (Random.State.int rand 3)
+      in
+      let rec expr n =
+        if n = 0 then term ()
+        else
+          let op = [| " + "; " - "; " * " |].(Random.State.int rand 3) in
+          Printf.sprintf "(%s%s%s)" (expr (n - 1)) op (expr (n - 1))
+      in
+      let depth0 = 1 + Random.State.int rand 3 in
+      let src =
+        Printf.sprintf
+          "kernel k(double O[], double A[], double B[], double C[], long i) {\n\
+          \  O[i+0] = %s;\n\
+          \  O[i+1] = %s;\n\
+           }"
+          (expr depth0) (expr depth0)
+      in
+      let f = Snslp_frontend.Frontend.compile_one src in
+      ignore (Snslp_passes.Cse.run f);
+      let values =
+        Func.fold_instrs
+          (fun acc j -> if Instr.has_result j then Instr.value j :: acc else acc)
+          [] f
+      in
+      let values = List.filteri (fun k _ -> k < 20) values in
+      (* One cache shared across every query: an entry written for one
+         (pair, depth) must never answer another. *)
+      let cache = Lookahead.cache_create () in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              List.for_all
+                (fun depth -> Lookahead.score ~cache ~depth a b = Lookahead.score ~depth a b)
+                [ 0; 1; 2; 3; 4 ])
+            values)
+        values)
+
+(* --- Use-list consistency through rewrites ----------------------------------- *)
+
+let check_uses (f : Defs.func) =
+  match Func.check_use_lists f with
+  | Ok () -> true
+  | Error e -> QCheck.Test.fail_report e
+
+let use_lists_stay_consistent =
+  QCheck.Test.make ~count:150
+    ~name:"use-lists stay consistent through replace/erase/vectorization"
+    QCheck.(make Gen.(int_range 1 100_000))
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      (* The massage-style workload: two-lane +/- chains over shared
+         arrays, so the SN-SLP pipeline run below actually rewrites
+         the function (massaging inserts and erases trunk chains). *)
+      let nterms = 2 + Random.State.int rand 4 in
+      let lane () =
+        String.concat ""
+          (List.init nterms (fun k ->
+               let t =
+                 Printf.sprintf "%s[i+%d]"
+                   [| "A"; "B"; "C" |].(k mod 3)
+                   (Random.State.int rand 3)
+               in
+               if k = 0 then t else (if Random.State.int rand 3 = 0 then " - " else " + ") ^ t))
+      in
+      let src =
+        Printf.sprintf
+          "kernel u(double O[], double A[], double B[], double C[], long i) {\n\
+          \  O[i+0] = %s;\n\
+          \  O[i+1] = %s;\n\
+           }"
+          (lane ()) (lane ())
+      in
+      let f = Snslp_frontend.Frontend.compile_one src in
+      check_uses f
+      && begin
+           (* replace_all_uses: redirect one value to a same-typed
+              other; the old def must end up use-free, the new one
+              must absorb its uses. *)
+           let candidates =
+             Func.fold_instrs
+               (fun acc j ->
+                 if Instr.has_result j && (not (Instr.is_store j)) then j :: acc else acc)
+               [] f
+           in
+           match candidates with
+           | a :: rest -> (
+               match
+                 List.find_opt (fun b -> Ty.equal (Instr.ty a) (Instr.ty b)) rest
+               with
+               | Some b ->
+                   Func.replace_all_uses f ~old_v:(Instr.value a) ~new_v:(Instr.value b);
+                   check_uses f
+                   && (not (Func.has_uses f (Instr.value a)))
+                   &&
+                   (* the now-dead def erases cleanly, unlinking
+                      itself from its operands' use-lists *)
+                   (Func.erase_instr f a;
+                    check_uses f)
+               | None -> true)
+           | [] -> true
+         end
+      &&
+      (* A full SN-SLP run (massage, codegen rewiring, dead-trunk
+         erasure) on a fresh copy keeps the invariant. *)
+      let g = Snslp_frontend.Frontend.compile_one src in
+      let r = Snslp_passes.Pipeline.run ~setting:(Some Config.snslp) g in
+      check_uses r.Snslp_passes.Pipeline.func)
+
 let suite =
   [
     ( "properties",
@@ -527,6 +651,8 @@ let suite =
           seeds_chunk_invariants;
           widths_are_decreasing_powers;
           lookahead_nonnegative_and_reflexive;
+          lookahead_memo_matches_reference;
           cost_breakdown_sums;
+          use_lists_stay_consistent;
         ] );
   ]

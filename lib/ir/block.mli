@@ -24,7 +24,13 @@ val insert_after : t -> anchor:Defs.instr -> Defs.instr -> unit
 
 val remove : t -> Defs.instr -> unit
 (** Detaches the instruction; raises [Invalid_argument] if it is not a
-    member. *)
+    member.  Its operand uses stay registered, so it can be
+    re-inserted elsewhere (code motion). *)
+
+val discard_if : t -> (Defs.instr -> bool) -> unit
+(** Detach every instruction satisfying the predicate and unregister
+    its operand uses, in one traversal.  For instructions that are
+    gone for good (DCE, rewriting passes) — not for code motion. *)
 
 val reorder : t -> Defs.instr list -> unit
 (** Replaces the instruction order.  The new order must be a

@@ -25,17 +25,31 @@ val fold_instrs : ('a -> Defs.instr -> 'a) -> 'a -> t -> 'a
 val num_instrs : t -> int
 
 val uses_of : t -> Defs.value -> (Defs.instr * int) list
-(** All operand slots holding the value, in block order.  Computed by
-    scanning — the IR keeps no persistent use lists. *)
+(** All operand slots of block-attached instructions holding the
+    value.  Instruction results are answered in O(uses) from the
+    persistent use lists; other values fall back to
+    {!scan_uses_of}.  Order is unspecified (the lists are bags). *)
+
+val scan_uses_of : t -> Defs.value -> (Defs.instr * int) list
+(** The reference implementation: a full scan over the function, in
+    block order.  Kept for the unmemoized legacy path and for
+    checking the maintained lists against ground truth. *)
 
 val has_uses : t -> Defs.value -> bool
 
 val replace_all_uses : t -> old_v:Defs.value -> new_v:Defs.value -> unit
-(** Rewrites every operand slot and terminator condition. *)
+(** Rewrites every operand slot and terminator condition; O(uses)
+    for instruction results. *)
 
 val erase_instr : t -> Defs.instr -> unit
 (** Raises [Invalid_argument] if the instruction still has uses or is
-    not attached to a block. *)
+    not attached to a block.  Unregisters the operand uses of the
+    erased instruction. *)
+
+val check_use_lists : t -> (unit, string) result
+(** Verify the def-use invariant: every operand slot holding an
+    instruction result is mirrored by exactly one use entry, and every
+    use entry points back at a matching slot.  For tests. *)
 
 val clone : t -> t
 (** Deep copy preserving instruction and block ids, so analyses keyed

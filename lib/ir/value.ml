@@ -42,6 +42,15 @@ include struct
     | Const { lit = Lit.Int i; _ } -> Some (Int64.to_int i)
     | Const _ | Undef _ | Arg _ | Instr _ -> None
 
+  (* A compact identity key: two values with the same key are [equal]
+     (within one function — instructions are keyed by id).  Used as a
+     hashtable key by graph building and look-ahead memoization. *)
+  let key = function
+    | Instr i -> Printf.sprintf "i%d" i.iid
+    | Const { ty; lit } -> Printf.sprintf "c%s:%s" (Ty.to_string ty) (Lit.to_string lit)
+    | Arg a -> Printf.sprintf "a%d" a.arg_pos
+    | Undef ty -> Printf.sprintf "u%s" (Ty.to_string ty)
+
   let name = function
     | Const { lit; _ } -> Lit.to_human lit
     | Undef _ -> "undef"

@@ -45,10 +45,12 @@ let shallow (a : Defs.value) (b : Defs.value) : int =
         | _ -> if Instr.same_opcode ia ib then score_same_opcode else score_fail)
     | _ -> score_fail
 
-(* [score ~depth a b]: shallow score plus the best pairing of operands,
-   recursively.  For commutative operations both operand orders are
-   tried; the better one is kept. *)
-let rec score ~depth (a : Defs.value) (b : Defs.value) : int =
+(* One recursion step of the look-ahead: shallow score plus the best
+   pairing of operands, with sub-scores obtained through [self] so the
+   memoized and reference implementations share one body.  For
+   commutative operations both operand orders are tried; the better
+   one is kept. *)
+let step ~self ~depth (a : Defs.value) (b : Defs.value) : int =
   let s = shallow a b in
   if depth <= 0 || s = score_fail then s
   else
@@ -58,21 +60,77 @@ let rec score ~depth (a : Defs.value) (b : Defs.value) : int =
         | Defs.Binop ba, Defs.Binop _ when Array.length ia.Defs.ops = 2 ->
             let a0 = ia.Defs.ops.(0) and a1 = ia.Defs.ops.(1) in
             let b0 = ib.Defs.ops.(0) and b1 = ib.Defs.ops.(1) in
-            let aligned = score ~depth:(depth - 1) a0 b0 + score ~depth:(depth - 1) a1 b1 in
+            let aligned = self ~depth:(depth - 1) a0 b0 + self ~depth:(depth - 1) a1 b1 in
             let crossed =
               if Defs.is_commutative ba then
-                score ~depth:(depth - 1) a0 b1 + score ~depth:(depth - 1) a1 b0
+                self ~depth:(depth - 1) a0 b1 + self ~depth:(depth - 1) a1 b0
               else aligned
             in
             s + max aligned crossed
         | _ -> s)
     | _ -> s
 
+(* Memoization over (instruction, instruction, depth).  Only
+   instruction pairs are cached: they are the sole recursive case of
+   [step] and the only expensive shallow one (consecutive-load
+   detection computes affine addresses); every other pair is a cheap
+   O(1) shallow score, for which a table lookup would cost more than
+   the computation.  The key is ORDERED, not normalized: [score] is
+   directional (consecutive loads score {!score_consecutive_loads}
+   one way and {!score_reversed_loads} the other), so [(a, b)] and
+   [(b, a)] are distinct entries.  The cache is only valid while the
+   operand DAG under the scored values is unchanged — the graph
+   builder clears it whenever Super-Node massaging rewrites the IR. *)
+type cache = {
+  tbl : (int, int) Hashtbl.t; (* packed (iid, iid, depth) -> score *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cache_create () = { tbl = Hashtbl.create 512; hits = 0; misses = 0 }
+
+(* Invalidate the entries, keep the hit/miss counters (they feed the
+   per-run statistics). *)
+let cache_clear (c : cache) = Hashtbl.reset c.tbl
+
+let cache_stats (c : cache) = (c.hits, c.misses)
+
+(* Both iids and the depth packed into one immediate int: 27 + 27 + 8
+   = 62 bits, within OCaml's 63-bit native int.  Instruction ids are
+   unique per function and depths are tiny, so the bounds below are
+   unreachable in practice; a pair outside them is simply not cached. *)
+let max_packed_iid = 1 lsl 27
+let max_packed_depth = 256
+let pack ia ib depth = (((ia lsl 27) lor ib) lsl 8) lor depth
+
+let rec score ?cache ~depth (a : Defs.value) (b : Defs.value) : int =
+  match cache with
+  | None -> step ~self:(fun ~depth a b -> score ~depth a b) ~depth a b
+  | Some c -> (
+      let self ~depth a b = score ~cache:c ~depth a b in
+      match (a, b) with
+      | Defs.Instr ia, Defs.Instr ib
+        when ia.Defs.iid < max_packed_iid
+             && ib.Defs.iid < max_packed_iid
+             && depth >= 0
+             && depth < max_packed_depth -> (
+          let k = pack ia.Defs.iid ib.Defs.iid depth in
+          match Hashtbl.find_opt c.tbl k with
+          | Some s ->
+              c.hits <- c.hits + 1;
+              s
+          | None ->
+              c.misses <- c.misses + 1;
+              let s = step ~self ~depth a b in
+              Hashtbl.add c.tbl k s;
+              s)
+      | _ -> step ~self ~depth a b)
+
 (* Sum of pairwise scores of consecutive lanes — the group score used
    to compare candidate operand groups (Listing 2, line 14). *)
-let group_score ~depth (vals : Defs.value list) : int =
+let group_score ?cache ~depth (vals : Defs.value list) : int =
   let rec go = function
-    | a :: (b :: _ as rest) -> score ~depth a b + go rest
+    | a :: (b :: _ as rest) -> score ?cache ~depth a b + go rest
     | [ _ ] | [] -> 0
   in
   go vals

@@ -14,10 +14,30 @@ val score_fail : int
 
 val shallow : Defs.value -> Defs.value -> int
 
-val score : depth:int -> Defs.value -> Defs.value -> int
-(** Shallow score plus the best recursive pairing of operands (both
-    orders tried for commutative operations). *)
+type cache
+(** Memoization table for {!score}, keyed by (instruction id,
+    instruction id, depth) packed into one int.  Only instruction
+    pairs are cached — the sole recursive case; all other pairs are
+    O(1) shallow scores.  The key is ordered — the score is
+    directional (consecutive vs. reversed loads) — and entries are
+    valid only while the operand DAG under the scored values is
+    unchanged: {!cache_clear} whenever the IR is rewritten. *)
 
-val group_score : depth:int -> Defs.value list -> int
+val cache_create : unit -> cache
+
+val cache_clear : cache -> unit
+(** Drop the entries; the hit/miss counters survive. *)
+
+val cache_stats : cache -> int * int
+(** (hits, misses) since creation. *)
+
+val score : ?cache:cache -> depth:int -> Defs.value -> Defs.value -> int
+(** Shallow score plus the best recursive pairing of operands (both
+    orders tried for commutative operations).  With [?cache] the
+    exponential recursion collapses to one entry per reachable
+    (pair, depth); without it, the reference unmemoized
+    implementation. *)
+
+val group_score : ?cache:cache -> depth:int -> Defs.value list -> int
 (** Sum of pairwise scores of consecutive lanes (Listing 2 line
     14). *)

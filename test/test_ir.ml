@@ -106,8 +106,11 @@ let test_uses_and_rauw () =
   Func.replace_all_uses f ~old_v:(Instr.value lb) ~new_v:(Value.const_float 1.0);
   check_int "load now unused" 0 (List.length (Func.uses_of f (Instr.value lb)));
   check "sum rewired" true (Value.equal (Instr.operand sum 0) (Value.const_float 1.0));
+  check "use-lists consistent after replace" true
+    (Func.check_use_lists f = Ok ());
   Func.erase_instr f lb;
-  check_int "erased from block" 6 (List.length (Block.instrs entry))
+  check_int "erased from block" 6 (List.length (Block.instrs entry));
+  check "use-lists consistent after erase" true (Func.check_use_lists f = Ok ())
 
 let test_erase_with_uses_fails () =
   let f = sample_func () in
@@ -129,7 +132,11 @@ let test_clone_independent () =
   let first = List.hd (Block.instrs ge) in
   Func.replace_all_uses g ~old_v:(Instr.value first) ~new_v:(Defs.Arg (Func.arg g 1));
   Func.erase_instr g first;
-  check "original unchanged" true (Func.num_instrs f = Func.num_instrs g + 1)
+  check "original unchanged" true (Func.num_instrs f = Func.num_instrs g + 1);
+  (* Clones carry their own use-lists: mutating one must leave both
+     self-consistent. *)
+  check "clone use-lists consistent" true (Func.check_use_lists g = Ok ());
+  check "original use-lists consistent" true (Func.check_use_lists f = Ok ())
 
 let test_verifier_catches_bad_ir () =
   let f = Func.create ~name:"bad" ~args:[ ("x", Ty.f64) ] in
