@@ -497,6 +497,155 @@ let compile_time_report ~rounds ~(kernels : Registry.t list) () =
 
 let compile_time () = compile_time_report ~rounds:10 ~kernels:Registry.all ()
 
+(* --- Parallel scaling: the domain-pool vectorization driver ------------------ *)
+
+(* Wall-clock monotonic seconds. *)
+let wall_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* One sweep data point: compile [rounds] copies of every kernel
+   through the SN-SLP pipeline (memoize on) with [jobs] worker
+   domains, returning elapsed seconds and the run's outputs for the
+   determinism cross-check.  Inputs are compiled to IR up front so the
+   sweep times exactly the optimization pipeline, not the frontend. *)
+let parallel_run ~jobs (funcs : Snslp_ir.Defs.func list) =
+  let setting = Some { Config.snslp with Config.jobs = jobs } in
+  let t0 = wall_s () in
+  let results = Snslp_driver.Driver.run_all ~setting funcs in
+  let dt = wall_s () -. t0 in
+  (dt, results)
+
+let parallel_fingerprint (results : Pipeline.result list) =
+  let ir =
+    String.concat "\n"
+      (List.map
+         (fun (r : Pipeline.result) -> Snslp_ir.Printer.func_to_string r.Pipeline.func)
+         results)
+  in
+  (ir, Snslp_driver.Driver.merged_stats results)
+
+(* The jobs sweep.  Every [jobs] value must produce bit-identical IR
+   and merged counters — the protocol checks that first, then reports
+   speedup over [jobs = 1].  [samples] timed runs per point after one
+   warm-up; the minimum is the headline (least-noise) estimate. *)
+let parallel_report ~samples ~rounds ~jobs_list ~(kernels : Registry.t list) () =
+  let cores = Snslp_parallel.Pool.recommended_jobs () in
+  pr "%s"
+    (Table.section
+       (Printf.sprintf
+          "Parallel scaling: domain-pool driver, %d kernels x %d rounds (%d cores \
+           available)"
+          (List.length kernels) rounds cores));
+  let funcs_once =
+    List.map
+      (fun (k : Registry.t) -> Snslp_frontend.Frontend.compile_one k.Registry.source)
+      kernels
+  in
+  let funcs = List.concat (List.init rounds (fun _ -> funcs_once)) in
+  let n_items = List.length funcs in
+  let reference = ref None in
+  let determinism_ok = ref true in
+  let measured =
+    List.map
+      (fun jobs ->
+        let fp_ir, fp_stats = parallel_fingerprint (snd (parallel_run ~jobs funcs)) in
+        (match !reference with
+        | None -> reference := Some (fp_ir, fp_stats)
+        | Some (ir1, stats1) ->
+            if not (String.equal ir1 fp_ir) then begin
+              determinism_ok := false;
+              pr "  !! jobs=%d produced different IR than jobs=1@." jobs
+            end;
+            if not (Stats.equal_counters stats1 fp_stats) then begin
+              determinism_ok := false;
+              pr "  !! jobs=%d produced different merged counters than jobs=1@." jobs
+            end);
+        let times =
+          List.init samples (fun _ -> fst (parallel_run ~jobs funcs))
+        in
+        let mean = Stat.mean times in
+        let best = List.fold_left min (List.hd times) times in
+        (jobs, mean, best))
+      jobs_list
+  in
+  let _, _, base_best = List.hd measured in
+  let rows =
+    List.map
+      (fun (jobs, mean, best) ->
+        let speedup = base_best /. best in
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.1f" (mean *. 1e3);
+          Printf.sprintf "%.1f" (best *. 1e3);
+          Printf.sprintf "%.2fx" speedup;
+          Table.bar ~max_value:(float_of_int (List.length jobs_list)) speedup;
+        ])
+      measured
+  in
+  emit ~name:"parallel"
+    ~headers:[ "jobs"; "mean ms"; "best ms"; "speedup"; "" ]
+    rows;
+  let speedup_at j =
+    List.fold_left
+      (fun acc (jobs, _, best) -> if jobs = j then Some (base_best /. best) else acc)
+      None measured
+  in
+  let j4 = match speedup_at 4 with Some s -> s | None -> 1.0 in
+  let applicable = cores >= 4 in
+  pr "  determinism across jobs values: %s@."
+    (if !determinism_ok then "identical IR and counters (PASS)" else "MISMATCH (FAIL)");
+  if applicable then
+    pr "  speedup at jobs=4: %.2fx %s@." j4
+      (if j4 >= 1.8 then "(criterion >= 1.8x: PASS)" else "(criterion >= 1.8x: FAIL)")
+  else
+    pr "  speedup at jobs=4: %.2fx — criterion >= 1.8x needs >= 4 cores, this machine \
+        has %d; recorded, not judged@."
+      j4 cores;
+  Json.write "BENCH_parallel.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-parallel/1");
+         ("cores_available", Json.Int cores);
+         ("kernels", Json.List (List.map (fun (k : Registry.t) -> Json.String k.Registry.name) kernels));
+         ("rounds", Json.Int rounds);
+         ("work_items", Json.Int n_items);
+         ("samples_per_point", Json.Int samples);
+         ( "sweep",
+           Json.List
+             (List.map
+                (fun (jobs, mean, best) ->
+                  Json.Obj
+                    [
+                      ("jobs", Json.Int jobs);
+                      ("mean_s", Json.Float mean);
+                      ("best_s", Json.Float best);
+                      ("speedup_vs_jobs1", Json.Float (base_best /. best));
+                    ])
+                measured) );
+         ( "determinism",
+           Json.Obj
+             [
+               ( "jobs_values",
+                 Json.List (List.map (fun (j, _, _) -> Json.Int j) measured) );
+               ("identical_ir_and_counters", Json.Bool !determinism_ok);
+             ] );
+         ( "headline",
+           Json.Obj
+             [
+               ("jobs4_speedup", Json.Float j4);
+               ( "criterion",
+                 Json.String
+                   ">= 1.8x wall-clock speedup at jobs=4 over jobs=1 on the full \
+                    registry sweep (memoize=true); requires >= 4 physical cores" );
+               ("criterion_applicable", Json.Bool applicable);
+               ("pass", Json.Bool (if applicable then j4 >= 1.8 else !determinism_ok));
+             ] );
+       ]);
+  pr "  wrote BENCH_parallel.json@.";
+  if not !determinism_ok then exit 1
+
+let parallel () =
+  parallel_report ~samples:3 ~rounds:6 ~jobs_list:[ 1; 2; 4; 8 ] ~kernels:Registry.all ()
+
 (* Reduced-iteration smoke variant wired into `dune runtest` (see
    bench/dune): exercises the full reporting path, including the JSON
    emission and the memoized/legacy output-identity guard, in a few
@@ -507,6 +656,11 @@ let smoke () =
   in
   compile_time_report ~rounds:2 ~kernels ();
   memo_identity ~depth:headline_depth kernels;
+  (* Tiny jobs=2 sweep: exercises the pool's spawn/join/steal path and
+     the cross-jobs determinism guard on every test run. *)
+  parallel_report ~samples:1 ~rounds:2 ~jobs_list:[ 1; 2 ]
+    ~kernels:(List.filter_map Registry.find [ "motiv_leaf"; "milc_su3" ])
+    ();
   pr "bench-smoke OK@."
 
 (* --- Bechamel: statistically sound compile-time microbenchmarks ------------- *)
@@ -710,6 +864,7 @@ let experiments =
     ("ablation-target", ablation_target);
     ("ablation-model", ablation_model);
     ("compile-time", compile_time);
+    ("parallel", parallel);
     ("smoke", smoke);
     ("bechamel", bechamel);
   ]

@@ -47,8 +47,12 @@ let target_of_string = function
       exit 2
 
 let run verbose file kernel mode model target dump_before dump_after dump_graph stats
-    simulate lookahead =
+    simulate lookahead jobs =
   setup_logs verbose;
+  if jobs < 1 then begin
+    Fmt.epr "-j must be at least 1@.";
+    exit 2
+  end;
   let src = load_source file kernel in
   (* A .ir input bypasses the frontend: parse the textual IR
      directly. *)
@@ -75,6 +79,7 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
                 model;
                 target = target_of_string target;
                 lookahead_depth = lookahead;
+                jobs;
               }
         | None ->
             Fmt.epr "unknown mode %S (o3, slp, lslp, sn-slp)@." mode;
@@ -88,10 +93,13 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
         exit 1
     else Snslp_frontend.Frontend.compile src
   in
-  List.iter
-    (fun func ->
+  (* Functions fan out across [jobs] worker domains; results come
+     back in input order, so the printed output is independent of the
+     schedule (and bit-identical to -j 1). *)
+  let results = Snslp_driver.Driver.run_all ~jobs ~setting funcs in
+  List.iter2
+    (fun func result ->
       if dump_before then Fmt.pr "; ---- input ----@.%a@." Printer.pp_func func;
-      let result = Pipeline.run ~setting func in
       (match result.Pipeline.vect_report with
       | Some rep ->
           List.iter
@@ -120,7 +128,7 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
         | None ->
             Fmt.pr "; --simulate needs --kernel (the registry defines the workload)@."
       end)
-    funcs
+    funcs results
 
 let () =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
@@ -152,10 +160,18 @@ let () =
   let lookahead =
     Arg.(value & opt int 2 & info [ "lookahead" ] ~doc:"Look-ahead depth.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for the vectorization driver; functions fan out \
+             across domains, output is identical for every value.")
+  in
   let term =
     Term.(
       const run $ verbose $ file $ kernel $ mode $ model $ target $ dump_before
-      $ dump_after $ dump_graph $ stats $ simulate $ lookahead)
+      $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs)
   in
   let info =
     Cmd.info "snslpc" ~doc:"Super-Node SLP vectorizing compiler for KernelC"

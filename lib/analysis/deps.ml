@@ -58,7 +58,18 @@ type t = {
   mutable reach_hits : int;
   mutable reach_misses : int;
   mutable refreshes : int;
+  owner : int;
+      (* Domain.id of the constructing domain.  A Deps.t is a bundle
+         of unsynchronized mutable caches: under the parallel driver
+         every instance is domain-local by construction, and [refresh]
+         asserts it stayed that way. *)
 }
+
+let self_id () = (Domain.self () :> int)
+
+let assert_owner (t : t) =
+  if t.owner <> self_id () then
+    invalid_arg "Deps: instance refreshed from a domain other than its owner"
 
 let of_block ?(caching = true) (b : Defs.block) : t =
   let instrs = Array.of_list (Block.instrs b) in
@@ -73,6 +84,7 @@ let of_block ?(caching = true) (b : Defs.block) : t =
     reach_hits = 0;
     reach_misses = 0;
     refreshes = 0;
+    owner = self_id ();
   }
 
 (* Re-analyse after the Super-Node machinery rewrote the block: new
@@ -83,6 +95,7 @@ let of_block ?(caching = true) (b : Defs.block) : t =
    freshly inserted instructions are summarised from scratch.  The
    reachability cache is position-based and must be dropped. *)
 let refresh (t : t) (b : Defs.block) =
+  assert_owner t;
   let instrs = Array.of_list (Block.instrs b) in
   let memlocs =
     Array.map

@@ -23,6 +23,11 @@ type t = {
   mutable reach_hits : int;
   mutable reach_misses : int;
   mutable refreshes : int;
+  owner : int;
+      (** [Domain.id] of the constructing domain.  The analysis is a
+          bundle of unsynchronized mutable caches, so an instance is
+          owned by the domain that built it; {!refresh} asserts the
+          caller is that domain. *)
 }
 
 val of_block : ?caching:bool -> Defs.block -> t

@@ -1,0 +1,37 @@
+(** The parallel vectorization driver: fan a list of functions across
+    a domain pool, one {!Snslp_passes.Pipeline.run} per work item.
+
+    Functions are independent vectorization units — the per-function
+    IR is disjoint (instruction ids are function-local) and the
+    vectorizer's mutable state is either per-run ([Deps], per-graph
+    memos) or per-domain scratch lent by this driver — so the fan-out
+    needs no synchronization beyond the pool's queue, and the result
+    list, ordered by work-item index, is bit-identical to the
+    sequential path for every [jobs] value. *)
+
+open Snslp_ir
+open Snslp_vectorizer
+open Snslp_passes
+
+val jobs_of_setting : Pipeline.setting -> int
+(** [Config.jobs] of the configured vectorizer; 1 under plain -O3. *)
+
+val run_all :
+  ?pool:Snslp_parallel.Pool.t ->
+  ?jobs:int ->
+  setting:Pipeline.setting ->
+  Defs.func list ->
+  Pipeline.result list
+(** [run_all ~setting funcs] optimises every function (each via
+    {!Pipeline.run}, which clones — inputs are not modified) and
+    returns the results in input order.  Work distributes over
+    [?pool] if given; otherwise a fresh pool of [?jobs] workers
+    (default: {!jobs_of_setting}) is created and shut down around the
+    call.  Each worker domain owns one {!Vectorize.scratch}, created
+    here and never shared. *)
+
+val merged_stats : Pipeline.result list -> Stats.t
+(** Fold of the per-item vectorizer stats with {!Stats.merge}, in
+    work-item index order — deterministic for every [jobs] value and
+    steal schedule.  Items without a vectorization report (-O3)
+    contribute nothing. *)

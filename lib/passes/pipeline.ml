@@ -27,18 +27,25 @@ let setting_name = function
   | None -> "o3"
   | Some c -> Config.mode_to_string c.Config.mode
 
-let timed name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  ({ pass = name; seconds = Unix.gettimeofday () -. t0 }, r)
+(* Pass timings read the OS monotonic clock ([CLOCK_MONOTONIC] via
+   the bechamel stub): wall-clock time can step backwards under NTP,
+   and these seconds feed the compile-time experiments. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
-(* [run ?setting func] optimises a copy of [func] and returns it; the
-   input function is not modified. *)
-let run ?(setting : setting = Some Config.snslp) (func : Defs.func) : result =
+let timed name f =
+  let t0 = now_s () in
+  let r = f () in
+  ({ pass = name; seconds = now_s () -. t0 }, r)
+
+(* [run ?scratch ?setting func] optimises a copy of [func] and returns
+   it; the input function is not modified.  [scratch] is the calling
+   domain's vectorizer scratch state (see {!Vectorize.scratch}) — it
+   must belong to the domain making this call. *)
+let run ?scratch ?(setting : setting = Some Config.snslp) (func : Defs.func) : result =
   let f = Func.clone func in
   let timings = ref [] in
   let record t = timings := t :: !timings in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let t, _ = timed "fold" (fun () -> Fold.run f) in
   record t;
   let t, _ = timed "simplify" (fun () -> Simplify.run f) in
@@ -57,7 +64,7 @@ let run ?(setting : setting = Some Config.snslp) (func : Defs.func) : result =
     match setting with
     | None -> None
     | Some config ->
-        let t, rep = timed "slp" (fun () -> Vectorize.run config f) in
+        let t, rep = timed "slp" (fun () -> Vectorize.run ?scratch config f) in
         record t;
         Some rep
   in
@@ -65,5 +72,5 @@ let run ?(setting : setting = Some Config.snslp) (func : Defs.func) : result =
   record t;
   let t, () = timed "verify" (fun () -> Verifier.verify_exn f) in
   record t;
-  let total_seconds = Unix.gettimeofday () -. t0 in
+  let total_seconds = now_s () -. t0 in
   { func = f; vect_report; timings = List.rev !timings; total_seconds }

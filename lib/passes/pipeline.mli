@@ -20,6 +20,8 @@ type setting = Config.t option
 
 val setting_name : setting -> string
 
-val run : ?setting:setting -> Defs.func -> result
+val run : ?scratch:Vectorize.scratch -> ?setting:setting -> Defs.func -> result
 (** Optimises a clone; the input function is not modified.  Defaults
-    to SN-SLP. *)
+    to SN-SLP.  [scratch] is per-domain vectorizer scratch state; it
+    must be owned by the calling domain (never shared across
+    domains). *)

@@ -35,6 +35,11 @@ type t = {
          compile path (unmemoized recursion, full rebuilds, function
          scans) for benchmarking — the vectorization output is
          identical either way. *)
+  jobs : int;
+      (* worker domains for the parallel driver (Snslp_driver): whole
+         functions fan out across domains, caches stay domain-local,
+         and the output is bit-identical for every value.  1 = fully
+         sequential, no domain is ever spawned. *)
 }
 
 let default =
@@ -47,6 +52,7 @@ let default =
     threshold = 0.0;
     reductions = true;
     memoize = true;
+    jobs = 1;
   }
 
 let vanilla = { default with mode = Vanilla }

@@ -24,6 +24,10 @@ type t = {
           use-list-backed queries; [false] reproduces the legacy
           compile path for benchmarking.  Output is identical either
           way. *)
+  jobs : int;
+      (** worker domains for the parallel driver ({!Snslp_driver}
+          fans whole functions across domains); output is
+          bit-identical for every value.  1 = fully sequential. *)
 }
 
 val default : t

@@ -400,8 +400,17 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
    [?deps] lets the caller share one block-wide dependence analysis
    across consecutive seeds of the same block (refreshed between seeds
    only when the IR actually changed); without it the graph constructs
-   its own, as the unmemoized vectorizer always does. *)
-let build ?stats ?deps (config : Config.t) (func : Defs.func) (block : Defs.block)
+   its own, as the unmemoized vectorizer always does.
+
+   [?cache] similarly lets the caller lend its look-ahead memo — in
+   the parallel driver, the owning domain's scratch cache, reused
+   across every seed and function that domain processes.  The caller
+   is responsible for clearing it whenever the IR is rewritten outside
+   this graph build (massage rewrites inside the build already clear
+   it); entries are keyed by per-function instruction ids, so it must
+   also be cleared between functions.  Without it, a fresh per-graph
+   memo, as before. *)
+let build ?stats ?deps ?cache (config : Config.t) (func : Defs.func) (block : Defs.block)
     (seed : Defs.instr list) : t option =
   let deps, deps_rebuilds =
     match deps with
@@ -426,7 +435,8 @@ let build ?stats ?deps (config : Config.t) (func : Defs.func) (block : Defs.bloc
       no_remassage = Hashtbl.create 16;
       supernode_sizes = [];
       lookahead_cache =
-        (if config.Config.memoize then Some (Lookahead.cache_create ()) else None);
+        (if not config.Config.memoize then None
+         else match cache with Some c -> Some c | None -> Some (Lookahead.cache_create ()));
       deps_rebuilds;
     }
   in

@@ -64,6 +64,7 @@ val is_vectorizable_kind : kind -> bool
 val build :
   ?stats:Stats.t ->
   ?deps:Deps.t ->
+  ?cache:Lookahead.cache ->
   Config.t ->
   Defs.func ->
   Defs.block ->
@@ -73,8 +74,11 @@ val build :
     store seed; [None] when the seed cannot even be bundled.  May
     rewrite the IR (Super-Node massaging).  [?deps] shares a caller
     -owned block-wide dependence analysis (the caller must refresh it
-    between seeds if the IR changed); [?stats] charges phase timings
-    ("deps", "massage", "reorder") to the given sink. *)
+    between seeds if the IR changed); [?cache] lends the caller's
+    look-ahead memo (domain-local scratch in the parallel driver; the
+    caller clears it on IR rewrites outside the build and between
+    functions); [?stats] charges phase timings ("deps", "massage",
+    "reorder") to the given sink. *)
 
 val pp_node : node Fmt.t
 val pp : t Fmt.t

@@ -24,7 +24,7 @@ type t = {
   mutable reach_misses : int;
   mutable deps_builds : int;
   mutable deps_refreshes : int;
-  mutable phases : (string * float) list; (* cumulative seconds per phase *)
+  phases : (string, float) Hashtbl.t; (* cumulative seconds per phase *)
 }
 
 let create () =
@@ -43,44 +43,43 @@ let create () =
     reach_misses = 0;
     deps_builds = 0;
     deps_refreshes = 0;
-    phases = [];
+    phases = Hashtbl.create 8;
   }
 
 let add_phase (t : t) name seconds =
-  let rec go = function
-    | [] -> [ (name, seconds) ]
-    | (n, s) :: rest ->
-        if String.equal n name then (n, s +. seconds) :: rest else (n, s) :: go rest
-  in
-  t.phases <- go t.phases
+  match Hashtbl.find_opt t.phases name with
+  | Some s -> Hashtbl.replace t.phases name (s +. seconds)
+  | None -> Hashtbl.add t.phases name seconds
 
-let phase_seconds (t : t) name = try List.assoc name t.phases with Not_found -> 0.0
+let phase_seconds (t : t) name =
+  match Hashtbl.find_opt t.phases name with Some s -> s | None -> 0.0
 
-(* [time ?stats name f] runs [f] and charges its wall-clock time to
-   phase [name]; with no stats sink it is just [f ()]. *)
+(* Phase timings in a canonical (name-sorted) order, so anything that
+   prints or merges them is independent of hash-table layout. *)
+let phases_sorted (t : t) =
+  Hashtbl.fold (fun n s acc -> (n, s) :: acc) t.phases []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* [time ?stats name f] runs [f] and charges its elapsed time to phase
+   [name]; with no stats sink it is just [f ()].  The clock is the
+   OS's monotonic one (CLOCK_MONOTONIC via the bechamel stub):
+   [Unix.gettimeofday] is wall-clock time, which NTP can step
+   backwards, and a phase accumulator must never ingest a negative
+   sample. *)
+let now_ns () = Monotonic_clock.now ()
+
 let time ?stats name f =
   match stats with
   | None -> f ()
   | Some t ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = now_ns () in
       let r = f () in
-      add_phase t name (Unix.gettimeofday () -. t0);
+      add_phase t name (Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9);
       r
 
 let hit_rate ~hits ~misses =
   let total = hits + misses in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
-
-let merge_phases (a : (string * float) list) (b : (string * float) list) =
-  List.fold_left
-    (fun acc (name, s) ->
-      let rec go = function
-        | [] -> [ (name, s) ]
-        | (n, s') :: rest ->
-            if String.equal n name then (n, s' +. s) :: rest else (n, s') :: go rest
-      in
-      go acc)
-    a b
 
 let record_supernode (t : t) ~size = t.supernode_sizes <- size :: t.supernode_sizes
 
@@ -95,7 +94,20 @@ let average_supernode_size (t : t) =
   | [] -> 0.0
   | l -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
 
+(* [merge a b] is deterministic in its arguments only — counters add,
+   [a]'s supernode sizes precede [b]'s, phases accumulate by name —
+   so a fold over per-work-item stats in work-item index order yields
+   the same value no matter which domain computed which item, or in
+   what order they completed. *)
 let merge (a : t) (b : t) =
+  let phases = Hashtbl.create 8 in
+  let add (n, s) =
+    match Hashtbl.find_opt phases n with
+    | Some s' -> Hashtbl.replace phases n (s' +. s)
+    | None -> Hashtbl.add phases n s
+  in
+  List.iter add (phases_sorted a);
+  List.iter add (phases_sorted b);
   {
     graphs_built = a.graphs_built + b.graphs_built;
     graphs_vectorized = a.graphs_vectorized + b.graphs_vectorized;
@@ -111,8 +123,26 @@ let merge (a : t) (b : t) =
     reach_misses = a.reach_misses + b.reach_misses;
     deps_builds = a.deps_builds + b.deps_builds;
     deps_refreshes = a.deps_refreshes + b.deps_refreshes;
-    phases = merge_phases a.phases b.phases;
+    phases;
   }
+
+(* Everything except the phase timings, which are wall-clock and so
+   never reproducible run to run. *)
+let equal_counters (a : t) (b : t) =
+  a.graphs_built = b.graphs_built
+  && a.graphs_vectorized = b.graphs_vectorized
+  && a.nodes_formed = b.nodes_formed
+  && a.gathers = b.gathers
+  && a.supernode_sizes = b.supernode_sizes
+  && a.vector_instrs_emitted = b.vector_instrs_emitted
+  && a.scalars_erased = b.scalars_erased
+  && a.reductions = b.reductions
+  && a.lookahead_hits = b.lookahead_hits
+  && a.lookahead_misses = b.lookahead_misses
+  && a.reach_hits = b.reach_hits
+  && a.reach_misses = b.reach_misses
+  && a.deps_builds = b.deps_builds
+  && a.deps_refreshes = b.deps_refreshes
 
 let pp ppf (t : t) =
   Fmt.pf ppf
@@ -129,4 +159,4 @@ let pp ppf (t : t) =
 let pp_phases ppf (t : t) =
   Fmt.pf ppf "%a"
     (Fmt.list ~sep:(Fmt.any " ") (fun ppf (n, s) -> Fmt.pf ppf "%s=%.1fus" n (s *. 1e6)))
-    t.phases
+    (phases_sorted t)

@@ -22,19 +22,26 @@ type t = {
       (** full {!Snslp_analysis.Deps.of_block} constructions *)
   mutable deps_refreshes : int;
       (** in-place {!Snslp_analysis.Deps.refresh} calls *)
-  mutable phases : (string * float) list;
-      (** cumulative wall-clock seconds per vectorizer phase *)
+  phases : (string, float) Hashtbl.t;
+      (** cumulative monotonic-clock seconds per vectorizer phase *)
 }
 
 val create : unit -> t
 val record_supernode : t -> size:int -> unit
 
 val add_phase : t -> string -> float -> unit
+(** O(1) accumulation into the phase table. *)
+
 val phase_seconds : t -> string -> float
 
+val phases_sorted : t -> (string * float) list
+(** The phase timings in name order — the canonical emission order,
+    independent of hash-table layout. *)
+
 val time : ?stats:t -> string -> (unit -> 'a) -> 'a
-(** [time ?stats name f] runs [f], charging its wall-clock time to
-    phase [name] when a stats sink is given. *)
+(** [time ?stats name f] runs [f], charging its elapsed time to phase
+    [name] when a stats sink is given.  Reads the OS monotonic clock,
+    not wall-clock time, so samples can never be negative. *)
 
 val hit_rate : hits:int -> misses:int -> float
 (** Fraction of queries served from a cache; 0 when it was never
@@ -49,5 +56,15 @@ val average_supernode_size : t -> float
 (** Figures 7 and 10. *)
 
 val merge : t -> t -> t
+(** Deterministic in its arguments only: counters add, [a]'s
+    supernode sizes precede [b]'s, phases accumulate by name.
+    Associative, with [create ()] as identity — the parallel driver
+    folds per-work-item stats in work-item index order, which makes
+    the merged value independent of domain scheduling. *)
+
+val equal_counters : t -> t -> bool
+(** Equality on everything except the phase timings (wall-clock, never
+    reproducible).  What the jobs-determinism test compares. *)
+
 val pp : t Fmt.t
 val pp_phases : t Fmt.t

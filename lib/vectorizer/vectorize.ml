@@ -27,6 +27,21 @@ let log_src = Logs.Src.create "snslp.vectorize" ~doc:"SLP vectorizer"
 
 module Log = (val Logs.src_log log_src)
 
+(* Per-domain scratch state.  The parallel driver allocates one per
+   worker domain and passes it to every [run] that domain executes;
+   the ownership rule is that a scratch value never crosses domains.
+   The look-ahead memo inside is keyed by per-function instruction
+   ids, so [run] clears it on entry (a new function) and again after
+   every IR rewrite (codegen here, massaging inside the graph
+   builder), exactly the validity rule the cache always had — lending
+   it across seeds and functions only widens reuse between rewrites,
+   it never serves a stale entry.  Scores served from the cache equal
+   the uncached recursion, so the vectorized output is bit-identical
+   with or without a scratch, and for any [Config.jobs] value. *)
+type scratch = { lookahead : Lookahead.cache }
+
+let scratch_create () = { lookahead = Lookahead.cache_create () }
+
 let describe_seed (seed : Defs.instr list) =
   String.concat "; " (List.map Instr.to_string seed)
 
@@ -39,7 +54,8 @@ let count_kind (g : Graph.t) kindp =
    refreshed in place only after a rewrite actually changed the IR, so
    reachability windows survive across rejected and retried seeds. *)
 let try_seed (config : Config.t) (stats : Stats.t) trees func block
-    ~(shared_deps : Deps.t option) ~(dirty : bool ref) (seed : Defs.instr list) : bool =
+    ~(scratch : scratch option) ~(shared_deps : Deps.t option) ~(dirty : bool ref)
+    (seed : Defs.instr list) : bool =
   (* Earlier trees may have consumed these stores. *)
   if not (List.for_all (Block.mem block) seed) then false
   else begin
@@ -53,7 +69,21 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
           Some d
       | None -> None
     in
-    match Stats.time ~stats "graph" (fun () -> Graph.build ~stats ?deps config func block seed) with
+    (* Lend the domain's look-ahead memo to the graph build; its
+       hit/miss counters are cumulative across everything this scratch
+       ever served, so harvest the per-graph contribution as a delta. *)
+    let cache =
+      if config.Config.memoize then
+        Option.map (fun s -> s.lookahead) scratch
+      else None
+    in
+    let la_before =
+      match cache with Some c -> Lookahead.cache_stats c | None -> (0, 0)
+    in
+    match
+      Stats.time ~stats "graph" (fun () ->
+          Graph.build ~stats ?deps ?cache config func block seed)
+    with
     | None -> false
     | Some g ->
         stats.Stats.graphs_built <- stats.Stats.graphs_built + 1;
@@ -71,6 +101,10 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
         if vectorized then begin
           let rep = Stats.time ~stats "codegen" (fun () -> Codegen.run g) in
           dirty := true;
+          (* Codegen rewrote the block: a lent memo's entries now
+             describe dead IR.  (A graph-owned memo dies with the
+             graph; the counters survive the clear either way.) *)
+          (match cache with Some c -> Lookahead.cache_clear c | None -> ());
           stats.Stats.graphs_vectorized <- stats.Stats.graphs_vectorized + 1;
           stats.Stats.vector_instrs_emitted <-
             stats.Stats.vector_instrs_emitted + rep.Codegen.vector_instrs;
@@ -80,12 +114,15 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
         end;
         (* Harvest the per-graph memoization counters.  The shared
            dependence analysis is harvested once per block by [run];
-           a graph-owned one reports its full builds here. *)
+           a graph-owned one reports its full builds here.  For a lent
+           (scratch) memo the counters are lifetime totals, so only
+           the delta since this build started is charged. *)
         (match g.Graph.lookahead_cache with
         | Some c ->
+            let h0, m0 = la_before in
             let h, m = Lookahead.cache_stats c in
-            stats.Stats.lookahead_hits <- stats.Stats.lookahead_hits + h;
-            stats.Stats.lookahead_misses <- stats.Stats.lookahead_misses + m
+            stats.Stats.lookahead_hits <- stats.Stats.lookahead_hits + h - h0;
+            stats.Stats.lookahead_misses <- stats.Stats.lookahead_misses + m - m0
         | None -> ());
         stats.Stats.deps_builds <- stats.Stats.deps_builds + g.Graph.deps_rebuilds;
         trees :=
@@ -94,14 +131,17 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
         vectorized
   end
 
-(* [run config func] vectorizes [func] in place and returns the
-   detailed report.
+(* [run ?scratch config func] vectorizes [func] in place and returns
+   the detailed report.
 
    Each run of adjacent stores is first attempted at the target's full
    vector width; stores of rejected groups (and the short tail of the
    run) are retried at the next narrower power-of-two width, as LLVM's
    SLP does.  The function is verified after every rewrite. *)
-let run (config : Config.t) (func : Defs.func) : report =
+let run ?scratch (config : Config.t) (func : Defs.func) : report =
+  (* A scratch's memo may hold entries for the previous function this
+     domain processed; instruction ids are only unique per function. *)
+  (match scratch with Some s -> Lookahead.cache_clear s.lookahead | None -> ());
   let stats = Stats.create () in
   let trees = ref [] in
   let lanes_for = Target.lanes_for config.Config.target in
@@ -134,7 +174,9 @@ let run (config : Config.t) (func : Defs.func) : report =
                     let failed =
                       List.concat_map
                         (fun seed ->
-                          if try_seed config stats trees func block ~shared_deps ~dirty seed
+                          if
+                            try_seed config stats trees func block ~scratch
+                              ~shared_deps ~dirty seed
                           then []
                           else seed)
                         groups
