@@ -646,6 +646,92 @@ let parallel_report ~samples ~rounds ~jobs_list ~(kernels : Registry.t list) () 
 let parallel () =
   parallel_report ~samples:3 ~rounds:6 ~jobs_list:[ 1; 2; 4; 8 ] ~kernels:Registry.all ()
 
+(* --- Fuzzing: differential campaign throughput and cleanliness --------------- *)
+
+(* A fixed-seed differential fuzzing campaign over every pipeline
+   configuration (o3, slp/lslp/sn-slp, memoize on/off) plus the
+   parallel-driver determinism axis, reported as throughput and
+   findings and written to BENCH_fuzz.json.  The acceptance campaign
+   (10k cases) runs through the snslp-fuzz CLI; this experiment keeps
+   a smaller campaign under the bench harness so regressions in
+   oracle cleanliness or fuzzing throughput show up in CI artifacts. *)
+let fuzz_report ~seed ~cases ~jobs () =
+  pr "%s"
+    (Table.section
+       (Printf.sprintf "Fuzzing: differential campaign (seed %d, %d cases, jobs %d)"
+          seed cases jobs));
+  let result = Snslp_fuzzer.Campaign.run ~jobs ~reduce:true ~seed ~cases () in
+  let failing = List.length result.Snslp_fuzzer.Campaign.reports in
+  let throughput =
+    float_of_int result.Snslp_fuzzer.Campaign.cases
+    /. Float.max result.Snslp_fuzzer.Campaign.elapsed_seconds 1e-9
+  in
+  emit ~name:"fuzz"
+    ~headers:[ "cases"; "instrs generated"; "elapsed s"; "cases/s"; "failing" ]
+    [
+      [
+        string_of_int result.Snslp_fuzzer.Campaign.cases;
+        string_of_int result.Snslp_fuzzer.Campaign.total_instrs;
+        Printf.sprintf "%.2f" result.Snslp_fuzzer.Campaign.elapsed_seconds;
+        Printf.sprintf "%.0f" throughput;
+        string_of_int failing;
+      ];
+    ];
+  List.iter
+    (fun (r : Snslp_fuzzer.Campaign.case_report) ->
+      pr "  !! failing case seed=%d@." r.Snslp_fuzzer.Campaign.case_seed;
+      List.iter
+        (fun f -> pr "     %s@." (Snslp_fuzzer.Oracle.finding_to_string f))
+        r.Snslp_fuzzer.Campaign.findings)
+    result.Snslp_fuzzer.Campaign.reports;
+  let clean = Snslp_fuzzer.Campaign.clean result in
+  pr "  findings: %d %s@." failing
+    (if clean then "(criterion 0: PASS)" else "(criterion 0: FAIL)");
+  Json.write "BENCH_fuzz.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-fuzz/1");
+         ("seed", Json.Int seed);
+         ("cases", Json.Int result.Snslp_fuzzer.Campaign.cases);
+         ("jobs", Json.Int jobs);
+         ("total_instrs", Json.Int result.Snslp_fuzzer.Campaign.total_instrs);
+         ("elapsed_s", Json.Float result.Snslp_fuzzer.Campaign.elapsed_seconds);
+         ("cases_per_second", Json.Float throughput);
+         ( "configs",
+           Json.List
+             (List.map
+                (fun (name, _) -> Json.String name)
+                Snslp_fuzzer.Oracle.default_configs) );
+         ("failing_cases", Json.Int failing);
+         ( "findings",
+           Json.List
+             (List.concat_map
+                (fun (r : Snslp_fuzzer.Campaign.case_report) ->
+                  List.map
+                    (fun f ->
+                      Json.Obj
+                        [
+                          ("case_seed", Json.Int r.Snslp_fuzzer.Campaign.case_seed);
+                          ( "finding",
+                            Json.String (Snslp_fuzzer.Oracle.finding_to_string f) );
+                        ])
+                    r.Snslp_fuzzer.Campaign.findings)
+                result.Snslp_fuzzer.Campaign.reports) );
+         ( "headline",
+           Json.Obj
+             [
+               ( "criterion",
+                 Json.String
+                   "zero findings across all configurations (incl. parallel-driver \
+                    determinism) on the fixed-seed campaign" );
+               ("pass", Json.Bool clean);
+             ] );
+       ]);
+  pr "  wrote BENCH_fuzz.json@.";
+  if not clean then exit 1
+
+let fuzz () = fuzz_report ~seed:42 ~cases:2000 ~jobs:2 ()
+
 (* Reduced-iteration smoke variant wired into `dune runtest` (see
    bench/dune): exercises the full reporting path, including the JSON
    emission and the memoized/legacy output-identity guard, in a few
@@ -661,6 +747,9 @@ let smoke () =
   parallel_report ~samples:1 ~rounds:2 ~jobs_list:[ 1; 2 ]
     ~kernels:(List.filter_map Registry.find [ "motiv_leaf"; "milc_su3" ])
     ();
+  (* Bounded fuzz smoke: fixed seed, a couple hundred cases, the
+     parallel determinism axis included; writes BENCH_fuzz.json. *)
+  fuzz_report ~seed:42 ~cases:200 ~jobs:2 ();
   pr "bench-smoke OK@."
 
 (* --- Bechamel: statistically sound compile-time microbenchmarks ------------- *)
@@ -865,6 +954,7 @@ let experiments =
     ("ablation-model", ablation_model);
     ("compile-time", compile_time);
     ("parallel", parallel);
+    ("fuzz", fuzz);
     ("smoke", smoke);
     ("bechamel", bechamel);
   ]

@@ -47,7 +47,7 @@ let target_of_string = function
       exit 2
 
 let run verbose file kernel mode model target dump_before dump_after dump_graph stats
-    simulate lookahead jobs =
+    simulate lookahead jobs verify_each =
   setup_logs verbose;
   if jobs < 1 then begin
     Fmt.epr "-j must be at least 1@.";
@@ -80,6 +80,7 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
                 target = target_of_string target;
                 lookahead_depth = lookahead;
                 jobs;
+                verify_each;
               }
         | None ->
             Fmt.epr "unknown mode %S (o3, slp, lslp, sn-slp)@." mode;
@@ -96,7 +97,13 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
   (* Functions fan out across [jobs] worker domains; results come
      back in input order, so the printed output is independent of the
      schedule (and bit-identical to -j 1). *)
-  let results = Snslp_driver.Driver.run_all ~jobs ~setting funcs in
+  (* [verify_each] is also passed explicitly so it covers --mode o3
+     (whose setting carries no config record). *)
+  let results =
+    Snslp_driver.Driver.run_all ~jobs
+      ?verify_each:(if verify_each then Some true else None)
+      ~setting funcs
+  in
   List.iter2
     (fun func result ->
       if dump_before then Fmt.pr "; ---- input ----@.%a@." Printer.pp_func func;
@@ -168,10 +175,18 @@ let () =
             "Worker domains for the vectorization driver; functions fan out \
              across domains, output is identical for every value.")
   in
+  let verify_each =
+    Arg.(
+      value & flag
+      & info [ "verify-each" ]
+          ~doc:
+            "Run the IR verifier after every pipeline pass (not just at the \
+             end); a failure names the pass that broke the IR.")
+  in
   let term =
     Term.(
       const run $ verbose $ file $ kernel $ mode $ model $ target $ dump_before
-      $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs)
+      $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs $ verify_each)
   in
   let info =
     Cmd.info "snslpc" ~doc:"Super-Node SLP vectorizing compiler for KernelC"

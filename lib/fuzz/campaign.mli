@@ -1,0 +1,41 @@
+(** Fuzzing campaigns: generate, check, minimize, tally.
+
+    Deterministic per campaign seed; any failing case carries the
+    generation seed that regenerates it exactly. *)
+
+open Snslp_ir
+module Pipeline = Snslp_passes.Pipeline
+
+type case_report = {
+  case_seed : int;  (** regenerates the case; -1 for batch reports *)
+  findings : Oracle.finding list;  (** non-empty *)
+  reduced : Defs.func option;  (** minimized reproducer, if requested *)
+}
+
+type result = {
+  cases : int;
+  total_instrs : int;  (** across all generated functions *)
+  elapsed_seconds : float;
+  reports : case_report list;  (** empty = clean campaign *)
+}
+
+val case_seed : seed:int -> int -> int
+(** The generation seed of case [k] in a campaign seeded [seed]. *)
+
+val run :
+  ?profile:Gen.profile ->
+  ?configs:(string * Pipeline.setting) list ->
+  ?jobs:int ->
+  ?batch:int ->
+  ?reduce:bool ->
+  ?on_progress:(done_:int -> failing:int -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  result
+(** [run ~seed ~cases ()] fuzzes [cases] functions through every
+    configuration.  [jobs] > 1 additionally checks the parallel
+    driver's output determinism over batches of [batch] functions;
+    [reduce] (default true) minimizes every failing case. *)
+
+val clean : result -> bool

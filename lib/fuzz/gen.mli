@@ -1,0 +1,32 @@
+(** Seeded random generator of well-typed straight-line IR functions,
+    biased toward the shapes SN-SLP vectorizes: adjacent store groups
+    with scrambled add/sub and mul/div chains, shared sub-expressions,
+    gathered and splatted loads, reduction trees, compare/select
+    lanes, and mixed int/float groups.
+
+    Generated functions always pass {!Snslp_ir.Verifier.check}, and
+    their float dataflow is engineered so that the differential oracle
+    can compare optimized against reference runs with (near-)exact
+    tolerances — see the exactness discipline in the implementation. *)
+
+type profile = {
+  max_instrs : int;  (** soft size bound; generation stops near it *)
+  max_groups : int;  (** store groups per function *)
+  allow_f32 : bool;  (** f32 functions (float side otherwise f64) *)
+  allow_int : bool;  (** integer store groups *)
+  allow_div : bool;  (** mul/div chains (results never re-read) *)
+  allow_select : bool;  (** cmp+select terms *)
+  allow_reduction : bool;  (** single-store reduction trees *)
+}
+
+val default_profile : profile
+
+val generate : ?profile:profile -> seed:int -> unit -> Snslp_ir.Defs.func
+(** [generate ~seed ()] emits one verified straight-line function,
+    deterministically per [(profile, seed)]. *)
+
+val tolerance_for : Snslp_ir.Defs.func -> float
+(** The relative tolerance the oracle should use for a generated
+    function: division is the only inexact operation the generator
+    lets the vectorizer reassociate, so this is tight (1e-12 for f64
+    functions, 1e-5 when f32 buffers are present). *)

@@ -1,0 +1,169 @@
+(* The differential oracle.
+
+   Ground truth is the interpreter running the *unoptimized* function;
+   every pipeline configuration (O3 baseline, the three SLP modes,
+   each with memoization on and off) must reproduce the same final
+   memory.  Three ways to lose:
+
+   - [Crash]: the pipeline or the interpreter raised;
+   - [Invalid]: the optimized function fails the IR verifier;
+   - [Mismatch]: the final memories diverge beyond the tolerance
+     (NaN-safe: matching NaNs agree, equal infinities agree).
+
+   The oracle is deliberately pure observation — it never mutates the
+   input function — so a finding can be replayed by re-running the
+   same function through the same configuration. *)
+
+open Snslp_ir
+open Snslp_interp
+open Snslp_vectorizer
+module Pipeline = Snslp_passes.Pipeline
+module Driver = Snslp_driver.Driver
+module Workload = Snslp_kernels.Workload
+
+type kind =
+  | Crash of string (* the pipeline or the interpreter raised *)
+  | Invalid of string (* the optimized function fails the verifier *)
+  | Mismatch of string (* final memories diverge beyond tolerance *)
+
+type finding = { config : string; kind : kind }
+
+let kind_to_string = function
+  | Crash d -> "crash: " ^ d
+  | Invalid d -> "invalid IR: " ^ d
+  | Mismatch d -> "mismatch: " ^ d
+
+let finding_to_string f = Printf.sprintf "[%s] %s" f.config (kind_to_string f.kind)
+
+(* The evaluated configurations: the paper's three modes, each with
+   the memoized and the legacy compile path, plus the no-vectorizer
+   baseline (which exercises the scalar passes alone).  Every config
+   runs with [verify_each] so a pass that breaks the IR is named in
+   the finding rather than discovered at the end of the pipeline. *)
+let default_configs : (string * Pipeline.setting) list =
+  let both name (c : Config.t) =
+    let c = { c with Config.verify_each = true } in
+    [
+      (name, Some { c with Config.memoize = true });
+      (name ^ "-nomemo", Some { c with Config.memoize = false });
+    ]
+  in
+  (("o3", None) :: both "slp" Config.vanilla)
+  @ both "lslp" Config.lslp @ both "snslp" Config.snslp
+
+(* --- Execution harness ---------------------------------------------------- *)
+
+(* Generated functions address at most a few tens of elements past the
+   index argument; 512 leaves plenty of slack while keeping the
+   memory diff cheap. *)
+let buffer_size = 512
+
+(* The index argument's runtime value.  Any value works (correctness
+   must not depend on it); a small non-zero one keeps symbolic and
+   constant addressing distinct. *)
+let index_value = 8L
+
+let fresh_memory (func : Defs.func) : Memory.t =
+  let memory = Memory.create () in
+  Array.iter
+    (fun (a : Defs.arg) ->
+      match a.Defs.arg_ty with
+      | Ty.Ptr s when Ty.scalar_is_float s ->
+          Memory.set_float_buffer memory ~arg_pos:a.Defs.arg_pos
+            (Array.init buffer_size (Workload.float_value ~seed:(a.Defs.arg_pos + 1)))
+      | Ty.Ptr _ ->
+          Memory.set_int_buffer memory ~arg_pos:a.Defs.arg_pos
+            (Array.init buffer_size (Workload.int_value ~seed:(a.Defs.arg_pos + 1)))
+      | Ty.Scalar _ | Ty.Vector _ -> ())
+    (Func.args func);
+  memory
+
+let make_args (func : Defs.func) : Rvalue.t array =
+  Array.map
+    (fun (a : Defs.arg) ->
+      match a.Defs.arg_ty with
+      | Ty.Ptr _ -> Rvalue.R_ptr { base = a.Defs.arg_pos; offset = 0 }
+      | Ty.Scalar s when Ty.scalar_is_int s -> Rvalue.R_int index_value
+      | Ty.Scalar _ -> Rvalue.R_float 1.5
+      | Ty.Vector _ -> Rvalue.R_undef)
+    (Func.args func)
+
+(* [run_memory func] interprets one call of [func] on fresh memory. *)
+let run_memory (func : Defs.func) : Memory.t =
+  let memory = fresh_memory func in
+  Interp.run func ~args:(make_args func) ~memory;
+  memory
+
+(* Test-only hook: applied to each optimized function before it is
+   compared, so the reducer's end-to-end path (a real finding flowing
+   into minimization) can be exercised without shipping a bug. *)
+let inject_bug : (Defs.func -> unit) option ref = ref None
+
+(* --- The oracle ----------------------------------------------------------- *)
+
+(* [run_case func] pushes [func] through every configuration and
+   returns all findings (empty list = clean). *)
+let run_case ?(configs = default_configs) ?tolerance (func : Defs.func) :
+    finding list =
+  let tolerance = match tolerance with Some t -> t | None -> Gen.tolerance_for func in
+  let reference =
+    try Ok (run_memory func) with e -> Error (Printexc.to_string e)
+  in
+  match reference with
+  | Error detail ->
+      (* The unoptimized function itself failed to execute: a
+         generator bug, reported against a pseudo-config. *)
+      [ { config = "reference"; kind = Crash detail } ]
+  | Ok ref_memory ->
+      List.filter_map
+        (fun (name, setting) ->
+          let kind =
+            match Pipeline.run ~setting func with
+            | exception e -> Some (Crash (Printexc.to_string e))
+            | result -> (
+                let optimized = result.Pipeline.func in
+                (match !inject_bug with Some f -> f optimized | None -> ());
+                match Verifier.check optimized with
+                | Error detail -> Some (Invalid detail)
+                | Ok () -> (
+                    match run_memory optimized with
+                    | exception e -> Some (Crash (Printexc.to_string e))
+                    | memory -> (
+                        match Memory.diff_nan_safe ~tolerance ref_memory memory with
+                        | Some detail -> Some (Mismatch detail)
+                        | None -> None)))
+          in
+          Option.map (fun kind -> { config = name; kind }) kind)
+        configs
+
+(* [check_jobs_determinism ~jobs funcs] runs the parallel driver over
+   a batch sequentially and with [jobs] workers and demands printed-IR
+   identity per function — the driver's bit-identical-output
+   contract. *)
+let check_jobs_determinism ?(setting = Some Config.snslp) ~jobs
+    (funcs : Defs.func list) : finding list =
+  let texts results =
+    List.map (fun (r : Pipeline.result) -> Printer.func_to_string r.Pipeline.func) results
+  in
+  match
+    ( texts (Driver.run_all ~jobs:1 ~setting funcs),
+      texts (Driver.run_all ~jobs ~setting funcs) )
+  with
+  | exception e ->
+      [ { config = Printf.sprintf "jobs%d" jobs; kind = Crash (Printexc.to_string e) } ]
+  | seq, par ->
+      List.concat
+        (List.map2
+           (fun (f : Defs.func) (a, b) ->
+             if String.equal a b then []
+             else
+               [
+                 {
+                   config = Printf.sprintf "jobs%d" jobs;
+                   kind =
+                     Mismatch
+                       (Printf.sprintf "@%s: parallel output differs from sequential"
+                          f.Defs.fname);
+                 };
+               ])
+           funcs (List.combine seq par))

@@ -1,0 +1,48 @@
+(** The differential oracle: runs a function through every pipeline
+    configuration and compares the interpreter's final memory against
+    the unoptimized reference. *)
+
+open Snslp_ir
+open Snslp_interp
+module Pipeline = Snslp_passes.Pipeline
+
+type kind =
+  | Crash of string  (** the pipeline or the interpreter raised *)
+  | Invalid of string  (** the optimized function fails the verifier *)
+  | Mismatch of string  (** final memories diverge beyond tolerance *)
+
+type finding = { config : string; kind : kind }
+
+val kind_to_string : kind -> string
+val finding_to_string : finding -> string
+
+val default_configs : (string * Pipeline.setting) list
+(** O3 plus slp/lslp/snslp, each with memoization on and off. *)
+
+val buffer_size : int
+val index_value : int64
+
+val fresh_memory : Defs.func -> Memory.t
+val make_args : Defs.func -> Rvalue.t array
+
+val run_memory : Defs.func -> Memory.t
+(** One interpreted call on fresh deterministic memory. *)
+
+val inject_bug : (Defs.func -> unit) option ref
+(** Test-only: mutates each optimized function before comparison, so
+    the reduction path can be exercised end to end.  [None] in
+    production. *)
+
+val run_case :
+  ?configs:(string * Pipeline.setting) list ->
+  ?tolerance:float ->
+  Defs.func ->
+  finding list
+(** All findings for one function; the empty list means every
+    configuration agreed with the reference.  [tolerance] defaults to
+    {!Gen.tolerance_for}. *)
+
+val check_jobs_determinism :
+  ?setting:Pipeline.setting -> jobs:int -> Defs.func list -> finding list
+(** Sequential vs [jobs]-worker driver runs must print identical IR
+    per function. *)

@@ -1,0 +1,166 @@
+(* Test-case reduction: greedy delta debugging over the IR.
+
+   Given a function and a predicate [fails] (typically "the oracle
+   still reports a finding"), the reducer repeatedly tries
+   semantics-shrinking mutations on a clone — dropping stores,
+   forwarding a binop's operand through (narrowing chains), replacing
+   loads and constants with trivial values — keeping a candidate only
+   when it still verifies AND still fails.  Dead code is swept after
+   every accepted mutation, so dropping one store erases its whole
+   dangling expression tree.
+
+   Mutations are keyed by instruction id and applied to fresh clones
+   ([Func.clone] preserves ids), so an enumeration taken from one
+   snapshot stays meaningful as candidates are accepted or rejected.
+   Every accepted step strictly shrinks the printed function or
+   replaces an operand with a strictly simpler one, so the process
+   terminates; [max_rounds] is a belt-and-braces bound. *)
+
+open Snslp_ir
+module Dce = Snslp_passes.Dce
+
+let find_instr (f : Defs.func) (iid : int) : Defs.instr option =
+  Func.fold_instrs
+    (fun acc i -> if i.Defs.iid = iid then Some i else acc)
+    None f
+
+(* [accept ~fails cur mutate] clones [cur], applies [mutate] to the
+   clone, sweeps, and keeps the clone only when it still verifies and
+   still fails.  [mutate] returns [false] to abstain (e.g. its target
+   vanished in an earlier accepted step). *)
+let accept ~fails (cur : Defs.func) (mutate : Defs.func -> bool) : Defs.func =
+  let g = Func.clone cur in
+  if not (mutate g) then cur
+  else begin
+    ignore (Dce.run g);
+    match Verifier.verify g with
+    | [] -> if fails g then g else cur
+    | _ :: _ -> cur
+  end
+
+let instr_ids p (f : Defs.func) : int list =
+  List.rev (Func.fold_instrs (fun acc i -> if p i then i.Defs.iid :: acc else acc) [] f)
+
+(* --- Mutation passes ------------------------------------------------------ *)
+
+(* Drop whole stores: the coarsest cut — each erased store takes its
+   dead expression tree with it. *)
+let pass_drop_stores ~fails (f : Defs.func) : Defs.func =
+  List.fold_left
+    (fun cur iid ->
+      accept ~fails cur (fun g ->
+          match find_instr g iid with
+          | Some i when Instr.is_store i && not (Func.has_uses g (Instr.value i)) ->
+              Func.erase_instr g i;
+              true
+          | _ -> false))
+    f
+    (instr_ids Instr.is_store f)
+
+(* Forward one operand of a binop through to its users, narrowing the
+   chain by one link.  Tried from the back of the function so chain
+   tails unwind first. *)
+let pass_forward_binops ~fails (f : Defs.func) : Defs.func =
+  let candidates =
+    List.rev (instr_ids (fun i -> Instr.is_binop i) f)
+    |> List.concat_map (fun iid -> [ (iid, 0); (iid, 1) ])
+  in
+  List.fold_left
+    (fun cur (iid, slot) ->
+      accept ~fails cur (fun g ->
+          match find_instr g iid with
+          | Some i when Instr.is_binop i && slot < Instr.num_operands i ->
+              let o = Instr.operand i slot in
+              if Ty.equal (Value.ty o) (Instr.ty i) then begin
+                Func.replace_all_uses g ~old_v:(Instr.value i) ~new_v:o;
+                Func.erase_instr g i;
+                true
+              end
+              else false
+          | _ -> false))
+    f candidates
+
+let one_of (ty : Ty.t) : Defs.value option =
+  match ty with
+  | Ty.Scalar s when Ty.scalar_is_int s -> Some (Value.const_int ~ty 1)
+  | Ty.Scalar _ -> Some (Value.const_float ~ty 1.0)
+  | Ty.Vector _ | Ty.Ptr _ -> None
+
+(* Replace a load's result with the constant one; the load, its gep
+   and any index arithmetic then die in the sweep. *)
+let pass_const_loads ~fails (f : Defs.func) : Defs.func =
+  List.fold_left
+    (fun cur iid ->
+      accept ~fails cur (fun g ->
+          match find_instr g iid with
+          | Some i when Instr.is_load i -> (
+              match one_of (Instr.ty i) with
+              | Some one ->
+                  Func.replace_all_uses g ~old_v:(Instr.value i) ~new_v:one;
+                  Func.erase_instr g i;
+                  true
+              | None -> false)
+          | _ -> false))
+    f
+    (instr_ids Instr.is_load f)
+
+let is_simple_const (v : Defs.value) =
+  match v with
+  | Defs.Const { lit = Lit.Int 1L; _ } -> true
+  | Defs.Const { lit = Lit.Float 1.0; _ } -> true
+  | _ -> false
+
+(* Simplify remaining scalar constants to one.  Lane and shuffle-mask
+   operands that must stay in range are protected by the verifier
+   check in [accept]. *)
+let pass_simplify_consts ~fails (f : Defs.func) : Defs.func =
+  let candidates =
+    List.rev
+      (Func.fold_instrs
+         (fun acc i ->
+           let acc = ref acc in
+           Array.iteri
+             (fun slot o ->
+               if Value.is_const o && not (is_simple_const o) then
+                 acc := (i.Defs.iid, slot) :: !acc)
+             i.Defs.ops;
+           !acc)
+         [] f)
+  in
+  List.fold_left
+    (fun cur (iid, slot) ->
+      accept ~fails cur (fun g ->
+          match find_instr g iid with
+          | Some i when slot < Instr.num_operands i -> (
+              let o = Instr.operand i slot in
+              if Value.is_const o && not (is_simple_const o) then
+                match one_of (Value.ty o) with
+                | Some one ->
+                    Instr.set_operand i slot one;
+                    true
+                | None -> false
+              else false)
+          | _ -> false))
+    f candidates
+
+(* --- Driver --------------------------------------------------------------- *)
+
+let round ~fails f =
+  f |> pass_drop_stores ~fails |> pass_forward_binops ~fails
+  |> pass_const_loads ~fails |> pass_simplify_consts ~fails
+
+(* [run ~fails f] minimizes [f] under [fails].  [f] itself must fail;
+   the result still fails, still verifies, and no single remaining
+   mutation can shrink it further. *)
+let run ?(max_rounds = 8) ~(fails : Defs.func -> bool) (f : Defs.func) : Defs.func =
+  if not (fails f) then
+    invalid_arg "Reduce.run: the input does not fail the predicate";
+  let rec loop n cur =
+    if n = 0 then cur
+    else
+      let next = round ~fails cur in
+      if String.equal (Printer.func_to_string next) (Printer.func_to_string cur) then
+        cur
+      else loop (n - 1) next
+  in
+  loop max_rounds f

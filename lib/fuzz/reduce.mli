@@ -1,0 +1,15 @@
+(** Greedy delta-debugging minimizer for IR test cases.
+
+    Shrinks a failing function while preserving the failure: drops
+    stores (with their expression trees), forwards binop operands
+    through (narrowing chains), replaces loads and constants with
+    trivial values.  Every kept candidate passes the IR verifier. *)
+
+open Snslp_ir
+
+val run :
+  ?max_rounds:int -> fails:(Defs.func -> bool) -> Defs.func -> Defs.func
+(** [run ~fails f] returns a minimized clone of [f] that still
+    satisfies [fails] (typically "the differential oracle still
+    reports a finding").  Raises [Invalid_argument] when [f] itself
+    does not fail.  The input is never mutated. *)

@@ -96,6 +96,53 @@ let equal (a : t) (b : t) =
     a;
   !ok
 
+(* NaN-safe tolerance comparison for the differential fuzzing oracle:
+   two NaNs (any payload) agree, two equal infinities agree, and
+   finite values agree within [tolerance] relative difference.
+   Returns a description of the worst divergence, with buffers walked
+   in sorted key order so the report is deterministic. *)
+let diff_nan_safe ~(tolerance : float) (a : t) (b : t) : string option =
+  let worst = ref 0.0 and report = ref None in
+  let note d msg =
+    if !report = None || d > !worst then begin
+      worst := d;
+      report := Some msg
+    end
+  in
+  let float_cell base off u v =
+    if Float.is_nan u && Float.is_nan v then ()
+    else if u = v then () (* covers equal infinities; +0.0 = -0.0 is fine *)
+    else if not (Float.is_finite u && Float.is_finite v) then
+      note infinity (Printf.sprintf "arg%d[%d]: %h vs %h" base off u v)
+    else begin
+      let denom = Float.max (Float.max (abs_float u) (abs_float v)) 1e-30 in
+      let d = abs_float (u -. v) /. denom in
+      if d > tolerance then
+        note d (Printf.sprintf "arg%d[%d]: %.17g vs %.17g (rel diff %.3g)" base off u v d)
+    end
+  in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) a [] |> List.sort Int.compare in
+  if Hashtbl.length a <> Hashtbl.length b then
+    Some
+      (Printf.sprintf "buffer count differs: %d vs %d" (Hashtbl.length a)
+         (Hashtbl.length b))
+  else begin
+    List.iter
+      (fun k ->
+        match (Hashtbl.find a k, Hashtbl.find_opt b k) with
+        | F_buf x, Some (F_buf y) when Array.length x = Array.length y ->
+            Array.iteri (fun off u -> float_cell k off u y.(off)) x
+        | I_buf x, Some (I_buf y) when Array.length x = Array.length y ->
+            Array.iteri
+              (fun off u ->
+                if not (Int64.equal u y.(off)) then
+                  note infinity (Printf.sprintf "arg%d[%d]: %Ld vs %Ld" k off u y.(off)))
+              x
+        | _, _ -> note infinity (Printf.sprintf "arg%d: buffer shape mismatch" k))
+      keys;
+    !report
+  end
+
 (* Maximum relative elementwise difference between two float states —
    used when comparing across *reassociated* computations, where exact
    equality is not expected. *)

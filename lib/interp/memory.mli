@@ -35,3 +35,10 @@ val max_rel_diff : t -> t -> float
 (** Largest elementwise relative difference; [infinity] on shape or
     integer mismatches.  For comparisons across reassociated float
     computations. *)
+
+val diff_nan_safe : tolerance:float -> t -> t -> string option
+(** NaN-safe comparison for the fuzzing oracle: matching NaNs and
+    equal infinities agree, finite floats agree within [tolerance]
+    relative difference, integers must match exactly.  Returns a
+    deterministic description of the worst divergence, or [None] when
+    the states agree. *)

@@ -185,13 +185,19 @@ let verify (f : func) : error list =
 
 exception Invalid_ir of string
 
-(* [verify_exn f] raises {!Invalid_ir} with a readable report if [f]
-   is malformed. *)
-let verify_exn (f : func) =
+(* [check f] is {!verify} folded into a result: [Ok ()] when
+   well-formed, [Error report] otherwise.  The fuzzing oracle and
+   generator assert on this form. *)
+let check (f : func) : (unit, string) result =
   match verify f with
-  | [] -> ()
+  | [] -> Ok ()
   | errors ->
       let report =
         errors |> List.map (Fmt.str "%a" pp_error) |> String.concat "; "
       in
-      raise (Invalid_ir (Printf.sprintf "in @%s: %s" f.fname report))
+      Error (Printf.sprintf "in @%s: %s" f.fname report)
+
+(* [verify_exn f] raises {!Invalid_ir} with a readable report if [f]
+   is malformed. *)
+let verify_exn (f : func) =
+  match check f with Ok () -> () | Error report -> raise (Invalid_ir report)

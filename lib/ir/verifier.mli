@@ -9,6 +9,10 @@ val pp_error : error Fmt.t
 val verify : Defs.func -> error list
 (** All problems found, empty when well-formed. *)
 
+val check : Defs.func -> (unit, string) result
+(** {!verify} as a result: [Error report] joins all problems into one
+    readable line. *)
+
 exception Invalid_ir of string
 
 val verify_exn : Defs.func -> unit

@@ -37,14 +37,31 @@ let timed name f =
   let r = f () in
   ({ pass = name; seconds = now_s () -. t0 }, r)
 
-(* [run ?scratch ?setting func] optimises a copy of [func] and returns
-   it; the input function is not modified.  [scratch] is the calling
-   domain's vectorizer scratch state (see {!Vectorize.scratch}) — it
-   must belong to the domain making this call. *)
-let run ?scratch ?(setting : setting = Some Config.snslp) (func : Defs.func) : result =
+(* [run ?scratch ?setting ?verify_each func] optimises a copy of
+   [func] and returns it; the input function is not modified.
+   [scratch] is the calling domain's vectorizer scratch state (see
+   {!Vectorize.scratch}) — it must belong to the domain making this
+   call.  [verify_each] (default: the setting's [Config.verify_each],
+   false under -O3) re-verifies the IR after every recorded pass and
+   raises {!Verifier.Invalid_ir} naming the pass that broke it. *)
+let run ?scratch ?(setting : setting = Some Config.snslp) ?verify_each
+    (func : Defs.func) : result =
+  let verify_each =
+    match verify_each with
+    | Some v -> v
+    | None -> (
+        match setting with Some c -> c.Config.verify_each | None -> false)
+  in
   let f = Func.clone func in
   let timings = ref [] in
-  let record t = timings := t :: !timings in
+  let record (t : timing) =
+    timings := t :: !timings;
+    if verify_each then
+      match Verifier.check f with
+      | Ok () -> ()
+      | Error report ->
+          raise (Verifier.Invalid_ir (Printf.sprintf "after pass %s: %s" t.pass report))
+  in
   let t0 = now_s () in
   let t, _ = timed "fold" (fun () -> Fold.run f) in
   record t;

@@ -20,8 +20,16 @@ type setting = Config.t option
 
 val setting_name : setting -> string
 
-val run : ?scratch:Vectorize.scratch -> ?setting:setting -> Defs.func -> result
+val run :
+  ?scratch:Vectorize.scratch ->
+  ?setting:setting ->
+  ?verify_each:bool ->
+  Defs.func ->
+  result
 (** Optimises a clone; the input function is not modified.  Defaults
     to SN-SLP.  [scratch] is per-domain vectorizer scratch state; it
     must be owned by the calling domain (never shared across
-    domains). *)
+    domains).  [verify_each] (default: the setting's
+    [Config.verify_each]) re-verifies the IR after every pass and
+    raises {!Snslp_ir.Verifier.Invalid_ir} naming the pass that broke
+    it. *)

@@ -62,6 +62,12 @@ module Memory = Snslp_interp.Memory
 module Interp = Snslp_interp.Interp
 module Simperf = Snslp_simperf.Simperf
 
+(* Fuzzing: generator, differential oracle, reducer, campaigns *)
+module Fuzz_gen = Snslp_fuzzer.Gen
+module Fuzz_oracle = Snslp_fuzzer.Oracle
+module Fuzz_reduce = Snslp_fuzzer.Reduce
+module Fuzz_campaign = Snslp_fuzzer.Campaign
+
 (* Evaluation assets *)
 module Registry = Snslp_kernels.Registry
 module Workload = Snslp_kernels.Workload

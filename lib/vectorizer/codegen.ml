@@ -14,6 +14,26 @@ open Snslp_analysis
 
 exception Scheduling_failure of string
 
+(* The graph builder only admits opcodes codegen knows how to widen;
+   reaching [emit_vec] with anything else is a vectorizer bug.  The
+   exception carries the offending opcode and the printed instruction
+   so a fuzzing campaign (or a user report) pinpoints the node without
+   a debugger. *)
+exception Codegen_error of { opcode : string; instr : string }
+
+let () =
+  Printexc.register_printer (function
+    | Codegen_error { opcode; instr } ->
+        Some (Printf.sprintf "Codegen_error(opcode %s, instr %s)" opcode instr)
+    | _ -> None)
+
+let codegen_error (v : Defs.value) =
+  match v with
+  | Defs.Instr i ->
+      raise (Codegen_error { opcode = Instr.opcode_mnemonic i; instr = Instr.to_string i })
+  | Defs.Const _ | Defs.Undef _ | Defs.Arg _ ->
+      raise (Codegen_error { opcode = "non-instruction"; instr = Value.name v })
+
 type ctx = {
   g : Graph.t;
   func : Defs.func;
@@ -185,8 +205,11 @@ and emit_vec (ctx : ctx) (n : Graph.node) : Defs.value =
           ctx.emitted <- ctx.emitted + 1;
           set_rank ctx op (max_rank ctx n.Graph.scalars);
           Instr.value op
-      | _ -> assert false (* no other opcode becomes K_vec *))
-  | _ -> assert false
+      | Defs.Alt_binop _ | Defs.Load | Defs.Store | Defs.Gep | Defs.Insert
+      | Defs.Extract | Defs.Shuffle _ ->
+          (* No other opcode becomes K_vec. *)
+          codegen_error n.Graph.scalars.(0))
+  | (Defs.Const _ | Defs.Undef _ | Defs.Arg _) as v -> codegen_error v
 
 (* A lane permutation of an already-vectorized group: one shuffle. *)
 and emit_perm (ctx : ctx) (n : Graph.node) (mask : int array) : Defs.value =

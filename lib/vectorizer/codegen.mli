@@ -6,6 +6,11 @@
 
 exception Scheduling_failure of string
 
+exception Codegen_error of { opcode : string; instr : string }
+(** An unexpected node reached vector emission: the graph builder let
+    through an opcode codegen cannot widen.  Carries the opcode
+    mnemonic and the printed instruction (or value). *)
+
 type report = { vector_instrs : int; scalars_erased : int }
 
 val run : Graph.t -> report

@@ -40,6 +40,10 @@ type t = {
          functions fan out across domains, caches stay domain-local,
          and the output is bit-identical for every value.  1 = fully
          sequential, no domain is ever spawned. *)
+  verify_each : bool;
+      (* run the IR verifier after every pipeline pass, not just at
+         the end — pinpoints which pass broke the IR.  Slower; meant
+         for debugging and fuzzing, not production compiles. *)
 }
 
 let default =
@@ -53,6 +57,7 @@ let default =
     reductions = true;
     memoize = true;
     jobs = 1;
+    verify_each = false;
   }
 
 let vanilla = { default with mode = Vanilla }

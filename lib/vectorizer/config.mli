@@ -28,6 +28,10 @@ type t = {
       (** worker domains for the parallel driver ({!Snslp_driver}
           fans whole functions across domains); output is
           bit-identical for every value.  1 = fully sequential. *)
+  verify_each : bool;
+      (** verify the IR after every pipeline pass (not just at the
+          end), so a verifier failure names the offending pass.  For
+          debugging and fuzzing. *)
 }
 
 val default : t

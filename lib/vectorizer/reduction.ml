@@ -19,13 +19,19 @@ open Snslp_ir
 open Snslp_analysis
 open Snslp_costmodel
 
-(* A run of [width] same-APO leaves loading consecutive addresses. *)
-type run = { loads : Defs.instr list (* address order *); apo : Apo.t }
+(* A run of [width] same-APO leaves loading consecutive addresses.
+   Loads carry their index into the chain's leaves array: after CSE
+   the same load instruction can appear as several leaf occurrences
+   with different APOs (e.g. [... - A[1] + A[1]]), so instruction
+   identity cannot tell which occurrence a run consumed. *)
+type run = { loads : (int * Defs.instr) list (* address order *); apo : Apo.t }
 
-(* Leaves that are loads in this block, with their addresses. *)
+(* Leaves that are loads in this block, with their addresses, tagged
+   with their occurrence index in [chain.leaves]. *)
 let load_leaves (block : Defs.block) (chain : Chain.t) =
   Array.to_list chain.Chain.leaves
-  |> List.filter_map (fun (l : Chain.leaf) ->
+  |> List.mapi (fun k l -> (k, l))
+  |> List.filter_map (fun (k, (l : Chain.leaf)) ->
          match l.Chain.lvalue with
          | Defs.Instr i
            when Instr.is_load i
@@ -33,25 +39,26 @@ let load_leaves (block : Defs.block) (chain : Chain.t) =
                    | Some b -> Block.equal b block
                    | None -> false)
                 && not (Ty.is_vector i.Defs.ty) ->
-             Option.map (fun a -> (l, i, a)) (Address.of_instr i)
+             Option.map (fun a -> (k, l, i, a)) (Address.of_instr i)
          | _ -> None)
 
 (* Greedy grouping: bucket load leaves by (base, symbolic index, APO),
    sort by offset, cut consecutive runs, chunk into [width]. *)
-let group_runs ~width (leaves : (Chain.leaf * Defs.instr * Address.t) list) :
-    run list * (Chain.leaf * Defs.instr * Address.t) list =
-  let buckets : (string, (int * (Chain.leaf * Defs.instr * Address.t)) list) Hashtbl.t =
+let group_runs ~width (leaves : (int * Chain.leaf * Defs.instr * Address.t) list) :
+    run list * (int * Chain.leaf * Defs.instr * Address.t) list =
+  let buckets :
+      (string, (int * (int * Chain.leaf * Defs.instr * Address.t)) list) Hashtbl.t =
     Hashtbl.create 8
   in
   List.iter
-    (fun ((l : Chain.leaf), i, (a : Address.t)) ->
+    (fun (k, (l : Chain.leaf), i, (a : Address.t)) ->
       let sym = { a.Address.index with Affine.const = 0 } in
       let key =
         Printf.sprintf "%s|%s|%s" (Value.name a.Address.base)
           (Affine.to_string sym)
           (match l.Chain.lapo with Apo.Plus -> "+" | Apo.Minus -> "-")
       in
-      let entry = (a.Address.index.Affine.const, (l, i, a)) in
+      let entry = (a.Address.index.Affine.const, (k, l, i, a)) in
       Hashtbl.replace buckets key
         (entry :: (try Hashtbl.find buckets key with Not_found -> [])))
     leaves;
@@ -92,11 +99,12 @@ let group_runs ~width (leaves : (Chain.leaf * Defs.instr * Address.t) list) :
               let grp, rest = take width [] l in
               let apo =
                 match grp with
-                | (_, ((l : Chain.leaf), _, _)) :: _ -> l.Chain.lapo
+                | (_, (_, (l : Chain.leaf), _, _)) :: _ -> l.Chain.lapo
                 | [] -> Apo.Plus
               in
               runs :=
-                { loads = List.map (fun (_, (_, i, _)) -> i) grp; apo } :: !runs;
+                { loads = List.map (fun (_, (k, _, i, _)) -> (k, i)) grp; apo }
+                :: !runs;
               chunks rest
             end
             else List.iter (fun (_, x) -> leftover := x :: !leftover) l
@@ -110,7 +118,7 @@ let group_runs ~width (leaves : (Chain.leaf * Defs.instr * Address.t) list) :
    touch the loaded locations: the vector load reads them at the
    root. *)
 let loads_safe_until_root (deps : Deps.t) (root : Defs.instr) (runs : run list) =
-  let loads = List.concat_map (fun r -> r.loads) runs in
+  let loads = List.concat_map (fun r -> List.map snd r.loads) runs in
   match loads with
   | [] -> false
   | _ ->
@@ -197,11 +205,16 @@ let attempt (config : Config.t) (func : Defs.func) (block : Defs.block)
                 in
                 match runs with
                 | first :: rest when first.apo = Apo.Plus || n_leftover > 0 ->
-                    let grouped_ids = Hashtbl.create 16 in
+                    (* Keyed by leaf occurrence, not instruction id:
+                       a CSE'd load feeding the chain with both signs
+                       is one instruction but two terms, and only the
+                       grouped occurrence is accounted for by its
+                       run — the other must survive as a leftover. *)
+                    let grouped_occs = Hashtbl.create 16 in
                     List.iter
                       (fun r ->
                         List.iter
-                          (fun (i : Defs.instr) -> Hashtbl.replace grouped_ids i.Defs.iid ())
+                          (fun (k, _) -> Hashtbl.replace grouped_occs k ())
                           r.loads)
                       runs;
                     (* Emit before the root. *)
@@ -212,7 +225,7 @@ let attempt (config : Config.t) (func : Defs.func) (block : Defs.block)
                     in
                     let vty = Ty.vector ~lanes:width chain.Chain.elem in
                     let vload (r : run) =
-                      let first_load = List.hd r.loads in
+                      let first_load = snd (List.hd r.loads) in
                       emit Defs.Load vty [| first_load.Defs.ops.(0) |]
                     in
                     let vacc = ref (Instr.value (vload first)) in
@@ -241,10 +254,10 @@ let attempt (config : Config.t) (func : Defs.func) (block : Defs.block)
                        the horizontal sum as one extra term. *)
                     let terms =
                       (Array.to_list chain.Chain.leaves
-                      |> List.filter_map (fun (l : Chain.leaf) ->
-                             match l.Chain.lvalue with
-                             | Defs.Instr i when Hashtbl.mem grouped_ids i.Defs.iid -> None
-                             | v -> Some (v, l.Chain.lapo)))
+                      |> List.mapi (fun k l -> (k, l))
+                      |> List.filter_map (fun (k, (l : Chain.leaf)) ->
+                             if Hashtbl.mem grouped_occs k then None
+                             else Some (l.Chain.lvalue, l.Chain.lapo)))
                       @ [ (!hsum, (if first_minus then Apo.Minus else Apo.Plus)) ]
                     in
                     (* A Plus term must lead; one always exists (the

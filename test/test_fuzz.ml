@@ -1,0 +1,192 @@
+(* The fuzzing subsystem's own tests: generator determinism and
+   validity, a bounded differential campaign (the fuzz smoke wired
+   into `dune runtest`), and an end-to-end reduction exercise driven
+   by an intentionally injected bug. *)
+
+open Snslp_ir
+open Snslp_vectorizer
+module Gen = Snslp_fuzzer.Gen
+module Oracle = Snslp_fuzzer.Oracle
+module Reduce = Snslp_fuzzer.Reduce
+module Campaign = Snslp_fuzzer.Campaign
+module Pipeline = Snslp_passes.Pipeline
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* Every generated function must verify — the generator's contract,
+   asserted here over a spread of seeds (100% validity). *)
+let test_generator_validity () =
+  for seed = 0 to 199 do
+    let f = Gen.generate ~seed () in
+    (match Verifier.check f with
+    | Ok () -> ()
+    | Error report -> Alcotest.failf "seed %d: generated invalid IR: %s" seed report);
+    let stores =
+      Func.fold_instrs (fun n i -> if Instr.is_store i then n + 1 else n) 0 f
+    in
+    check ("seed " ^ string_of_int seed ^ " has stores") true (stores > 0)
+  done
+
+(* Same seed, same function — instruction for instruction. *)
+let test_generator_determinism () =
+  List.iter
+    (fun seed ->
+      let a = Printer.func_to_string (Gen.generate ~seed ()) in
+      let b = Printer.func_to_string (Gen.generate ~seed ()) in
+      check_str (Printf.sprintf "seed %d deterministic" seed) a b)
+    [ 0; 1; 7; 42; 1234; 99999 ]
+
+(* The generator must actually feed the vectorizer: a healthy share of
+   generated functions must get at least one vectorized tree under
+   SN-SLP, otherwise the differential campaign fuzzes nothing. *)
+let test_generator_vectorizes () =
+  let vectorized = ref 0 in
+  let n = 100 in
+  for seed = 0 to n - 1 do
+    let f = Gen.generate ~seed () in
+    match (Pipeline.run ~setting:(Some Config.snslp) f).Pipeline.vect_report with
+    | Some rep ->
+        if
+          List.exists (fun (t : Vectorize.tree_report) -> t.Vectorize.vectorized) rep.Vectorize.trees
+        then incr vectorized
+    | None -> ()
+  done;
+  if !vectorized * 100 / n < 30 then
+    Alcotest.failf "only %d/%d generated functions vectorized" !vectorized n
+
+(* Bounded fuzz smoke: a fixed-seed differential campaign across every
+   configuration, including the parallel-driver determinism axis.
+   Zero findings expected — a regression that breaks semantics
+   anywhere in the pipeline fails this test. *)
+let test_campaign_smoke () =
+  let result = Campaign.run ~jobs:2 ~reduce:true ~seed:42 ~cases:200 () in
+  check_int "cases" 200 result.Campaign.cases;
+  List.iter
+    (fun (r : Campaign.case_report) ->
+      List.iter
+        (fun f ->
+          Alcotest.failf "case seed %d: %s" r.Campaign.case_seed
+            (Oracle.finding_to_string f))
+        r.Campaign.findings)
+    result.Campaign.reports;
+  check "clean" true (Campaign.clean result)
+
+(* Flip the first float add into a sub — a miscompile the size of one
+   bit, applied through the test-only hook to the *optimized* function
+   only, so the reference stays intact. *)
+let flip_first_float_add (f : Defs.func) =
+  let flipped = ref false in
+  Func.iter_instrs
+    (fun i ->
+      if
+        (not !flipped)
+        && i.Defs.op = Defs.Binop Defs.Add
+        && Ty.scalar_is_float (Ty.elem i.Defs.ty)
+      then begin
+        i.Defs.op <- Defs.Binop Defs.Sub;
+        flipped := true
+      end)
+    f
+
+(* End-to-end: the oracle catches the injected bug, and the reducer
+   shrinks the case to a small reproducer that still triggers it,
+   still verifies, and still round-trips through the textual IR. *)
+let test_injected_bug_reduces () =
+  (* A seed whose function keeps float adds after optimization under
+     every configuration, so the injection always bites. *)
+  let func = Gen.generate ~seed:2024 () in
+  Fun.protect
+    ~finally:(fun () -> Oracle.inject_bug := None)
+    (fun () ->
+      Oracle.inject_bug := Some flip_first_float_add;
+      let findings = Oracle.run_case func in
+      check "oracle catches the injected bug" true (findings <> []);
+      let first = List.hd findings in
+      let configs =
+        List.filter
+          (fun (name, _) -> String.equal name first.Oracle.config)
+          Oracle.default_configs
+      in
+      let fails g = Oracle.run_case ~configs g <> [] in
+      let reduced = Reduce.run ~fails func in
+      check "reduced still fails" true (fails reduced);
+      (match Verifier.check reduced with
+      | Ok () -> ()
+      | Error report -> Alcotest.failf "reduced function invalid: %s" report);
+      let n = Func.num_instrs reduced in
+      if n > 20 then
+        Alcotest.failf "reduced reproducer still has %d instrs (want <= 20)" n;
+      let text = Printer.func_to_string reduced in
+      check_str "reduced reproducer round-trips" text
+        (Printer.func_to_string (Ir_parser.parse text)))
+
+(* Regression: campaign seed 42, case seed 42008964, reduced by
+   Reduce.run to 16 instructions.  The +/- chain feeds the same CSE'd
+   load of A[1] with both signs; reduction vectorization grouped the
+   [+] occurrence into the vector run A[0..1] and, filtering leftovers
+   by instruction id, dropped the [-] occurrence entirely — computing
+   an extra +A[1].  Fixed by tracking grouped leaf *occurrences*. *)
+let reduced_repro_inverse_pair =
+  {|func @fuzz42008964(f64* %A, f64* %B, f64* %C, f64* %D, i64* %P, i64* %Q, i64* %R, i64* %S, i64 %i) {
+entry:
+  %31 = gep f64* %B, 1
+  %32 = load f64 %31
+  %33 = gep f64* %A, 0
+  %34 = load f64 %33
+  %35 = fadd f64 %32, %34
+  %36 = gep f64* %A, 1
+  %37 = load f64 %36
+  %38 = fsub f64 %35, %37
+  %39 = gep f64* %A, 1
+  %40 = load f64 %39
+  %41 = fadd f64 %38, %40
+  %42 = gep f64* %B, 2
+  %43 = load f64 %42
+  %44 = fadd f64 %41, %43
+  %45 = gep f64* %D, 1
+  store %44, %45
+  ret
+}
+|}
+
+let test_regression_reduction_inverse_pair () =
+  let func = Ir_parser.parse reduced_repro_inverse_pair in
+  List.iter
+    (fun f -> Alcotest.failf "regression resurfaced: %s" (Oracle.finding_to_string f))
+    (Oracle.run_case func)
+
+(* The reducer refuses inputs that do not fail: no vacuous minimization. *)
+let test_reduce_requires_failure () =
+  let func = Gen.generate ~seed:3 () in
+  match Reduce.run ~fails:(fun _ -> false) func with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Reduce.run accepted a non-failing input"
+
+(* The per-case seed schedule must be reproducible from the campaign
+   seed, so a failing case regenerates in isolation. *)
+let test_case_seed_schedule () =
+  let seed = 42 in
+  let direct = Gen.generate ~seed:(Campaign.case_seed ~seed 17) () in
+  let again = Gen.generate ~seed:(Campaign.case_seed ~seed 17) () in
+  check_str "case 17 regenerates" (Printer.func_to_string direct)
+    (Printer.func_to_string again)
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "generator validity (200 seeds)" `Quick test_generator_validity;
+        Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+        Alcotest.test_case "generator feeds the vectorizer" `Quick test_generator_vectorizes;
+        Alcotest.test_case "campaign smoke (200 cases, all configs)" `Slow test_campaign_smoke;
+        Alcotest.test_case "injected bug is caught and reduced" `Quick
+          test_injected_bug_reduces;
+        Alcotest.test_case "reducer rejects non-failing input" `Quick
+          test_reduce_requires_failure;
+        Alcotest.test_case "regression: reduction drops inverse-paired leaf" `Quick
+          test_regression_reduction_inverse_pair;
+        Alcotest.test_case "case seeds regenerate" `Quick test_case_seed_schedule;
+      ] );
+  ]

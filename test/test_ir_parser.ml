@@ -77,6 +77,17 @@ let test_parsed_ir_executes () =
   let m2 = Snslp_kernels.Workload.run_interp wl parsed in
   check "parsed IR computes the same memory" true (Snslp_interp.Memory.equal m1 m2)
 
+let test_generated_functions_roundtrip () =
+  (* Round-trip the fuzzer's generated functions, both raw and after
+     the full SN-SLP pipeline — a property test over the whole space
+     of shapes the generator can emit. *)
+  for seed = 0 to 49 do
+    let f = Snslp_fuzzer.Gen.generate ~seed () in
+    roundtrip f;
+    let result = Pipeline.run ~setting:(Some Config.snslp) f in
+    roundtrip result.Pipeline.func
+  done
+
 let test_parse_errors () =
   let bad src =
     try
@@ -126,6 +137,8 @@ let suite =
         Alcotest.test_case "registry kernels roundtrip" `Quick
           test_all_registry_kernels_roundtrip;
         Alcotest.test_case "parsed IR executes" `Quick test_parsed_ir_executes;
+        Alcotest.test_case "generated functions roundtrip" `Quick
+          test_generated_functions_roundtrip;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
         Alcotest.test_case "branch forms" `Quick test_parse_branch_forms;
       ] );
