@@ -732,6 +732,258 @@ let fuzz_report ~seed ~cases ~jobs () =
 
 let fuzz () = fuzz_report ~seed:42 ~cases:2000 ~jobs:2 ()
 
+(* --- Interpreter engines: tree-walker vs compiled closures -------------------
+
+   The compiled closure execution engine (docs/INTERP.md) stages each
+   function once into slot-addressed closures and replays the plan.
+   Three measurements on the registry kernels:
+
+   1. ns/instr per kernel for both engines (plan staged once, untimed;
+      the loop replays it), with an executed-instruction-count
+      cross-check between the engines;
+   2. oracle-case throughput — the headline: one case is the oracle's
+      per-case work on a kernel (reference run plus every pipeline
+      configuration, template memory restored in place per run, a
+      final-memory diff per configuration) with pipeline compilation
+      hoisted out; the compiled engine stages its plans inside the
+      case, as the oracle does;
+   3. an informational fuzz-campaign clock per oracle engine.
+
+   Criterion: >= 3x oracle-case throughput, compiled vs tree. *)
+
+module Interp = Snslp_interp.Interp
+module IMemory = Snslp_interp.Memory
+
+(* Best-of-[rounds] wall seconds for [run], after one warm-up. *)
+let best_of ~rounds run =
+  run ();
+  let best = ref infinity in
+  for _ = 1 to rounds do
+    let t0 = wall_s () in
+    run ();
+    let dt = wall_s () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* Replay [func] over the workload's iteration space on the chosen
+   engine, returning executed instructions.  For the compiled engine
+   the caller decides whether plan staging is inside the timed
+   region. *)
+let run_workload_tree (wl : Workload.t) func memory =
+  let instrs = ref 0 in
+  for it = 0 to wl.Workload.iters - 1 do
+    instrs :=
+      !instrs
+      + Interp.exec ~engine:Interp.Tree func ~args:(Workload.make_args wl func it)
+          ~memory
+  done;
+  !instrs
+
+let run_workload_plan (wl : Workload.t) func plan memory =
+  let instrs = ref 0 in
+  for it = 0 to wl.Workload.iters - 1 do
+    instrs := !instrs + Interp.execute plan ~args:(Workload.make_args wl func it) ~memory
+  done;
+  !instrs
+
+let interp_report ~kernels ~iters ~oracle_iters ~oracle_reps ~rounds ~campaign_cases ()
+    =
+  pr "%s" (Table.section "Interp: tree-walker vs compiled closure engine");
+  (* Part 1: ns/instr per kernel. *)
+  let kernel_rows =
+    List.map
+      (fun (k : Registry.t) ->
+        let wl = Workload.prepare ~iters k in
+        let func = wl.Workload.func in
+        let memory = Workload.fresh_memory wl func in
+        let template = IMemory.snapshot memory in
+        let instrs_tree = ref 0 and instrs_comp = ref 0 in
+        let tree_s =
+          best_of ~rounds (fun () ->
+              IMemory.restore ~template memory;
+              instrs_tree := run_workload_tree wl func memory)
+        in
+        let plan = Interp.compile func in
+        let comp_s =
+          best_of ~rounds (fun () ->
+              IMemory.restore ~template memory;
+              instrs_comp := run_workload_plan wl func plan memory)
+        in
+        if !instrs_tree <> !instrs_comp then begin
+          pr "  !! %s: engines executed different instruction counts (%d vs %d)@."
+            k.Registry.name !instrs_tree !instrs_comp;
+          exit 1
+        end;
+        let ns s = s *. 1e9 /. float_of_int (max 1 !instrs_tree) in
+        (k.Registry.name, !instrs_tree, ns tree_s, ns comp_s))
+      kernels
+  in
+  emit ~name:"interp-kernels"
+    ~headers:[ "kernel"; "instrs/run"; "tree ns/instr"; "compiled ns/instr"; "speedup" ]
+    (List.map
+       (fun (name, instrs, tns, cns) ->
+         [
+           name;
+           string_of_int instrs;
+           Printf.sprintf "%.1f" tns;
+           Printf.sprintf "%.1f" cns;
+           Printf.sprintf "%.2fx" (tns /. cns);
+         ])
+       kernel_rows);
+  (* Part 2: oracle-case throughput.  Pipeline compilation (the
+     optimizer) is hoisted out; the per-case engine work — executions,
+     memory restores, final-memory diffs — is timed. *)
+  let cases =
+    List.map
+      (fun (k : Registry.t) ->
+        let wl = Workload.prepare ~iters:oracle_iters k in
+        let func = wl.Workload.func in
+        let opts = List.map (fun (_, setting) -> compile setting func) settings in
+        let template = Workload.fresh_memory wl func in
+        let ref_scratch = IMemory.snapshot template in
+        let opt_scratch = IMemory.snapshot template in
+        (wl, func, opts, template, ref_scratch, opt_scratch))
+      kernels
+  in
+  let mismatches = ref 0 in
+  let oracle_pass ~compiled () =
+    List.iter
+      (fun (wl, func, opts, template, ref_scratch, opt_scratch) ->
+        let run f memory =
+          if compiled then ignore (run_workload_plan wl f (Interp.compile f) memory)
+          else ignore (run_workload_tree wl f memory)
+        in
+        IMemory.restore ~template ref_scratch;
+        run func ref_scratch;
+        List.iter
+          (fun opt ->
+            IMemory.restore ~template opt_scratch;
+            run opt opt_scratch;
+            match IMemory.diff_nan_safe ~tolerance:1e-6 ref_scratch opt_scratch with
+            | None -> ()
+            | Some d ->
+                incr mismatches;
+                pr "  !! oracle mismatch (%s): %s@." wl.Workload.kernel.Registry.name d)
+          opts)
+      cases
+  in
+  let time_passes ~compiled =
+    oracle_pass ~compiled ();
+    let t0 = wall_s () in
+    for _ = 1 to oracle_reps do
+      oracle_pass ~compiled ()
+    done;
+    wall_s () -. t0
+  in
+  let tree_oracle_s = time_passes ~compiled:false in
+  let comp_oracle_s = time_passes ~compiled:true in
+  let ncases = oracle_reps * List.length cases in
+  let per_s s = float_of_int ncases /. Float.max s 1e-9 in
+  let oracle_speedup = per_s comp_oracle_s /. per_s tree_oracle_s in
+  emit ~name:"interp-oracle"
+    ~headers:[ "oracle cases"; "tree cases/s"; "compiled cases/s"; "speedup" ]
+    [
+      [
+        string_of_int ncases;
+        Printf.sprintf "%.1f" (per_s tree_oracle_s);
+        Printf.sprintf "%.1f" (per_s comp_oracle_s);
+        Printf.sprintf "%.2fx" oracle_speedup;
+      ];
+    ];
+  (* Part 3: the fuzz campaign under each oracle engine
+     (informational; the campaign's own generation and pipeline work
+     dominate, so ratios here are conservative). *)
+  let campaign_rows =
+    List.map
+      (fun engine ->
+        let result =
+          Snslp_fuzzer.Campaign.run ~engine ~reduce:false ~seed:7 ~cases:campaign_cases
+            ()
+        in
+        if not (Snslp_fuzzer.Campaign.clean result) then begin
+          pr "  !! campaign under engine %s found %d failing cases@."
+            result.Snslp_fuzzer.Campaign.engine
+            (List.length result.Snslp_fuzzer.Campaign.reports);
+          exit 1
+        end;
+        let ns =
+          if result.Snslp_fuzzer.Campaign.exec_instrs = 0 then 0.0
+          else
+            result.Snslp_fuzzer.Campaign.exec_seconds *. 1e9
+            /. float_of_int result.Snslp_fuzzer.Campaign.exec_instrs
+        in
+        ( result.Snslp_fuzzer.Campaign.engine,
+          float_of_int campaign_cases
+          /. Float.max result.Snslp_fuzzer.Campaign.elapsed_seconds 1e-9,
+          ns ))
+      [ Snslp_fuzzer.Oracle.Tree; Snslp_fuzzer.Oracle.Compiled; Snslp_fuzzer.Oracle.Cross ]
+  in
+  emit ~name:"interp-campaign"
+    ~headers:[ "engine"; "campaign cases/s"; "exec ns/instr" ]
+    (List.map
+       (fun (name, cps, ns) ->
+         [ name; Printf.sprintf "%.0f" cps; Printf.sprintf "%.0f" ns ])
+       campaign_rows);
+  let pass = oracle_speedup >= 3.0 && !mismatches = 0 in
+  pr "  oracle-case speedup %.2fx %s@." oracle_speedup
+    (if pass then "(criterion >= 3x: PASS)" else "(criterion >= 3x: FAIL)");
+  Json.write "BENCH_interp.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-interp/1");
+         ("iters", Json.Int iters);
+         ("oracle_iters", Json.Int oracle_iters);
+         ( "kernels",
+           Json.List
+             (List.map
+                (fun (name, instrs, tns, cns) ->
+                  Json.Obj
+                    [
+                      ("name", Json.String name);
+                      ("instrs_per_run", Json.Int instrs);
+                      ("tree_ns_per_instr", Json.Float tns);
+                      ("compiled_ns_per_instr", Json.Float cns);
+                      ("speedup", Json.Float (tns /. cns));
+                    ])
+                kernel_rows) );
+         ( "oracle",
+           Json.Obj
+             [
+               ("cases", Json.Int ncases);
+               ("tree_cases_per_s", Json.Float (per_s tree_oracle_s));
+               ("compiled_cases_per_s", Json.Float (per_s comp_oracle_s));
+               ("speedup", Json.Float oracle_speedup);
+               ("mismatches", Json.Int !mismatches);
+             ] );
+         ( "campaign",
+           Json.List
+             (List.map
+                (fun (name, cps, ns) ->
+                  Json.Obj
+                    [
+                      ("engine", Json.String name);
+                      ("cases_per_second", Json.Float cps);
+                      ("exec_ns_per_instr", Json.Float ns);
+                    ])
+                campaign_rows) );
+         ( "headline",
+           Json.Obj
+             [
+               ( "criterion",
+                 Json.String
+                   ">= 3x oracle-case throughput (compiled vs tree-walker) on the \
+                    registry kernels" );
+               ("pass", Json.Bool pass);
+             ] );
+       ]);
+  pr "  wrote BENCH_interp.json@.";
+  if not pass then exit 1
+
+let interp () =
+  interp_report ~kernels:Registry.all ~iters:64 ~oracle_iters:256 ~oracle_reps:3
+    ~rounds:3 ~campaign_cases:300 ()
+
 (* Reduced-iteration smoke variant wired into `dune runtest` (see
    bench/dune): exercises the full reporting path, including the JSON
    emission and the memoized/legacy output-identity guard, in a few
@@ -750,6 +1002,13 @@ let smoke () =
   (* Bounded fuzz smoke: fixed seed, a couple hundred cases, the
      parallel determinism axis included; writes BENCH_fuzz.json. *)
   fuzz_report ~seed:42 ~cases:200 ~jobs:2 ();
+  (* Engine smoke: a kernel subset with reduced counts keeps the
+     BENCH_interp.json plumbing (and the >= 3x oracle-throughput
+     criterion) exercised on every test run. *)
+  interp_report
+    ~kernels:
+      (List.filter_map Registry.find [ "milc_su3"; "sphinx_gau_f32"; "milc_mat_vec" ])
+    ~iters:16 ~oracle_iters:128 ~oracle_reps:2 ~rounds:1 ~campaign_cases:40 ();
   pr "bench-smoke OK@."
 
 (* --- Bechamel: statistically sound compile-time microbenchmarks ------------- *)
@@ -955,6 +1214,7 @@ let experiments =
     ("compile-time", compile_time);
     ("parallel", parallel);
     ("fuzz", fuzz);
+    ("interp", interp);
     ("smoke", smoke);
     ("bechamel", bechamel);
   ]

@@ -15,7 +15,7 @@ module Gen = Snslp_fuzzer.Gen
 module Oracle = Snslp_fuzzer.Oracle
 module Campaign = Snslp_fuzzer.Campaign
 
-let run seed cases reduce jobs max_instrs max_groups quiet =
+let run seed cases reduce jobs engine max_instrs max_groups quiet =
   if cases < 1 then begin
     Fmt.epr "--cases must be at least 1@.";
     exit 2
@@ -35,12 +35,25 @@ let run seed cases reduce jobs max_instrs max_groups quiet =
     end
   in
   let result =
-    Campaign.run ~profile ~jobs ~reduce ~on_progress ~seed ~cases ()
+    Campaign.run ~profile ~engine ~jobs ~reduce ~on_progress ~seed ~cases ()
   in
   Fmt.pr "fuzzed %d cases (%d instrs generated) in %.1fs: %d failing@."
     result.Campaign.cases result.Campaign.total_instrs
     result.Campaign.elapsed_seconds
     (List.length result.Campaign.reports);
+  (* Interpreter-side throughput: how fast the chosen engine chewed
+     through the oracle's executions. *)
+  let exec_s = result.Campaign.exec_seconds in
+  let ns =
+    if result.Campaign.exec_instrs = 0 then 0.0
+    else exec_s *. 1e9 /. float_of_int result.Campaign.exec_instrs
+  in
+  Fmt.pr
+    "interp: engine=%s, %d runs, %d instrs executed in %.2fs (%.0f ns/instr, %.0f \
+     cases/s)@."
+    result.Campaign.engine result.Campaign.exec_runs result.Campaign.exec_instrs exec_s
+    ns
+    (float_of_int result.Campaign.cases /. Float.max result.Campaign.elapsed_seconds 1e-9);
   List.iter
     (fun (r : Campaign.case_report) ->
       if r.Campaign.case_seed >= 0 then begin
@@ -80,6 +93,21 @@ let () =
             "Also check parallel-driver determinism: batches must print \
              identical IR at -j 1 and -j N.")
   in
+  let engine =
+    let engine_conv =
+      Arg.enum
+        [ ("tree", Oracle.Tree); ("compiled", Oracle.Compiled); ("cross", Oracle.Cross) ]
+    in
+    Arg.(
+      value
+      & opt engine_conv Oracle.Compiled
+      & info [ "engine" ]
+          ~doc:
+            "Interpreter engine backing the oracle: $(b,tree) (the boxed \
+             tree-walker), $(b,compiled) (staged closure engine, default), or \
+             $(b,cross) (reference on tree, optimized runs on compiled — the two \
+             engines differentially check each other).")
+  in
   let max_instrs =
     Arg.(
       value
@@ -94,7 +122,8 @@ let () =
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.") in
   let term =
-    Term.(const run $ seed $ cases $ reduce $ jobs $ max_instrs $ max_groups $ quiet)
+    Term.(
+      const run $ seed $ cases $ reduce $ jobs $ engine $ max_instrs $ max_groups $ quiet)
   in
   let info =
     Cmd.info "snslp-fuzz"

@@ -24,6 +24,10 @@ type result = {
   total_instrs : int; (* across all generated functions *)
   elapsed_seconds : float;
   reports : case_report list; (* empty = clean campaign *)
+  engine : string; (* Oracle.engine_name of the engine that ran *)
+  exec_runs : int; (* interpreter invocations across all cases *)
+  exec_instrs : int; (* instructions the engines executed *)
+  exec_seconds : float; (* wall seconds inside the engines *)
 }
 
 let case_seed ~seed k = (seed * 1_000_003) + k
@@ -33,18 +37,18 @@ let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 (* Minimize a failing case under "the same configurations still
    lose".  Ordinary findings replay through the oracle; parallel
    determinism findings replay through the driver comparison. *)
-let reduce_case ~configs ~jobs (func : Defs.func) (findings : Oracle.finding list) :
-    Defs.func =
+let reduce_case ~engine ~configs ~jobs (func : Defs.func)
+    (findings : Oracle.finding list) : Defs.func =
   let names = List.map (fun (f : Oracle.finding) -> f.Oracle.config) findings in
   let failed_configs =
     List.filter (fun (name, _) -> List.mem name names) configs
   in
   let fails g =
-    (failed_configs <> [] && Oracle.run_case ~configs:failed_configs g <> [])
+    (failed_configs <> [] && Oracle.run_case ~engine ~configs:failed_configs g <> [])
     || (jobs > 1
        && List.exists (fun n -> n = Printf.sprintf "jobs%d" jobs) names
        && Oracle.check_jobs_determinism ~jobs [ g ] <> [])
-    || (failed_configs = [] && Oracle.run_case ~configs g <> [])
+    || (failed_configs = [] && Oracle.run_case ~engine ~configs g <> [])
   in
   if fails func then Reduce.run ~fails func else func
 
@@ -52,10 +56,11 @@ let reduce_case ~configs ~jobs (func : Defs.func) (findings : Oracle.finding lis
    parallel-driver determinism check over batches of generated
    functions; [reduce] minimizes every failing case; [on_progress]
    fires after each case with (cases done, failing cases so far). *)
-let run ?profile ?(configs = Oracle.default_configs) ?(jobs = 1) ?(batch = 32)
-    ?(reduce = true) ?(on_progress = fun ~done_:_ ~failing:_ -> ()) ~seed ~cases ()
-    : result =
+let run ?profile ?(engine = Oracle.Compiled) ?(configs = Oracle.default_configs)
+    ?(jobs = 1) ?(batch = 32) ?(reduce = true)
+    ?(on_progress = fun ~done_:_ ~failing:_ -> ()) ~seed ~cases () : result =
   let t0 = now_s () in
+  let stats = Oracle.create_exec_stats () in
   let total_instrs = ref 0 in
   let reports = ref [] in
   let pending_batch = ref [] in
@@ -75,11 +80,12 @@ let run ?profile ?(configs = Oracle.default_configs) ?(jobs = 1) ?(batch = 32)
     let cseed = case_seed ~seed k in
     let func = Gen.generate ?profile ~seed:cseed () in
     total_instrs := !total_instrs + Func.num_instrs func;
-    (match Oracle.run_case ~configs func with
+    (match Oracle.run_case ~engine ~stats ~configs func with
     | [] -> ()
     | findings ->
         let reduced =
-          if reduce then Some (reduce_case ~configs ~jobs func findings) else None
+          if reduce then Some (reduce_case ~engine ~configs ~jobs func findings)
+          else None
         in
         reports := { case_seed = cseed; findings; reduced } :: !reports);
     if jobs > 1 then begin
@@ -94,6 +100,10 @@ let run ?profile ?(configs = Oracle.default_configs) ?(jobs = 1) ?(batch = 32)
     total_instrs = !total_instrs;
     elapsed_seconds = now_s () -. t0;
     reports = List.rev !reports;
+    engine = Oracle.engine_name engine;
+    exec_runs = stats.Oracle.exec_runs;
+    exec_instrs = stats.Oracle.exec_instrs;
+    exec_seconds = stats.Oracle.exec_seconds;
   }
 
 let clean (r : result) = r.reports = []

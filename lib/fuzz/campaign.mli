@@ -17,6 +17,10 @@ type result = {
   total_instrs : int;  (** across all generated functions *)
   elapsed_seconds : float;
   reports : case_report list;  (** empty = clean campaign *)
+  engine : string;  (** {!Oracle.engine_name} of the engine that ran *)
+  exec_runs : int;  (** interpreter invocations across all cases *)
+  exec_instrs : int;  (** instructions the engines executed *)
+  exec_seconds : float;  (** wall seconds spent inside the engines *)
 }
 
 val case_seed : seed:int -> int -> int
@@ -24,6 +28,7 @@ val case_seed : seed:int -> int -> int
 
 val run :
   ?profile:Gen.profile ->
+  ?engine:Oracle.engine ->
   ?configs:(string * Pipeline.setting) list ->
   ?jobs:int ->
   ?batch:int ->
@@ -34,7 +39,8 @@ val run :
   unit ->
   result
 (** [run ~seed ~cases ()] fuzzes [cases] functions through every
-    configuration.  [jobs] > 1 additionally checks the parallel
+    configuration.  [engine] picks the oracle's interpreter engine
+    (default [Compiled]); [jobs] > 1 additionally checks the parallel
     driver's output determinism over batches of [batch] functions;
     [reduce] (default true) minimizes every failing case. *)
 

@@ -35,6 +35,46 @@ let kind_to_string = function
 
 let finding_to_string f = Printf.sprintf "[%s] %s" f.config (kind_to_string f.kind)
 
+(* --- Engine selection ------------------------------------------------------ *)
+
+(* Which interpreter engine backs the oracle.  [Cross] runs the
+   reference on the tree-walker and every optimized function on the
+   compiled engine, so the two engines differentially check *each
+   other* on top of checking the pipeline. *)
+type engine = Tree | Compiled | Cross
+
+let engine_name = function Tree -> "tree" | Compiled -> "compiled" | Cross -> "cross"
+
+let engine_of_string = function
+  | "tree" -> Some Tree
+  | "compiled" -> Some Compiled
+  | "cross" -> Some Cross
+  | _ -> None
+
+(* (reference engine, optimized-run engine) *)
+let interp_engines = function
+  | Tree -> (Interp.Tree, Interp.Tree)
+  | Compiled -> (Interp.Compiled, Interp.Compiled)
+  | Cross -> (Interp.Tree, Interp.Compiled)
+
+(* Interpreter-side throughput, accumulated across every oracle
+   execution when the caller passes an accumulator: executed
+   instructions and wall seconds spent inside the engines (compile
+   staging included for the compiled engine — that is the price a
+   single-shot oracle run actually pays). *)
+type exec_stats = {
+  mutable exec_runs : int;
+  mutable exec_instrs : int;
+  mutable exec_seconds : float;
+}
+
+let create_exec_stats () = { exec_runs = 0; exec_instrs = 0; exec_seconds = 0.0 }
+
+let ns_per_instr (s : exec_stats) =
+  if s.exec_instrs = 0 then 0.0 else s.exec_seconds *. 1e9 /. float_of_int s.exec_instrs
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 (* The evaluated configurations: the paper's three modes, each with
    the memoized and the legacy compile path, plus the no-vectorizer
    baseline (which exercises the scalar passes alone).  Every config
@@ -88,10 +128,24 @@ let make_args (func : Defs.func) : Rvalue.t array =
       | Ty.Vector _ -> Rvalue.R_undef)
     (Func.args func)
 
+(* One timed oracle execution on the chosen engine, accumulating into
+   [stats] when given. *)
+let timed_exec ?stats ~(engine : Interp.engine) (func : Defs.func)
+    ~(memory : Memory.t) : unit =
+  let args = make_args func in
+  match stats with
+  | None -> ignore (Interp.exec ~engine func ~args ~memory)
+  | Some s ->
+      let t0 = now_s () in
+      let n = Interp.exec ~engine func ~args ~memory in
+      s.exec_seconds <- s.exec_seconds +. (now_s () -. t0);
+      s.exec_runs <- s.exec_runs + 1;
+      s.exec_instrs <- s.exec_instrs + n
+
 (* [run_memory func] interprets one call of [func] on fresh memory. *)
-let run_memory (func : Defs.func) : Memory.t =
+let run_memory ?(engine = Interp.Compiled) (func : Defs.func) : Memory.t =
   let memory = fresh_memory func in
-  Interp.run func ~args:(make_args func) ~memory;
+  ignore (Interp.exec ~engine func ~args:(make_args func) ~memory);
   memory
 
 (* Test-only hook: applied to each optimized function before it is
@@ -102,12 +156,24 @@ let inject_bug : (Defs.func -> unit) option ref = ref None
 (* --- The oracle ----------------------------------------------------------- *)
 
 (* [run_case func] pushes [func] through every configuration and
-   returns all findings (empty list = clean). *)
-let run_case ?(configs = default_configs) ?tolerance (func : Defs.func) :
-    finding list =
+   returns all findings (empty list = clean).
+
+   The deterministic input memory is built once per case and every run
+   works on a snapshot of that template: the reference keeps its copy
+   for diffing, and one scratch memory is blit-restored before each
+   configuration instead of re-running [Array.init] +
+   [Workload.*_value] per pointer argument eight times. *)
+let run_case ?(engine = Compiled) ?stats ?(configs = default_configs) ?tolerance
+    (func : Defs.func) : finding list =
   let tolerance = match tolerance with Some t -> t | None -> Gen.tolerance_for func in
+  let ref_engine, opt_engine = interp_engines engine in
+  let template = fresh_memory func in
   let reference =
-    try Ok (run_memory func) with e -> Error (Printexc.to_string e)
+    let memory = Memory.snapshot template in
+    try
+      timed_exec ?stats ~engine:ref_engine func ~memory;
+      Ok memory
+    with e -> Error (Printexc.to_string e)
   in
   match reference with
   | Error detail ->
@@ -115,6 +181,7 @@ let run_case ?(configs = default_configs) ?tolerance (func : Defs.func) :
          generator bug, reported against a pseudo-config. *)
       [ { config = "reference"; kind = Crash detail } ]
   | Ok ref_memory ->
+      let scratch = Memory.snapshot template in
       List.filter_map
         (fun (name, setting) ->
           let kind =
@@ -126,10 +193,11 @@ let run_case ?(configs = default_configs) ?tolerance (func : Defs.func) :
                 match Verifier.check optimized with
                 | Error detail -> Some (Invalid detail)
                 | Ok () -> (
-                    match run_memory optimized with
+                    Memory.restore ~template scratch;
+                    match timed_exec ?stats ~engine:opt_engine optimized ~memory:scratch with
                     | exception e -> Some (Crash (Printexc.to_string e))
-                    | memory -> (
-                        match Memory.diff_nan_safe ~tolerance ref_memory memory with
+                    | () -> (
+                        match Memory.diff_nan_safe ~tolerance ref_memory scratch with
                         | Some detail -> Some (Mismatch detail)
                         | None -> None)))
           in

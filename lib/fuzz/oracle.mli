@@ -16,6 +16,26 @@ type finding = { config : string; kind : kind }
 val kind_to_string : kind -> string
 val finding_to_string : finding -> string
 
+type engine = Tree | Compiled | Cross
+(** Which interpreter engine backs the oracle: the tree-walker, the
+    compiled closure engine (default), or [Cross] — reference on the
+    tree-walker, optimized runs on the compiled engine, so the two
+    engines differentially check each other. *)
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+type exec_stats = {
+  mutable exec_runs : int;
+  mutable exec_instrs : int;
+  mutable exec_seconds : float;
+}
+(** Interpreter throughput accumulated across oracle executions
+    (seconds include compile staging for the compiled engine). *)
+
+val create_exec_stats : unit -> exec_stats
+val ns_per_instr : exec_stats -> float
+
 val default_configs : (string * Pipeline.setting) list
 (** O3 plus slp/lslp/snslp, each with memoization on and off. *)
 
@@ -25,8 +45,9 @@ val index_value : int64
 val fresh_memory : Defs.func -> Memory.t
 val make_args : Defs.func -> Rvalue.t array
 
-val run_memory : Defs.func -> Memory.t
-(** One interpreted call on fresh deterministic memory. *)
+val run_memory : ?engine:Snslp_interp.Interp.engine -> Defs.func -> Memory.t
+(** One interpreted call on fresh deterministic memory (compiled
+    engine by default). *)
 
 val inject_bug : (Defs.func -> unit) option ref
 (** Test-only: mutates each optimized function before comparison, so
@@ -34,13 +55,17 @@ val inject_bug : (Defs.func -> unit) option ref
     production. *)
 
 val run_case :
+  ?engine:engine ->
+  ?stats:exec_stats ->
   ?configs:(string * Pipeline.setting) list ->
   ?tolerance:float ->
   Defs.func ->
   finding list
 (** All findings for one function; the empty list means every
     configuration agreed with the reference.  [tolerance] defaults to
-    {!Gen.tolerance_for}. *)
+    {!Gen.tolerance_for}.  The input memory template is built once and
+    snapshot-restored per configuration; [stats] accumulates engine
+    throughput when given. *)
 
 val check_jobs_determinism :
   ?setting:Pipeline.setting -> jobs:int -> Defs.func list -> finding list

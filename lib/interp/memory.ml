@@ -34,31 +34,45 @@ let int_buffer (t : t) ~(arg_pos : int) =
   | I_buf a -> a
   | F_buf _ -> invalid_arg "Memory.int_buffer: float buffer"
 
-let check b len ~base ~off =
+let check_bounds ~(len : int) ~(base : int) ~(off : int) =
   if off < 0 || off >= len then
     raise
-      (Out_of_bounds (Printf.sprintf "arg%d[%d] out of bounds (size %d)%s" base off len b))
+      (Out_of_bounds (Printf.sprintf "arg%d[%d] out of bounds (size %d)" base off len))
 
-(* [read t ~elem ~base ~off] loads one element. *)
+(* A load whose element type disagrees with the buffer it hits is type
+   confusion, not a value: both interpreter engines raise through this
+   single helper so the trap text cannot drift between them. *)
+let read_type_error ~(elem : Ty.scalar) ~(base : int) =
+  invalid_arg
+    (Printf.sprintf "Memory.read: %s load from %s buffer (arg%d)"
+       (Ty.scalar_to_string elem)
+       (if Ty.scalar_is_float elem then "integer" else "float")
+       base)
+
+(* [read t ~elem ~base ~off] loads one element.  Symmetric with
+   [write]: f32 loads round (a 32-bit cell cannot hold more precision
+   than [round_f32]) and the element type must match the buffer. *)
 let read (t : t) ~(elem : Ty.scalar) ~(base : int) ~(off : int) : Rvalue.t =
   match buffer t ~arg_pos:base with
   | F_buf a ->
-      check "" (Array.length a) ~base ~off;
-      Rvalue.R_float a.(off)
+      check_bounds ~len:(Array.length a) ~base ~off;
+      if Ty.scalar_is_int elem then read_type_error ~elem ~base;
+      let f = a.(off) in
+      Rvalue.R_float (if elem = Ty.F32 then Rvalue.round_f32 f else f)
   | I_buf a ->
-      check "" (Array.length a) ~base ~off;
-      ignore elem;
+      check_bounds ~len:(Array.length a) ~base ~off;
+      if Ty.scalar_is_float elem then read_type_error ~elem ~base;
       Rvalue.R_int a.(off)
 
 (* [write t ~elem ~base ~off v] stores one element, rounding f32. *)
 let write (t : t) ~(elem : Ty.scalar) ~(base : int) ~(off : int) (v : Rvalue.t) =
   match buffer t ~arg_pos:base with
   | F_buf a ->
-      check "" (Array.length a) ~base ~off;
+      check_bounds ~len:(Array.length a) ~base ~off;
       let f = Rvalue.as_float v in
       a.(off) <- (if elem = Ty.F32 then Rvalue.round_f32 f else f)
   | I_buf a ->
-      check "" (Array.length a) ~base ~off;
+      check_bounds ~len:(Array.length a) ~base ~off;
       a.(off) <- Rvalue.as_int v
 
 (* Deep snapshot, used by differential tests to compare final states. *)
@@ -72,6 +86,23 @@ let snapshot (t : t) : t =
       Hashtbl.replace t' k b')
     t;
   t'
+
+(* [restore ~template t] copies [template]'s contents back into [t]
+   without reallocating: matching-shape buffers are blitted in place,
+   anything else falls back to a fresh copy.  The oracle pairs this
+   with [snapshot] to reset one scratch memory per pipeline config
+   instead of rebuilding deterministic contents from scratch. *)
+let restore ~(template : t) (t : t) =
+  Hashtbl.iter
+    (fun k b ->
+      match (b, Hashtbl.find_opt t k) with
+      | F_buf src, Some (F_buf dst) when Array.length dst = Array.length src ->
+          Array.blit src 0 dst 0 (Array.length src)
+      | I_buf src, Some (I_buf dst) when Array.length dst = Array.length src ->
+          Array.blit src 0 dst 0 (Array.length src)
+      | F_buf src, _ -> Hashtbl.replace t k (F_buf (Array.copy src))
+      | I_buf src, _ -> Hashtbl.replace t k (I_buf (Array.copy src)))
+    template
 
 let equal (a : t) (b : t) =
   let ok = ref (Hashtbl.length a = Hashtbl.length b) in

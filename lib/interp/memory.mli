@@ -21,12 +21,30 @@ val buffer : t -> arg_pos:int -> buffer
 val float_buffer : t -> arg_pos:int -> float array
 val int_buffer : t -> arg_pos:int -> int64 array
 
+val check_bounds : len:int -> base:int -> off:int -> unit
+(** Raises {!Out_of_bounds} with the canonical trap text.  Exposed so
+    the compiled interpreter engine traps with byte-identical messages
+    to the tree-walker. *)
+
+val read_type_error : elem:Ty.scalar -> base:int -> 'a
+(** Raises [Invalid_argument] for a load whose element type disagrees
+    with the buffer kind.  Shared between both interpreter engines. *)
+
 val read : t -> elem:Ty.scalar -> base:int -> off:int -> Rvalue.t
+(** Symmetric with [write]: f32 loads round, and the element type must
+    match the buffer kind (float loads from integer buffers — and vice
+    versa — raise {!read_type_error}). *)
+
 val write : t -> elem:Ty.scalar -> base:int -> off:int -> Rvalue.t -> unit
 (** f32 stores round. *)
 
 val snapshot : t -> t
 (** Deep copy, for before/after comparisons. *)
+
+val restore : template:t -> t -> unit
+(** Copy [template]'s contents back into the target in place (blit per
+    matching buffer, fresh copy on shape mismatch).  With [snapshot],
+    the cheap way to reset a scratch memory between runs. *)
 
 val equal : t -> t -> bool
 (** Bitwise, including float buffers. *)

@@ -66,7 +66,8 @@ kernel k(double A[], long i) {
   check_f "join executes" 9.0 a.(7)
 
 let test_f32_rounding () =
-  (* 0.1 is inexact; f32 must round differently from f64. *)
+  (* 0.1 is inexact; f32 must round differently from f64.  Loads round
+     on read, so each operand is already f32 before the add. *)
   let memory =
     run_kernel {|
 kernel k(float A[], float B[], long i) {
@@ -79,7 +80,8 @@ kernel k(float A[], float B[], long i) {
       ~args_of:(fun _ -> [| ptr 0; ptr 1; Rvalue.R_int 0L |])
   in
   let a = Memory.float_buffer memory ~arg_pos:0 in
-  check "f32 rounded" true (a.(0) = Rvalue.round_f32 (0.1 +. 0.2))
+  check "f32 rounded" true
+    (a.(0) = Rvalue.round_f32 (Rvalue.round_f32 0.1 +. Rvalue.round_f32 0.2))
 
 let test_vector_ops_direct () =
   (* Hand-build vector IR and check lane-wise semantics incl. the
@@ -139,6 +141,39 @@ let test_memory_snapshot_equal () =
   check "diverges after write" false (Memory.equal m s);
   check "rel diff sees it" true (Memory.max_rel_diff m s > 0.1)
 
+let test_memory_read_symmetry () =
+  (* Reads mirror writes: f32 loads round, and the element type must
+     match the buffer kind in both directions. *)
+  let m = Memory.create () in
+  Memory.set_float_buffer m ~arg_pos:0 [| 0.1 |];
+  Memory.set_int_buffer m ~arg_pos:1 [| 7L |];
+  (match Memory.read m ~elem:Ty.F32 ~base:0 ~off:0 with
+  | Rvalue.R_float f -> check "f32 load rounds" true (f = Rvalue.round_f32 0.1)
+  | _ -> Alcotest.fail "expected a float");
+  (match Memory.read m ~elem:Ty.F64 ~base:0 ~off:0 with
+  | Rvalue.R_float f -> check "f64 load exact" true (f = 0.1)
+  | _ -> Alcotest.fail "expected a float");
+  check "int load from float buffer rejected" true
+    (try
+       ignore (Memory.read m ~elem:Ty.I64 ~base:0 ~off:0);
+       false
+     with Invalid_argument _ -> true);
+  check "float load from int buffer rejected" true
+    (try
+       ignore (Memory.read m ~elem:Ty.F64 ~base:1 ~off:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_memory_restore () =
+  let m = Memory.create () in
+  Memory.set_float_buffer m ~arg_pos:0 [| 1.0; 2.0 |];
+  Memory.set_int_buffer m ~arg_pos:1 [| 3L |];
+  let template = Memory.snapshot m in
+  (Memory.float_buffer m ~arg_pos:0).(0) <- 9.0;
+  (Memory.int_buffer m ~arg_pos:1).(0) <- -1L;
+  Memory.restore ~template m;
+  check "restore resets to the template" true (Memory.equal template m)
+
 let test_step_budget () =
   (* An instruction-dense kernel with a tiny budget trips the guard. *)
   let f =
@@ -165,6 +200,8 @@ let suite =
         Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
         Alcotest.test_case "arity mismatch" `Quick test_arg_count_mismatch;
         Alcotest.test_case "memory snapshot/equal" `Quick test_memory_snapshot_equal;
+        Alcotest.test_case "memory read symmetry" `Quick test_memory_read_symmetry;
+        Alcotest.test_case "memory restore" `Quick test_memory_restore;
         Alcotest.test_case "step budget" `Quick test_step_budget;
       ] );
   ]
