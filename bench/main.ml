@@ -732,6 +732,159 @@ let fuzz_report ~seed ~cases ~jobs () =
 
 let fuzz () = fuzz_report ~seed:42 ~cases:2000 ~jobs:2 ()
 
+(* --- Static analysis: validator overhead and validation sweep ----------------
+
+   Two measurements backing docs/LINT.md, written to BENCH_lint.json:
+
+   1. Overhead.  Every registry kernel runs through the full sn-slp
+      pipeline with the translation validator enabled; the Pipeline
+      tracks the validator's own time separately from the pass
+      timings, so the cost of the seven per-pass comparisons (plus
+      the end-to-end one and the graph-invariant checks) is directly
+      observable.  Criterion: aggregate validator time stays within
+      25% of aggregate vectorize ("slp" pass) time.
+
+   2. Sweep.  N generator seeds x every pipeline configuration, each
+      run under ~validate:true with the generator's per-case float
+      tolerance; per-pass and end-to-end verdicts are tallied along
+      with graph-invariant findings.  Criterion: zero Mismatch
+      verdicts and zero invariant violations.  The Unknown rate is
+      reported but not gated: loopy control flow and oversized normal
+      forms fall back to Unknown by design (docs/LINT.md). *)
+let lint_report ~seeds ~rounds () =
+  pr "%s"
+    (Table.section "Static analysis: translation-validator overhead (registry kernels)");
+  let snslp = setting_named "sn-slp" in
+  let tot_validate = ref 0.0 and tot_slp = ref 0.0 in
+  let kernel_mismatch = ref 0 in
+  let overhead_rows =
+    List.map
+      (fun (name, func) ->
+        (* Best-of-rounds on the whole pipeline run keeps both sides of
+           the ratio from the same (least-disturbed) execution. *)
+        let best = ref None in
+        for _ = 1 to rounds do
+          let r = Pipeline.run ~setting:snslp ~validate:true func in
+          let v = Option.get r.Pipeline.validation in
+          let slp_s =
+            List.fold_left
+              (fun acc (t : Pipeline.timing) ->
+                if t.Pipeline.pass = "slp" then acc +. t.Pipeline.seconds else acc)
+              0.0 r.Pipeline.timings
+          in
+          match !best with
+          | Some (bv, _, _) when bv <= v.Pipeline.validate_seconds -> ()
+          | _ -> best := Some (v.Pipeline.validate_seconds, slp_s, v)
+        done;
+        let validate_s, slp_s, v = Option.get !best in
+        List.iter
+          (fun (_, verdict) ->
+            match verdict with
+            | Snslp_lint.Validate.Mismatch _ -> incr kernel_mismatch
+            | Snslp_lint.Validate.Valid | Snslp_lint.Validate.Unknown _ -> ())
+          (("end-to-end", v.Pipeline.end_verdict) :: v.Pipeline.pass_verdicts);
+        kernel_mismatch := !kernel_mismatch + List.length v.Pipeline.graph_findings;
+        tot_validate := !tot_validate +. validate_s;
+        tot_slp := !tot_slp +. slp_s;
+        [
+          name;
+          Printf.sprintf "%.1f" (validate_s *. 1e6);
+          Printf.sprintf "%.1f" (slp_s *. 1e6);
+          Printf.sprintf "%.2f" (validate_s /. Float.max slp_s 1e-9);
+          Snslp_lint.Validate.verdict_to_string v.Pipeline.end_verdict;
+        ])
+      (kernel_funcs ())
+  in
+  emit ~name:"lint_overhead"
+    ~headers:[ "kernel"; "validate us"; "slp us"; "ratio"; "end-to-end" ]
+    overhead_rows;
+  let ratio = !tot_validate /. Float.max !tot_slp 1e-9 in
+  let overhead_ok = ratio <= 0.25 in
+  pr "  aggregate: validate %.1f us vs slp %.1f us, ratio %.3f %s@."
+    (!tot_validate *. 1e6) (!tot_slp *. 1e6) ratio
+    (if overhead_ok then "(criterion <= 0.25: PASS)" else "(criterion <= 0.25: FAIL)");
+  pr "%s"
+    (Table.section
+       (Printf.sprintf "Static analysis: validation sweep (%d seeds x %d configs)" seeds
+          (List.length settings)));
+  let valid = ref 0 and unknown = ref 0 and mismatch = ref 0 in
+  let graph_bad = ref 0 in
+  let examples = ref [] in
+  for seed = 1 to seeds do
+    let func = Snslp_fuzzer.Gen.generate ~seed () in
+    let tolerance = Snslp_fuzzer.Gen.tolerance_for func in
+    List.iter
+      (fun (cname, setting) ->
+        let r = Pipeline.run ~setting ~validate:true ~tolerance func in
+        let v = Option.get r.Pipeline.validation in
+        let tally pass verdict =
+          match verdict with
+          | Snslp_lint.Validate.Valid -> incr valid
+          | Snslp_lint.Validate.Unknown _ -> incr unknown
+          | Snslp_lint.Validate.Mismatch _ ->
+              incr mismatch;
+              if List.length !examples < 5 then
+                examples :=
+                  Printf.sprintf "seed %d, %s, %s: %s" seed cname pass
+                    (Snslp_lint.Validate.verdict_to_string verdict)
+                  :: !examples
+        in
+        List.iter (fun (pass, verdict) -> tally pass verdict) v.Pipeline.pass_verdicts;
+        tally "end-to-end" v.Pipeline.end_verdict;
+        graph_bad := !graph_bad + List.length v.Pipeline.graph_findings)
+      settings
+  done;
+  let total = !valid + !unknown + !mismatch in
+  let unknown_rate = float_of_int !unknown /. float_of_int (max total 1) in
+  emit ~name:"lint_sweep"
+    ~headers:[ "verdicts"; "valid"; "unknown"; "mismatch"; "unknown rate"; "graph findings" ]
+    [
+      [
+        string_of_int total;
+        string_of_int !valid;
+        string_of_int !unknown;
+        string_of_int !mismatch;
+        Printf.sprintf "%.4f" unknown_rate;
+        string_of_int !graph_bad;
+      ];
+    ];
+  List.iter (fun e -> pr "  !! mismatch: %s@." e) (List.rev !examples);
+  let sweep_ok = !mismatch = 0 && !graph_bad = 0 && !kernel_mismatch = 0 in
+  pr "  mismatches: %d, invariant violations: %d %s@." !mismatch !graph_bad
+    (if sweep_ok then "(criterion 0: PASS)" else "(criterion 0: FAIL)");
+  Json.write "BENCH_lint.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-lint/1");
+         ("seeds", Json.Int seeds);
+         ("configs", Json.List (List.map (fun (n, _) -> Json.String n) settings));
+         ("validate_seconds_total", Json.Float !tot_validate);
+         ("slp_seconds_total", Json.Float !tot_slp);
+         ("overhead_ratio", Json.Float ratio);
+         ("verdicts_total", Json.Int total);
+         ("valid", Json.Int !valid);
+         ("unknown", Json.Int !unknown);
+         ("mismatch", Json.Int !mismatch);
+         ("unknown_rate", Json.Float unknown_rate);
+         ("graph_findings", Json.Int !graph_bad);
+         ( "mismatch_examples",
+           Json.List (List.rev_map (fun e -> Json.String e) !examples) );
+         ( "headline",
+           Json.Obj
+             [
+               ( "criterion",
+                 Json.String
+                   "zero Mismatch verdicts and zero graph-invariant violations \
+                    across the seed sweep and the registry kernels; aggregate \
+                    validator time <= 25% of vectorize time" );
+               ("pass", Json.Bool (overhead_ok && sweep_ok));
+             ] );
+       ]);
+  pr "  wrote BENCH_lint.json@.";
+  if not (overhead_ok && sweep_ok) then exit 1
+
+let lint () = lint_report ~seeds:1000 ~rounds:3 ()
+
 (* --- Interpreter engines: tree-walker vs compiled closures -------------------
 
    The compiled closure execution engine (docs/INTERP.md) stages each
@@ -1009,6 +1162,10 @@ let smoke () =
     ~kernels:
       (List.filter_map Registry.find [ "milc_su3"; "sphinx_gau_f32"; "milc_mat_vec" ])
     ~iters:16 ~oracle_iters:128 ~oracle_reps:2 ~rounds:1 ~campaign_cases:40 ();
+  (* Validator smoke: the registry overhead ratio plus a reduced seed
+     sweep keeps the BENCH_lint.json plumbing and the zero-Mismatch
+     criterion exercised on every test run. *)
+  lint_report ~seeds:150 ~rounds:2 ();
   pr "bench-smoke OK@."
 
 (* --- Bechamel: statistically sound compile-time microbenchmarks ------------- *)
@@ -1214,6 +1371,7 @@ let experiments =
     ("compile-time", compile_time);
     ("parallel", parallel);
     ("fuzz", fuzz);
+    ("lint", lint);
     ("interp", interp);
     ("smoke", smoke);
     ("bechamel", bechamel);

@@ -1,0 +1,89 @@
+(* snslp-lint — the standalone static analyzer.
+
+   Runs the lib/lint checker suite over textual IR (.ir) or KernelC
+   files, and optionally re-derives the SLP graph invariants under a
+   chosen vectorizer mode.  Exit status: 0 when no Error-severity
+   finding was produced, 1 when at least one was, 2 on usage or parse
+   errors.
+
+     snslp-lint file.ir
+     snslp-lint --bound 512 --invariants kernel.kc *)
+
+open Cmdliner
+open Snslp_ir
+open Snslp_lint
+
+let load file =
+  let src =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+  in
+  if Filename.check_suffix file ".ir" then (
+    try [ Ir_parser.parse src ]
+    with Ir_parser.Parse_error { line; message } ->
+      Fmt.epr "%s: IR parse error at line %d: %s@." file line message;
+      exit 2)
+  else Snslp_frontend.Frontend.compile src
+
+let run bound invariants mode files =
+  if files = [] then begin
+    Fmt.epr "nothing to lint: give one or more .ir or .kc files@.";
+    exit 2
+  end;
+  let config =
+    match Snslp_vectorizer.Config.mode_of_string mode with
+    | Some m -> { Snslp_vectorizer.Config.default with Snslp_vectorizer.Config.mode = m }
+    | None ->
+        Fmt.epr "unknown mode %S (slp, lslp, sn-slp)@." mode;
+        exit 2
+  in
+  let errors = ref 0 in
+  List.iter
+    (fun file ->
+      List.iter
+        (fun func ->
+          let findings =
+            Lint.run ?bound func
+            @ (if invariants then Lint.vector_invariants config func else [])
+          in
+          List.iter
+            (fun x ->
+              if Finding.is_error x then incr errors;
+              Fmt.pr "%s: %a@." file Finding.pp x)
+            findings)
+        (load file))
+    files;
+  if !errors > 0 then begin
+    Fmt.epr "%d error finding(s)@." !errors;
+    exit 1
+  end
+
+let () =
+  let bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound" ] ~docv:"N"
+          ~doc:"Buffer size in elements for the out-of-bounds check.")
+  in
+  let invariants =
+    Arg.(
+      value & flag
+      & info [ "invariants" ]
+          ~doc:
+            "Also vectorize a clone of each function and re-derive the \
+             structural invariants of every SLP graph built.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "sn-slp"
+      & info [ "mode" ] ~doc:"Vectorizer mode for --invariants: slp, lslp or sn-slp.")
+  in
+  let files = Arg.(value & pos_all string [] & info [] ~docv:"FILE") in
+  let term = Term.(const run $ bound $ invariants $ mode $ files) in
+  let info =
+    Cmd.info "snslp-lint" ~doc:"Dataflow-based static analyzer for SN-SLP IR"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -47,7 +47,7 @@ let target_of_string = function
       exit 2
 
 let run verbose file kernel mode model target dump_before dump_after dump_graph stats
-    simulate lookahead jobs verify_each =
+    simulate lookahead jobs verify_each lint validate =
   setup_logs verbose;
   if jobs < 1 then begin
     Fmt.epr "-j must be at least 1@.";
@@ -99,9 +99,22 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
      schedule (and bit-identical to -j 1). *)
   (* [verify_each] is also passed explicitly so it covers --mode o3
      (whose setting carries no config record). *)
+  let failed = ref false in
+  (* --lint analyses the *input* IR: findings there are the
+     programmer's (or frontend's), not the optimizer's. *)
+  if lint then
+    List.iter
+      (fun func ->
+        List.iter
+          (fun x ->
+            if Snslp_lint.Finding.is_error x then failed := true;
+            Fmt.pr "%a@." Snslp_lint.Finding.pp x)
+          (Snslp_lint.Lint.run func))
+      funcs;
   let results =
     Snslp_driver.Driver.run_all ~jobs
       ?verify_each:(if verify_each then Some true else None)
+      ?validate:(if validate then Some true else None)
       ~setting funcs
   in
   List.iter2
@@ -118,6 +131,27 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
             rep.Vectorize.trees;
           if stats then Fmt.pr "; stats: %a@." Stats.pp rep.Vectorize.stats
       | None -> ());
+      (match result.Pipeline.validation with
+      | None -> ()
+      | Some v ->
+          let bad = function
+            | Snslp_lint.Validate.Mismatch _ -> true
+            | Snslp_lint.Validate.Valid | Snslp_lint.Validate.Unknown _ -> false
+          in
+          List.iter
+            (fun (pass, verdict) ->
+              if bad verdict then failed := true;
+              Fmt.pr "; validate @%s %s: %s@." func.Defs.fname pass
+                (Snslp_lint.Validate.verdict_to_string verdict))
+            v.Pipeline.pass_verdicts;
+          if bad v.Pipeline.end_verdict then failed := true;
+          Fmt.pr "; validate @%s end-to-end: %s@." func.Defs.fname
+            (Snslp_lint.Validate.verdict_to_string v.Pipeline.end_verdict);
+          List.iter
+            (fun msg ->
+              failed := true;
+              Fmt.pr "; graph invariant @%s: %s@." func.Defs.fname msg)
+            v.Pipeline.graph_findings);
       if dump_after then
         Fmt.pr "; ---- after %s ----@.%a@." (Pipeline.setting_name setting) Printer.pp_func
           result.Pipeline.func;
@@ -135,7 +169,8 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
         | None ->
             Fmt.pr "; --simulate needs --kernel (the registry defines the workload)@."
       end)
-    funcs results
+    funcs results;
+  if !failed then exit 1
 
 let () =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
@@ -183,10 +218,28 @@ let () =
             "Run the IR verifier after every pipeline pass (not just at the \
              end); a failure names the pass that broke the IR.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the static analyzer over the input IR before optimising; \
+             exits 1 on any error-severity finding.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Run the translation validator after every pipeline pass and \
+             end-to-end, and check SLP graph invariants; exits 1 on any \
+             $(b,mismatch) verdict or invariant violation.")
+  in
   let term =
     Term.(
       const run $ verbose $ file $ kernel $ mode $ model $ target $ dump_before
-      $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs $ verify_each)
+      $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs $ verify_each
+      $ lint $ validate)
   in
   let info =
     Cmd.info "snslpc" ~doc:"Super-Node SLP vectorizing compiler for KernelC"

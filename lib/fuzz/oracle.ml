@@ -3,12 +3,16 @@
    Ground truth is the interpreter running the *unoptimized* function;
    every pipeline configuration (O3 baseline, the three SLP modes,
    each with memoization on and off) must reproduce the same final
-   memory.  Three ways to lose:
+   memory.  Four ways to lose:
 
    - [Crash]: the pipeline or the interpreter raised;
    - [Invalid]: the optimized function fails the IR verifier;
    - [Mismatch]: the final memories diverge beyond the tolerance
-     (NaN-safe: matching NaNs agree, equal infinities agree).
+     (NaN-safe: matching NaNs agree, equal infinities agree);
+   - [Static_mismatch]: the translation validator proves the optimized
+     function stores a different value than the original — a static
+     side-channel that needs no execution, so it can flag divergence
+     the single concrete input happens to mask.
 
    The oracle is deliberately pure observation — it never mutates the
    input function — so a finding can be replayed by re-running the
@@ -25,6 +29,7 @@ type kind =
   | Crash of string (* the pipeline or the interpreter raised *)
   | Invalid of string (* the optimized function fails the verifier *)
   | Mismatch of string (* final memories diverge beyond tolerance *)
+  | Static_mismatch of string (* the translation validator disproved the run *)
 
 type finding = { config : string; kind : kind }
 
@@ -32,6 +37,7 @@ let kind_to_string = function
   | Crash d -> "crash: " ^ d
   | Invalid d -> "invalid IR: " ^ d
   | Mismatch d -> "mismatch: " ^ d
+  | Static_mismatch d -> "static mismatch: " ^ d
 
 let finding_to_string f = Printf.sprintf "[%s] %s" f.config (kind_to_string f.kind)
 
@@ -164,7 +170,7 @@ let inject_bug : (Defs.func -> unit) option ref = ref None
    configuration instead of re-running [Array.init] +
    [Workload.*_value] per pointer argument eight times. *)
 let run_case ?(engine = Compiled) ?stats ?(configs = default_configs) ?tolerance
-    (func : Defs.func) : finding list =
+    ?(validate = true) (func : Defs.func) : finding list =
   let tolerance = match tolerance with Some t -> t | None -> Gen.tolerance_for func in
   let ref_engine, opt_engine = interp_engines engine in
   let template = fresh_memory func in
@@ -182,26 +188,47 @@ let run_case ?(engine = Compiled) ?stats ?(configs = default_configs) ?tolerance
       [ { config = "reference"; kind = Crash detail } ]
   | Ok ref_memory ->
       let scratch = Memory.snapshot template in
-      List.filter_map
+      List.concat_map
         (fun (name, setting) ->
-          let kind =
+          let kinds =
             match Pipeline.run ~setting func with
-            | exception e -> Some (Crash (Printexc.to_string e))
+            | exception e -> [ Crash (Printexc.to_string e) ]
             | result -> (
                 let optimized = result.Pipeline.func in
                 (match !inject_bug with Some f -> f optimized | None -> ());
                 match Verifier.check optimized with
-                | Error detail -> Some (Invalid detail)
-                | Ok () -> (
-                    Memory.restore ~template scratch;
-                    match timed_exec ?stats ~engine:opt_engine optimized ~memory:scratch with
-                    | exception e -> Some (Crash (Printexc.to_string e))
-                    | () -> (
-                        match Memory.diff_nan_safe ~tolerance ref_memory scratch with
-                        | Some detail -> Some (Mismatch detail)
-                        | None -> None)))
+                | Error detail -> [ Invalid detail ]
+                | Ok () ->
+                    (* The static side-channel runs on exactly the
+                       function the interpreter is about to execute
+                       (inject_bug applied), so an injected
+                       miscompilation must trip it too.  [Unknown] is
+                       not a finding: the validator punts on fragments
+                       outside its normal form. *)
+                    let static =
+                      if not validate then []
+                      else
+                        match
+                          Snslp_lint.Validate.compare_funcs ~tolerance func optimized
+                        with
+                        | exception e ->
+                            [ Crash ("validator: " ^ Printexc.to_string e) ]
+                        | Snslp_lint.Validate.Mismatch { where; detail } ->
+                            [ Static_mismatch (Printf.sprintf "@%s: %s" where detail) ]
+                        | Snslp_lint.Validate.Valid | Snslp_lint.Validate.Unknown _ -> []
+                    in
+                    let dynamic =
+                      Memory.restore ~template scratch;
+                      match timed_exec ?stats ~engine:opt_engine optimized ~memory:scratch with
+                      | exception e -> [ Crash (Printexc.to_string e) ]
+                      | () -> (
+                          match Memory.diff_nan_safe ~tolerance ref_memory scratch with
+                          | Some detail -> [ Mismatch detail ]
+                          | None -> [])
+                    in
+                    static @ dynamic)
           in
-          Option.map (fun kind -> { config = name; kind }) kind)
+          List.map (fun kind -> { config = name; kind }) kinds)
         configs
 
 (* [check_jobs_determinism ~jobs funcs] runs the parallel driver over

@@ -10,6 +10,8 @@ type kind =
   | Crash of string  (** the pipeline or the interpreter raised *)
   | Invalid of string  (** the optimized function fails the verifier *)
   | Mismatch of string  (** final memories diverge beyond tolerance *)
+  | Static_mismatch of string
+      (** the translation validator proved a stored value differs *)
 
 type finding = { config : string; kind : kind }
 
@@ -59,13 +61,18 @@ val run_case :
   ?stats:exec_stats ->
   ?configs:(string * Pipeline.setting) list ->
   ?tolerance:float ->
+  ?validate:bool ->
   Defs.func ->
   finding list
 (** All findings for one function; the empty list means every
     configuration agreed with the reference.  [tolerance] defaults to
     {!Gen.tolerance_for}.  The input memory template is built once and
     snapshot-restored per configuration; [stats] accumulates engine
-    throughput when given. *)
+    throughput when given.  [validate] (default true) additionally
+    runs the translation validator on each optimized function — a
+    static side-channel next to the interpreter diff; a proved
+    divergence is reported as {!Static_mismatch} (validator [Unknown]
+    is not a finding). *)
 
 val check_jobs_determinism :
   ?setting:Pipeline.setting -> jobs:int -> Defs.func list -> finding list

@@ -12,8 +12,16 @@ type error = { where : string; what : string }
 
 let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
 
+(* Errors locate the offending instruction by its full pretty-printed
+   form, not just its name — the IR being verified is by definition
+   suspect, and "%7 = fadd f32 %3, %5" pinpoints the bug where "%7"
+   only names it.  Printing a malformed instruction can itself trap
+   (e.g. a store with no operands), hence the fallback. *)
+let instr_where (i : instr) =
+  try Instr.to_string i with _ -> Printf.sprintf "%%%s" i.iname
+
 let check_instr (errors : error list ref) (i : instr) =
-  let where = Printf.sprintf "%%%s" i.iname in
+  let where = instr_where i in
   let fail fmt = Printf.ksprintf (fun what -> errors := { where; what } :: !errors) fmt in
   let op_ty n = Value.ty i.ops.(n) in
   let expect_nops n =
@@ -133,11 +141,11 @@ let verify (f : func) : error list =
     (fun b ->
       List.iter
         (fun i ->
-          if Hashtbl.mem seen i.iid then fail ("%" ^ i.iname) "duplicate instruction id";
+          if Hashtbl.mem seen i.iid then fail (instr_where i) "duplicate instruction id";
           Hashtbl.replace seen i.iid ();
           (match i.iblock with
           | Some b' when Block.equal b b' -> ()
-          | _ -> fail ("%" ^ i.iname) "instruction block back-pointer is stale");
+          | _ -> fail (instr_where i) "instruction block back-pointer is stale");
           check_instr errors i)
         b.instrs;
       (match b.term with
@@ -176,7 +184,7 @@ let verify (f : func) : error list =
             match o with
             | Instr def ->
                 if not (def_dominates_use ~def ~user) then
-                  fail ("%" ^ user.iname) "operand %%%s does not dominate this use" def.iname
+                  fail (instr_where user) "operand %%%s does not dominate this use" def.iname
             | Const _ | Undef _ | Arg _ -> ())
           user.ops)
       f

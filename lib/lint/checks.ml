@@ -1,0 +1,206 @@
+(* The checker suite.
+
+   Each checker walks a function and emits findings; severities follow
+   what the finding means at runtime.  [Error] marks code that traps
+   or reads garbage when executed (undef operands, provably
+   out-of-bounds accesses, cross-kind memory access — the static
+   mirror of [Memory.read]'s runtime rejection); [Warning] marks code
+   that is correct but wasteful or suspicious (dead stores — the
+   fuzzer's generator legitimately emits same-location overwrites);
+   [Info] marks optimization opportunities (available-expression
+   redundancies CSE would remove). *)
+
+open Snslp_ir
+open Snslp_analysis
+
+(* --- use-of-undef --------------------------------------------------------- *)
+
+(* The vectorizer's own codegen builds vectors from [undef] (insert
+   chains, shuffle second operands), so those two positions are the
+   only sanctioned uses. *)
+let undef_ok (i : Defs.instr) (operand : int) =
+  match i.Defs.op with
+  | Defs.Insert -> operand = 0
+  | Defs.Shuffle _ -> operand = 1
+  | _ -> false
+
+let undef_uses (f : Defs.func) : Finding.t list =
+  let acc = ref [] in
+  Func.iter_instrs
+    (fun i ->
+      Array.iteri
+        (fun k v ->
+          match v with
+          | Defs.Undef _ when not (undef_ok i k) ->
+              acc :=
+                Finding.v ~check:"use-of-undef" Finding.Error f i
+                  (Printf.sprintf "operand %d is undef" k)
+                :: !acc
+          | _ -> ())
+        i.Defs.ops)
+    f;
+  List.iter
+    (fun (b : Defs.block) ->
+      match b.Defs.term with
+      | Defs.Cond_br (Defs.Undef _, _, _) ->
+          acc :=
+            Finding.v_at ~check:"use-of-undef" Finding.Error f
+              (Printf.sprintf "cond_br in %s" b.Defs.bname)
+              "branch condition is undef"
+            :: !acc
+      | _ -> ())
+    f.Defs.blocks;
+  List.rev !acc
+
+(* --- dead stores ----------------------------------------------------------- *)
+
+let store_width (i : Defs.instr) = Ty.lanes (Value.ty i.Defs.ops.(0))
+let load_width (i : Defs.instr) = Ty.lanes i.Defs.ty
+
+(* [a] fully covered by a later store [b]: both addresses resolve,
+   same base, known distance, and [b]'s range contains [a]'s. *)
+let covers ~(later : Address.t) ~later_width ~(earlier : Address.t) ~earlier_width =
+  Address.same_base earlier later
+  &&
+  match Address.delta earlier later with
+  | Some d -> d <= 0 && d + later_width >= earlier_width
+  | None -> false
+
+(* A load observes [earlier] unless the two are provably disjoint.
+   Distinct argument bases never alias (the repo-wide memory model);
+   an unresolvable base could be anything. *)
+let may_observe ~(load : Address.t) ~load_width ~(earlier : Address.t) ~earlier_width =
+  if not (Address.same_base load earlier) then
+    Value.is_instr load.Address.base || Value.is_instr earlier.Address.base
+  else
+    match Address.delta earlier load with
+    | Some d -> d < earlier_width && d + load_width > 0
+    | None -> true
+
+(* A store is dead when a later store in the same block provably
+   overwrites all its cells before any possibly-overlapping load.
+   Later blocks never matter: the overwrite always executes. *)
+let dead_stores (f : Defs.func) : Finding.t list =
+  let acc = ref [] in
+  List.iter
+    (fun (b : Defs.block) ->
+      let rec scan = function
+        | [] -> ()
+        | (s : Defs.instr) :: rest when Instr.is_store s -> (
+            (match Address.of_instr s with
+            | None -> ()
+            | Some addr ->
+                let width = store_width s in
+                let rec follow = function
+                  | [] -> ()
+                  | (j : Defs.instr) :: tail ->
+                      if Instr.is_load j then (
+                        match Address.of_instr j with
+                        | Some la
+                          when not
+                                 (may_observe ~load:la ~load_width:(load_width j)
+                                    ~earlier:addr ~earlier_width:width) ->
+                            follow tail
+                        | _ -> () (* may read the cells: live *))
+                      else if Instr.is_store j then (
+                        match Address.of_instr j with
+                        | Some ja
+                          when covers ~later:ja ~later_width:(store_width j) ~earlier:addr
+                                 ~earlier_width:width ->
+                            acc :=
+                              Finding.v ~check:"dead-store" Finding.Warning f s
+                                (Printf.sprintf "overwritten by %s before any read"
+                                   (Instr.to_string j))
+                              :: !acc
+                        | _ -> follow tail)
+                      else follow tail
+                in
+                follow rest);
+            scan rest)
+        | _ :: rest -> scan rest
+      in
+      scan b.Defs.instrs)
+    f.Defs.blocks;
+  List.rev !acc
+
+(* --- provably out-of-bounds ------------------------------------------------ *)
+
+let bounds ?bound (f : Defs.func) : Finding.t list =
+  let acc = ref [] in
+  Func.iter_instrs
+    (fun i ->
+      if Instr.is_memory i then
+        match Address.of_instr i with
+        | Some a when Affine.is_const a.Address.index ->
+            let first = a.Address.index.Affine.const in
+            let width = if Instr.is_store i then store_width i else load_width i in
+            if first < 0 then
+              acc :=
+                Finding.v ~check:"out-of-bounds" Finding.Error f i
+                  (Printf.sprintf "element index %d is negative" first)
+                :: !acc
+            else (
+              match bound with
+              | Some n when first + width > n ->
+                  acc :=
+                    Finding.v ~check:"out-of-bounds" Finding.Error f i
+                      (Printf.sprintf "elements [%d, %d) exceed the %d-element buffer" first
+                         (first + width) n)
+                    :: !acc
+              | _ -> ())
+        | _ -> ())
+    f;
+  List.rev !acc
+
+(* --- cross-kind memory access ---------------------------------------------- *)
+
+(* The static mirror of [Memory.read]/[Memory.write]'s runtime rules:
+   the buffer kind is the pointer argument's element kind; accessing
+   an int buffer as float (or vice versa) traps at runtime, and a
+   same-kind width mismatch is merely ill-typed IR (the verifier's
+   department), so it is only a warning here. *)
+let memory_kinds (f : Defs.func) : Finding.t list =
+  let acc = ref [] in
+  Func.iter_instrs
+    (fun i ->
+      if Instr.is_memory i then
+        let access_elem =
+          if Instr.is_store i then Ty.elem (Value.ty i.Defs.ops.(0)) else Ty.elem i.Defs.ty
+        in
+        match Address.of_instr i with
+        | Some { Address.base = Defs.Arg a; _ } -> (
+            match a.Defs.arg_ty with
+            | Ty.Ptr buffer ->
+                if Ty.scalar_is_float buffer <> Ty.scalar_is_float access_elem then
+                  acc :=
+                    Finding.v ~check:"memory-kind" Finding.Error f i
+                      (Printf.sprintf "%s access to the %s buffer %s"
+                         (Ty.scalar_to_string access_elem)
+                         (Ty.scalar_to_string buffer) a.Defs.arg_name)
+                    :: !acc
+                else if not (Ty.scalar_equal buffer access_elem) then
+                  acc :=
+                    Finding.v ~check:"memory-kind" Finding.Warning f i
+                      (Printf.sprintf "%s access to the %s buffer %s (width mismatch)"
+                         (Ty.scalar_to_string access_elem)
+                         (Ty.scalar_to_string buffer) a.Defs.arg_name)
+                    :: !acc
+            | _ -> ())
+        | _ -> ())
+    f;
+  List.rev !acc
+
+(* --- redundant expressions ------------------------------------------------- *)
+
+let redundant (f : Defs.func) : Finding.t list =
+  let solution = Avail.compute f in
+  List.map
+    (fun i ->
+      Finding.v ~check:"redundant-expr" Finding.Info f i
+        "expression is already available (CSE opportunity)")
+    (Avail.redundant solution f)
+
+(* --- the suite ------------------------------------------------------------- *)
+
+let all ?bound (f : Defs.func) : Finding.t list =
+  undef_uses f @ dead_stores f @ bounds ?bound f @ memory_kinds f @ redundant f

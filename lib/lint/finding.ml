@@ -1,0 +1,44 @@
+(* Lint findings.
+
+   Every finding locates itself with the pretty-printed offending
+   instruction — the same [Instr.to_string] rendering the verifier
+   uses in its [error.where] — so the textual output of the verifier,
+   the checkers and the translation validator is uniform and can be
+   grepped the same way. *)
+
+open Snslp_ir
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  check : string; (* checker name, e.g. "dead-store" *)
+  severity : severity;
+  func : string; (* function name *)
+  where : string; (* pretty-printed offending instruction *)
+  message : string;
+}
+
+(* [v ~check sev func i msg] is a finding against instruction [i]. *)
+let v ~check severity (func : Defs.func) (i : Defs.instr) message =
+  { check; severity; func = func.Defs.fname; where = Instr.to_string i; message }
+
+(* [v_at ~check sev func where msg] locates by a raw string, for
+   findings without a single instruction (terminators, graph nodes). *)
+let v_at ~check severity (func : Defs.func) where message =
+  { check; severity; func = func.Defs.fname; where; message }
+
+let is_error f = f.severity = Error
+
+let errors fs = List.filter is_error fs
+
+let to_string f =
+  Printf.sprintf "%s: [%s] @%s: %s: %s"
+    (severity_to_string f.severity)
+    f.check f.func f.where f.message
+
+let pp ppf f = Fmt.string ppf (to_string f)

@@ -1,0 +1,30 @@
+(** Lint findings: a severity, a checker name, and the
+    pretty-printed offending instruction (the same rendering the
+    verifier's [error.where] uses). *)
+
+open Snslp_ir
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type t = {
+  check : string;  (** checker name, e.g. ["dead-store"] *)
+  severity : severity;
+  func : string;  (** function name *)
+  where : string;  (** pretty-printed offending instruction *)
+  message : string;
+}
+
+val v : check:string -> severity -> Defs.func -> Defs.instr -> string -> t
+(** A finding against an instruction; [where] is its
+    {!Snslp_ir.Instr.to_string}. *)
+
+val v_at : check:string -> severity -> Defs.func -> string -> string -> t
+(** A finding located by a raw string (terminators, graph nodes). *)
+
+val is_error : t -> bool
+val errors : t list -> t list
+
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,60 @@
+(* Liveness: the classic backward analysis over value keys.
+
+   A value is encoded as an integer key: instruction results by iid,
+   arguments by [-1 - arg_pos] (iids are non-negative, so the spaces
+   never collide).  Constants and undefs are not tracked. *)
+
+open Snslp_ir
+module S = Set.Make (Int)
+
+module L = struct
+  type t = S.t
+
+  let equal = S.equal
+  let join = S.union
+  let pp ppf s = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (S.elements s)
+end
+
+module D = Dataflow.Make (L)
+
+type solution = D.solution
+
+let key_of_value (v : Defs.value) : int option =
+  match v with
+  | Defs.Instr i -> Some i.Defs.iid
+  | Defs.Arg a -> Some (-1 - a.Defs.arg_pos)
+  | Defs.Const _ | Defs.Undef _ -> None
+
+let instr_key (i : Defs.instr) = i.Defs.iid
+let arg_key (a : Defs.arg) = -1 - a.Defs.arg_pos
+
+let transfer (i : Defs.instr) (live : S.t) : S.t =
+  let live = if Instr.has_result i then S.remove i.Defs.iid live else live in
+  Array.fold_left
+    (fun live v -> match key_of_value v with Some k -> S.add k live | None -> live)
+    live i.Defs.ops
+
+let term_transfer (t : Defs.terminator) (live : S.t) : S.t =
+  match t with
+  | Defs.Cond_br (c, _, _) -> (
+      match key_of_value c with Some k -> S.add k live | None -> live)
+  | Defs.Ret | Defs.Br _ | Defs.Unterminated -> live
+
+let compute (f : Defs.func) : solution =
+  D.solve ~term_transfer ~direction:Dataflow.Backward ~boundary:S.empty ~bottom:S.empty
+    ~transfer f
+
+let live_in = D.block_entry
+let live_out = D.block_exit
+let instr_states = D.instr_states
+
+(* [dead s f] lists pure instructions whose result is dead right after
+   their definition — what DCE would erase. *)
+let dead (s : solution) (f : Defs.func) : Defs.instr list =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun (i, below, _above) ->
+          if Instr.has_result i && not (S.mem i.Defs.iid below) then Some i else None)
+        (instr_states s b))
+    f.Defs.blocks

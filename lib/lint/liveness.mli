@@ -1,0 +1,22 @@
+(** Liveness: backward dataflow over value keys (instruction results
+    by iid, arguments by [-1 - pos]). *)
+
+open Snslp_ir
+module S : Set.S with type elt = int
+
+type solution
+
+val instr_key : Defs.instr -> int
+val arg_key : Defs.arg -> int
+val key_of_value : Defs.value -> int option
+
+val compute : Defs.func -> solution
+val live_in : solution -> Defs.block -> S.t
+val live_out : solution -> Defs.block -> S.t
+
+val instr_states : solution -> Defs.block -> (Defs.instr * S.t * S.t) list
+(** Per instruction, bottom-up: (instr, live-out, live-in). *)
+
+val dead : solution -> Defs.func -> Defs.instr list
+(** Pure instructions whose result is dead immediately after the
+    definition — what DCE would erase. *)

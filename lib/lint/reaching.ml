@@ -1,0 +1,65 @@
+(* Reaching definitions for memory: which stores may provide the
+   current content of some location at a program point.
+
+   Registers are SSA-like here (defs dominate uses, no phi), so the
+   interesting reaching-definitions instance is over stores.  A store
+   generates itself and kills every store to *provably the same*
+   location of the same width; anything weaker (unknown address,
+   partial overlap) conservatively leaves the killed set alone, so the
+   result over-approximates the set of stores that may reach. *)
+
+open Snslp_ir
+open Snslp_analysis
+module S = Set.Make (Int)
+
+module L = struct
+  type t = S.t
+
+  let equal = S.equal
+  let join = S.union
+  let pp ppf s = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (S.elements s)
+end
+
+module D = Dataflow.Make (L)
+
+type solution = { dataflow : D.solution; stores : (int, Defs.instr) Hashtbl.t }
+
+(* Stored width in elements: vector stores cover [lanes] cells. *)
+let width_of (i : Defs.instr) = Ty.lanes (Value.ty i.Defs.ops.(0))
+
+(* [same_cells a b]: both stores provably write exactly the same
+   element range. *)
+let same_cells (a : Defs.instr) (b : Defs.instr) =
+  match (Address.of_instr a, Address.of_instr b) with
+  | Some aa, Some ab ->
+      Address.same_base aa ab
+      && Affine.equal aa.Address.index ab.Address.index
+      && width_of a = width_of b
+  | _ -> false
+
+let compute (f : Defs.func) : solution =
+  let stores = Hashtbl.create 32 in
+  Func.iter_instrs (fun i -> if Instr.is_store i then Hashtbl.replace stores i.Defs.iid i) f;
+  let transfer (i : Defs.instr) (reaching : S.t) : S.t =
+    if not (Instr.is_store i) then reaching
+    else
+      S.add i.Defs.iid
+        (S.filter
+           (fun iid ->
+             match Hashtbl.find_opt stores iid with
+             | Some other -> not (same_cells i other)
+             | None -> true)
+           reaching)
+  in
+  {
+    dataflow =
+      D.solve ~direction:Dataflow.Forward ~boundary:S.empty ~bottom:S.empty ~transfer f;
+    stores;
+  }
+
+let reaching_in (s : solution) b = D.block_entry s.dataflow b
+let reaching_out (s : solution) b = D.block_exit s.dataflow b
+
+let instr_states (s : solution) b = D.instr_states s.dataflow b
+
+let store_of (s : solution) iid = Hashtbl.find_opt s.stores iid

@@ -1,0 +1,19 @@
+(** Reaching definitions over memory: the set of store iids that may
+    provide the current content of some location at each point.  A
+    store kills only stores to provably the same cells; everything
+    else is kept, so the result over-approximates. *)
+
+open Snslp_ir
+module S : Set.S with type elt = int
+
+type solution
+
+val compute : Defs.func -> solution
+val reaching_in : solution -> Defs.block -> S.t
+val reaching_out : solution -> Defs.block -> S.t
+
+val instr_states : solution -> Defs.block -> (Defs.instr * S.t * S.t) list
+(** Per instruction, top-down: (instr, reaching-before, reaching-after). *)
+
+val store_of : solution -> int -> Defs.instr option
+(** The store instruction behind an iid in a solution set. *)

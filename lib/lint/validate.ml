@@ -1,0 +1,399 @@
+(* The translation validator.
+
+   Both sides of a transformation are executed symbolically: every
+   value is normalised ({!Normal}), memory is a map from symbolic
+   locations (argument base + canonical index sum) to normalised
+   stored values with store-to-load forwarding, and control flow is
+   limited to straight lines plus the acyclic diamonds/triangles
+   if-conversion handles — a conditional's arms run on copies of the
+   memory and locations that differ merge into the same [select]
+   normal form if-conversion emits.  The final memories are then
+   compared store-by-store.
+
+   Three-valued outcome: [Valid] (same stored locations, same normal
+   forms, possibly within coefficient tolerance), [Unknown] (one side
+   fell outside the supported fragment: loops, vector arguments,
+   unresolvable addresses, distribution blow-up), [Mismatch] (a
+   location differs — pinpointed by the pretty-printed store).
+
+   The memory abstraction treats distinct symbolic locations as
+   disjoint.  That is applied to both sides identically, and the
+   passes never reorder may-aliasing accesses (the dependence analysis
+   is conservative), so a transformation that is correct under the
+   concrete memory is [Valid] here and an APO sign error stays a
+   [Mismatch]. *)
+
+open Snslp_ir
+
+type verdict = Valid | Unknown of string | Mismatch of { where : string; detail : string }
+
+let verdict_to_string = function
+  | Valid -> "valid"
+  | Unknown reason -> "unknown: " ^ reason
+  | Mismatch { where; detail } -> Printf.sprintf "mismatch at %s: %s" where detail
+
+let pp_verdict ppf v = Fmt.string ppf (verdict_to_string v)
+
+exception Give_up of string
+
+let give_up fmt = Printf.ksprintf (fun s -> raise (Give_up s)) fmt
+
+(* --- Symbolic state ------------------------------------------------------ *)
+
+type nv =
+  | Scalar of Normal.t
+  | Vec of Normal.t array
+  | Ptr_to of int * Normal.t (* argument base position, i64 element index *)
+
+type entry = {
+  base : int;
+  index : Normal.t;
+  value : Normal.t;
+  stored : bool; (* false = merge residue of an untouched location *)
+  writer : Defs.instr option; (* last store, for pinpointing *)
+}
+
+type state = {
+  env : (int, nv) Hashtbl.t; (* iid -> symbolic value *)
+  mutable mem : (string, entry) Hashtbl.t;
+  cells : (string, Normal.t) Hashtbl.t;
+      (* initial-content atoms already materialised, by location key:
+         pre-CSE IR re-loads the same cell many times *)
+  mutable budget : int; (* executed blocks; guards against cycles *)
+}
+
+let loc_key base (index : Normal.t) =
+  string_of_int base ^ "|" ^ Normal.skey index
+
+let loc_to_string (e : entry) =
+  Printf.sprintf "arg%d[%s]" e.base (Normal.to_string e.index)
+
+(* Lane offsets are tiny non-negative ints; share the sums. *)
+let idx_memo = Array.init 16 (fun n -> Normal.of_lit Ty.I64 (Lit.int n))
+
+let idx knd n =
+  let s = if n >= 0 && n < 16 then idx_memo.(n) else Normal.of_lit Ty.I64 (Lit.int n) in
+  Normal.retype knd s
+
+(* --- Values -------------------------------------------------------------- *)
+
+let nv_of (st : state) (v : Defs.value) : nv =
+  match v with
+  | Defs.Const { ty; lit } ->
+      if Ty.is_vector ty then give_up "vector constant"
+      else Scalar (Normal.of_lit (Ty.elem ty) lit)
+  | Defs.Undef ty ->
+      if Ty.is_vector ty then
+        Vec (Array.init (Ty.lanes ty) (fun _ -> Normal.undef (Ty.elem ty)))
+      else Scalar (Normal.undef (Ty.elem ty))
+  | Defs.Arg a -> (
+      match a.Defs.arg_ty with
+      | Ty.Ptr _ -> Ptr_to (a.Defs.arg_pos, Normal.zero Ty.I64)
+      | Ty.Scalar s -> Scalar (Normal.of_atom s (Normal.Arg a.Defs.arg_pos))
+      | Ty.Vector _ -> give_up "vector argument")
+  | Defs.Instr i -> (
+      match Hashtbl.find_opt st.env i.Defs.iid with
+      | Some v -> v
+      | None -> give_up "use of %%%s before its definition" i.Defs.iname)
+
+let scalar_of st v =
+  match nv_of st v with
+  | Scalar s -> s
+  | Vec _ -> give_up "expected a scalar value"
+  | Ptr_to _ -> give_up "pointer used as a scalar"
+
+let lanes_of st v ~lanes =
+  match nv_of st v with
+  | Vec a when Array.length a = lanes -> a
+  | Vec _ -> give_up "lane count mismatch"
+  | Scalar s when lanes = 1 -> [| s |]
+  | Scalar _ | Ptr_to _ -> give_up "expected a vector value"
+
+let addr_of st v =
+  match nv_of st v with
+  | Ptr_to (base, index) -> (base, Normal.retype Ty.I64 index)
+  | Scalar _ | Vec _ -> give_up "address is not a pointer"
+
+let lane_const (v : Defs.value) =
+  match Value.as_const_int v with Some l -> l | None -> give_up "non-constant lane index"
+
+(* --- Memory -------------------------------------------------------------- *)
+
+let read (st : state) knd base index =
+  let key = loc_key base index in
+  match Hashtbl.find_opt st.mem key with
+  | Some e -> e.value
+  | None -> (
+      match Hashtbl.find_opt st.cells key with
+      | Some v when Ty.scalar_equal v.Normal.knd knd -> v
+      | _ ->
+          let v = Normal.of_atom knd (Normal.Cell { base; index }) in
+          Hashtbl.replace st.cells key v;
+          v)
+
+let write (st : state) (i : Defs.instr) base index value =
+  Hashtbl.replace st.mem (loc_key base index)
+    { base; index; value; stored = true; writer = Some i }
+
+(* --- Instructions --------------------------------------------------------- *)
+
+let exec_instr (st : state) (i : Defs.instr) : unit =
+  let set v = Hashtbl.replace st.env i.Defs.iid v in
+  let knd = Ty.elem i.Defs.ty in
+  let lanes = Ty.lanes i.Defs.ty in
+  match i.Defs.op with
+  | Defs.Binop b ->
+      if Ty.is_vector i.Defs.ty then
+        let x = lanes_of st i.Defs.ops.(0) ~lanes and y = lanes_of st i.Defs.ops.(1) ~lanes in
+        set (Vec (Array.map2 (Normal.binop b) x y))
+      else
+        set (Scalar (Normal.binop b (scalar_of st i.Defs.ops.(0)) (scalar_of st i.Defs.ops.(1))))
+  | Defs.Alt_binop kinds ->
+      let x = lanes_of st i.Defs.ops.(0) ~lanes and y = lanes_of st i.Defs.ops.(1) ~lanes in
+      set (Vec (Array.mapi (fun k xl -> Normal.binop kinds.(k) xl y.(k)) x))
+  | Defs.Gep ->
+      let base, index = addr_of st i.Defs.ops.(0) in
+      let off = Normal.retype Ty.I64 (scalar_of st i.Defs.ops.(1)) in
+      set (Ptr_to (base, Normal.add index off))
+  | Defs.Load ->
+      let base, index = addr_of st i.Defs.ops.(0) in
+      if Ty.is_vector i.Defs.ty then
+        set (Vec (Array.init lanes (fun k -> read st knd base (Normal.add index (idx Ty.I64 k)))))
+      else set (Scalar (read st knd base index))
+  | Defs.Store ->
+      let v = i.Defs.ops.(0) in
+      let base, index = addr_of st i.Defs.ops.(1) in
+      let n = Ty.lanes (Value.ty v) in
+      if n = 1 then write st i base index (scalar_of st v)
+      else
+        Array.iteri
+          (fun k lane -> write st i base (Normal.add index (idx Ty.I64 k)) lane)
+          (lanes_of st v ~lanes:n)
+  | Defs.Insert ->
+      let vec =
+        match nv_of st i.Defs.ops.(0) with
+        | Vec a -> Array.copy a
+        | Scalar _ | Ptr_to _ -> give_up "insert into a non-vector"
+      in
+      let l = lane_const i.Defs.ops.(2) in
+      if l < 0 || l >= Array.length vec then give_up "insert lane out of range";
+      vec.(l) <- scalar_of st i.Defs.ops.(1);
+      set (Vec vec)
+  | Defs.Extract ->
+      let src = lanes_of st i.Defs.ops.(0) ~lanes:(Ty.lanes (Value.ty i.Defs.ops.(0))) in
+      let l = lane_const i.Defs.ops.(1) in
+      if l < 0 || l >= Array.length src then give_up "extract lane out of range";
+      set (Scalar src.(l))
+  | Defs.Shuffle mask ->
+      let n = Ty.lanes (Value.ty i.Defs.ops.(0)) in
+      let v1 = lanes_of st i.Defs.ops.(0) ~lanes:n and v2 = lanes_of st i.Defs.ops.(1) ~lanes:n in
+      set
+        (Vec
+           (Array.map
+              (fun m ->
+                if m < 0 || m >= 2 * n then give_up "shuffle mask out of range"
+                else if m < n then v1.(m)
+                else v2.(m - n))
+              mask))
+  | Defs.Icmp c ->
+      let nx = Ty.lanes (Value.ty i.Defs.ops.(0)) in
+      if nx = 1 then
+        set (Scalar (Normal.icmp knd c (scalar_of st i.Defs.ops.(0)) (scalar_of st i.Defs.ops.(1))))
+      else
+        let x = lanes_of st i.Defs.ops.(0) ~lanes:nx and y = lanes_of st i.Defs.ops.(1) ~lanes:nx in
+        set (Vec (Array.map2 (Normal.icmp knd c) x y))
+  | Defs.Fcmp c ->
+      let nx = Ty.lanes (Value.ty i.Defs.ops.(0)) in
+      if nx = 1 then
+        set (Scalar (Normal.fcmp knd c (scalar_of st i.Defs.ops.(0)) (scalar_of st i.Defs.ops.(1))))
+      else
+        let x = lanes_of st i.Defs.ops.(0) ~lanes:nx and y = lanes_of st i.Defs.ops.(1) ~lanes:nx in
+        set (Vec (Array.map2 (Normal.fcmp knd c) x y))
+  | Defs.Select ->
+      if lanes = 1 then
+        let cond = scalar_of st i.Defs.ops.(0) in
+        set
+          (Scalar
+             (Normal.select ~cond (scalar_of st i.Defs.ops.(1)) (scalar_of st i.Defs.ops.(2))))
+      else
+        let conds =
+          if Ty.is_vector (Value.ty i.Defs.ops.(0)) then lanes_of st i.Defs.ops.(0) ~lanes
+          else Array.make lanes (scalar_of st i.Defs.ops.(0))
+        in
+        let t = lanes_of st i.Defs.ops.(1) ~lanes and e = lanes_of st i.Defs.ops.(2) ~lanes in
+        set (Vec (Array.init lanes (fun k -> Normal.select ~cond:conds.(k) t.(k) e.(k))))
+
+(* --- Control flow --------------------------------------------------------- *)
+
+(* Blocks reachable from [b] (inclusive), by bid. *)
+let reachable (b : Defs.block) : (int, Defs.block) Hashtbl.t =
+  let seen = Hashtbl.create 8 in
+  let rec go b =
+    if not (Hashtbl.mem seen b.Defs.bid) then begin
+      Hashtbl.replace seen b.Defs.bid b;
+      List.iter go (Block.successors b)
+    end
+  in
+  go b;
+  seen
+
+(* The join of a conditional: the unique common reachable block from
+   which every other common block is still reachable (the earliest
+   common point on a DAG).  [None] when the arms never meet again. *)
+let find_join (t : Defs.block) (e : Defs.block) : Defs.block option =
+  let rt = reachable t and re = reachable e in
+  let common =
+    Hashtbl.fold (fun bid b acc -> if Hashtbl.mem re bid then (bid, b) :: acc else acc) rt []
+  in
+  match common with
+  | [] -> None
+  | _ -> (
+      let is_join (_, j) =
+        let rj = reachable j in
+        List.for_all (fun (bid, _) -> Hashtbl.mem rj bid) common
+      in
+      match List.filter is_join common with
+      | [ (_, j) ] -> Some j
+      | [] -> give_up "conditional arms re-join ambiguously"
+      | joins ->
+          (* Several candidates can only happen on a cycle. *)
+          give_up "cyclic control flow (%d join candidates)" (List.length joins))
+
+let merge_memories (st : state) cond (mem0 : (string, entry) Hashtbl.t) mt me =
+  let merged = Hashtbl.create (Hashtbl.length mt) in
+  let resolve (side : entry option) (other : entry) =
+    match side with
+    | Some e -> e
+    | None -> (
+        (* Untouched by this arm: the pre-branch content. *)
+        match Hashtbl.find_opt mem0 (loc_key other.base other.index) with
+        | Some e -> e
+        | None ->
+            {
+              other with
+              value = Normal.of_atom other.value.Normal.knd
+                  (Normal.Cell { base = other.base; index = other.index });
+              stored = false;
+              writer = None;
+            })
+  in
+  let visit key (any : entry) =
+    if not (Hashtbl.mem merged key) then begin
+      let et = Hashtbl.find_opt mt key and ee = Hashtbl.find_opt me key in
+      let t = resolve et any and e = resolve ee any in
+      let entry =
+        if Normal.equal t.value e.value then
+          { any with value = t.value; stored = t.stored || e.stored;
+            writer = (if t.stored then t.writer else e.writer) }
+        else
+          {
+            any with
+            value = Normal.select ~cond t.value e.value;
+            stored = true;
+            writer = (match (t.writer, e.writer) with Some w, _ | None, Some w -> Some w | _ -> None);
+          }
+      in
+      Hashtbl.replace merged key entry
+    end
+  in
+  Hashtbl.iter visit mt;
+  Hashtbl.iter visit me;
+  st.mem <- merged
+
+let max_blocks = 10_000
+
+let rec exec_from (st : state) (b : Defs.block) ~(stop : Defs.block option) : unit =
+  match stop with
+  | Some s when Block.equal s b -> ()
+  | _ ->
+      st.budget <- st.budget - 1;
+      if st.budget <= 0 then give_up "control flow too large or cyclic";
+      List.iter (exec_instr st) b.Defs.instrs;
+      (match b.Defs.term with
+      | Defs.Ret -> ()
+      | Defs.Unterminated -> give_up "unterminated block %s" b.Defs.bname
+      | Defs.Br next -> exec_from st next ~stop
+      | Defs.Cond_br (c, t, e) ->
+          let cond = scalar_of st c in
+          let join = find_join t e in
+          let mem0 = st.mem in
+          st.mem <- Hashtbl.copy mem0;
+          exec_from st t ~stop:join;
+          let mt = st.mem in
+          st.mem <- Hashtbl.copy mem0;
+          exec_from st e ~stop:join;
+          let me = st.mem in
+          merge_memories st cond mem0 mt me;
+          (match join with Some j -> exec_from st j ~stop | None -> ()))
+
+let exec (f : Defs.func) : (string, entry) Hashtbl.t =
+  let st =
+    {
+      env = Hashtbl.create 64;
+      mem = Hashtbl.create 32;
+      cells = Hashtbl.create 32;
+      budget = max_blocks;
+    }
+  in
+  exec_from st (Func.entry f) ~stop:None;
+  st.mem
+
+(* --- Comparison ------------------------------------------------------------ *)
+
+let truncate s = if String.length s > 160 then String.sub s 0 157 ^ "..." else s
+
+let where_of (e : entry) =
+  match e.writer with Some i -> Instr.to_string i | None -> loc_to_string e
+
+(* A captured side of a comparison: the symbolic memory a function
+   leaves behind, or the reason it fell outside the supported
+   fragment.  Capturing once and comparing many times is what makes
+   per-pass validation affordable — the IR a pass produces is the IR
+   the next pass receives, so the pipeline chains snapshots instead of
+   re-executing both sides at every step. *)
+type snapshot = ((string, entry) Hashtbl.t, string) result
+
+let capture (f : Defs.func) : snapshot =
+  match exec f with
+  | mem -> Ok mem
+  | exception Give_up reason -> Error reason
+  | exception Normal.Too_big -> Error "normal form too large"
+  | exception Invalid_argument reason -> Error reason
+  | exception Not_found -> Error "internal lookup failure"
+
+(* [compare_snapshots pre post] validates that [post] stores the same
+   normal forms to the same locations as [pre]. *)
+let compare_snapshots ?(tolerance = 1e-6) (pre : snapshot) (post : snapshot) : verdict =
+  match (pre, post) with
+  | Error reason, _ -> Unknown (Printf.sprintf "input side: %s" reason)
+  | _, Error reason -> Unknown (Printf.sprintf "output side: %s" reason)
+  | Ok mpre, Ok mpost -> (
+      let stored m = Hashtbl.fold (fun k e acc -> if e.stored then (k, e) :: acc else acc) m [] in
+      let verdict = ref Valid in
+      let fail where detail =
+        match !verdict with Mismatch _ -> () | _ -> verdict := Mismatch { where; detail }
+      in
+      List.iter
+        (fun (k, (e : entry)) ->
+          match Hashtbl.find_opt mpost k with
+          | Some e' when e'.stored ->
+              if not (Normal.equal e.value e'.value || Normal.close ~tol:tolerance e.value e'.value)
+              then
+                fail (where_of e')
+                  (Printf.sprintf "%s: stored value differs: %s vs %s" (loc_to_string e)
+                     (truncate (Normal.to_string e.value))
+                     (truncate (Normal.to_string e'.value)))
+          | _ ->
+              fail (where_of e)
+                (Printf.sprintf "%s: stored only by the input side" (loc_to_string e)))
+        (stored mpre);
+      List.iter
+        (fun (k, (e : entry)) ->
+          if not (match Hashtbl.find_opt mpre k with Some e0 -> e0.stored | None -> false) then
+            fail (where_of e)
+              (Printf.sprintf "%s: stored only by the output side" (loc_to_string e)))
+        (stored mpost);
+      !verdict)
+
+let compare_funcs ?tolerance (pre : Defs.func) (post : Defs.func) : verdict =
+  compare_snapshots ?tolerance (capture pre) (capture post)

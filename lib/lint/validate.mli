@@ -1,0 +1,38 @@
+(** The translation validator: symbolic execution of both sides of a
+    transformation into {!Normal} forms with store-forwarding memory
+    and ifconv-shaped conditional merging, followed by a
+    store-by-store comparison of the final memories. *)
+
+open Snslp_ir
+
+type verdict =
+  | Valid
+  | Unknown of string
+      (** one side fell outside the supported fragment (loops, vector
+          arguments, unresolvable addresses, distribution blow-up) *)
+  | Mismatch of { where : string; detail : string }
+      (** [where] is the pretty-printed store whose value differs *)
+
+val verdict_to_string : verdict -> string
+val pp_verdict : verdict Fmt.t
+
+type snapshot
+(** One captured side of a comparison: the symbolic memory the
+    function leaves behind, or the reason it fell outside the
+    supported fragment (reported as [Unknown] when compared). *)
+
+val capture : Defs.func -> snapshot
+(** Symbolically execute [f] once.  Capturing is the expensive half of
+    validation; a snapshot can be compared any number of times, so a
+    pass pipeline chains them — the snapshot taken after pass [n] is
+    the pre-state of pass [n+1]. *)
+
+val compare_snapshots : ?tolerance:float -> snapshot -> snapshot -> verdict
+(** [compare_snapshots pre post] validates that [post] stores the same
+    normal forms to the same symbolic locations as [pre].
+    [tolerance] (default [1e-6]) is the relative coefficient slack
+    absorbing float constant-folding grouping differences. *)
+
+val compare_funcs : ?tolerance:float -> Defs.func -> Defs.func -> verdict
+(** [compare_funcs pre post] is
+    [compare_snapshots (capture pre) (capture post)]. *)

@@ -15,27 +15,31 @@ module Pool = Snslp_parallel.Pool
 let jobs_of_setting (setting : Pipeline.setting) =
   match setting with Some c -> max 1 c.Config.jobs | None -> 1
 
-let run_with_pool ?verify_each pool (setting : Pipeline.setting)
+let run_with_pool ?verify_each ?validate pool (setting : Pipeline.setting)
     (funcs : Defs.func list) =
   (* One scratch per worker, indexed by the pool's worker id; a
      scratch therefore never crosses domains. *)
   let scratches = Array.init (Pool.size pool) (fun _ -> Vectorize.scratch_create ()) in
   Pool.map_list pool
     (fun ~worker func ->
-      Pipeline.run ~scratch:scratches.(worker) ~setting ?verify_each func)
+      Pipeline.run ~scratch:scratches.(worker) ~setting ?verify_each ?validate func)
     funcs
 
-let run_all ?pool ?jobs ?verify_each ~(setting : Pipeline.setting)
+let run_all ?pool ?jobs ?verify_each ?validate ~(setting : Pipeline.setting)
     (funcs : Defs.func list) : Pipeline.result list =
   match pool with
-  | Some p -> run_with_pool ?verify_each p setting funcs
+  | Some p -> run_with_pool ?verify_each ?validate p setting funcs
   | None ->
       let jobs = match jobs with Some j -> max 1 j | None -> jobs_of_setting setting in
       if jobs = 1 then
         (* No pool machinery at all on the sequential path. *)
         let scratch = Vectorize.scratch_create () in
-        List.map (fun func -> Pipeline.run ~scratch ~setting ?verify_each func) funcs
-      else Pool.with_pool ~jobs (fun p -> run_with_pool ?verify_each p setting funcs)
+        List.map
+          (fun func -> Pipeline.run ~scratch ~setting ?verify_each ?validate func)
+          funcs
+      else
+        Pool.with_pool ~jobs (fun p ->
+            run_with_pool ?verify_each ?validate p setting funcs)
 
 let merged_stats (results : Pipeline.result list) : Stats.t =
   List.fold_left

@@ -20,6 +20,7 @@ val run_all :
   ?pool:Snslp_parallel.Pool.t ->
   ?jobs:int ->
   ?verify_each:bool ->
+  ?validate:bool ->
   setting:Pipeline.setting ->
   Defs.func list ->
   Pipeline.result list
@@ -29,8 +30,8 @@ val run_all :
     [?pool] if given; otherwise a fresh pool of [?jobs] workers
     (default: {!jobs_of_setting}) is created and shut down around the
     call.  Each worker domain owns one {!Vectorize.scratch}, created
-    here and never shared.  [verify_each] passes through to
-    {!Pipeline.run}. *)
+    here and never shared.  [verify_each] and [validate] (the
+    translation validator) pass through to {!Pipeline.run}. *)
 
 val merged_stats : Pipeline.result list -> Stats.t
 (** Fold of the per-item vectorizer stats with {!Stats.merge}, in

@@ -11,11 +11,25 @@ open Snslp_vectorizer
 
 type timing = { pass : string; seconds : float }
 
+(* The translation-validation record of one pipeline run: one verdict
+   per recorded rewriting pass (checking just that pass's step), the
+   invariant violations of every SLP graph the vectorizer built, a
+   whole-pipeline verdict, and the seconds the validator itself
+   consumed (kept apart from pass timings so the overhead experiment
+   can report validator cost against vectorize cost). *)
+type validation = {
+  pass_verdicts : (string * Snslp_lint.Validate.verdict) list;
+  graph_findings : string list;
+  end_verdict : Snslp_lint.Validate.verdict;
+  validate_seconds : float;
+}
+
 type result = {
   func : Defs.func;
   vect_report : Vectorize.report option; (* None under -O3 (no vectorizer) *)
   timings : timing list;
   total_seconds : float;
+  validation : validation option; (* Some iff [~validate:true] *)
 }
 
 (* Vectorizer setting: [None] models the paper's "O3" configuration
@@ -37,15 +51,21 @@ let timed name f =
   let r = f () in
   ({ pass = name; seconds = now_s () -. t0 }, r)
 
-(* [run ?scratch ?setting ?verify_each func] optimises a copy of
-   [func] and returns it; the input function is not modified.
+(* [run ?scratch ?setting ?verify_each ?validate func] optimises a
+   copy of [func] and returns it; the input function is not modified.
    [scratch] is the calling domain's vectorizer scratch state (see
    {!Vectorize.scratch}) — it must belong to the domain making this
    call.  [verify_each] (default: the setting's [Config.verify_each],
    false under -O3) re-verifies the IR after every recorded pass and
-   raises {!Verifier.Invalid_ir} naming the pass that broke it. *)
+   raises {!Verifier.Invalid_ir} naming the pass that broke it.
+   [validate] additionally runs the translation validator after every
+   rewriting pass (comparing against the IR the pass received), checks
+   the structural invariants of every SLP graph the vectorizer builds,
+   and records a whole-pipeline verdict; [tolerance] is the relative
+   float tolerance the validator accepts (reassociated float constant
+   folding shifts rounding). *)
 let run ?scratch ?(setting : setting = Some Config.snslp) ?verify_each
-    (func : Defs.func) : result =
+    ?(validate = false) ?tolerance (func : Defs.func) : result =
   let verify_each =
     match verify_each with
     | Some v -> v
@@ -54,40 +74,115 @@ let run ?scratch ?(setting : setting = Some Config.snslp) ?verify_each
   in
   let f = Func.clone func in
   let timings = ref [] in
-  let record (t : timing) =
+  let pass_verdicts = ref [] in
+  let graph_findings = ref [] in
+  let validate_seconds = ref 0. in
+  (* Capture the symbolic memory each recorded pass starts from, so
+     every verdict pinpoints a single pass.  The IR a pass produces is
+     the IR the next pass receives, so one capture per pass suffices:
+     the post-snapshot of pass [n] is the pre-snapshot of pass [n+1],
+     and the first and last snapshots back the end-to-end verdict for
+     free.  The final "verify" pass never rewrites, so it gets no
+     verdict. *)
+  let first_snap = ref None in
+  let prev_snap =
+    ref
+      (if validate then begin
+         let t0 = now_s () in
+         let s = Snslp_lint.Validate.capture f in
+         validate_seconds := !validate_seconds +. (now_s () -. t0);
+         first_snap := Some s;
+         Some s
+       end
+       else None)
+  in
+  (* [changed = false] asserts the pass reported zero rewrites;
+     unchanged IR validates to [Valid] with no fresh capture. *)
+  let validated ~changed name =
+    match !prev_snap with
+    | None -> ()
+    | Some pre when name <> "verify" ->
+        if changed then begin
+          let t0 = now_s () in
+          let cur = Snslp_lint.Validate.capture f in
+          let v = Snslp_lint.Validate.compare_snapshots ?tolerance pre cur in
+          validate_seconds := !validate_seconds +. (now_s () -. t0);
+          pass_verdicts := (name, v) :: !pass_verdicts;
+          prev_snap := Some cur
+        end
+        else pass_verdicts := (name, Snslp_lint.Validate.Valid) :: !pass_verdicts
+    | Some _ -> ()
+  in
+  let record ?(changed = true) (t : timing) =
     timings := t :: !timings;
-    if verify_each then
-      match Verifier.check f with
-      | Ok () -> ()
-      | Error report ->
-          raise (Verifier.Invalid_ir (Printf.sprintf "after pass %s: %s" t.pass report))
+    (if verify_each then
+       match Verifier.check f with
+       | Ok () -> ()
+       | Error report ->
+           raise (Verifier.Invalid_ir (Printf.sprintf "after pass %s: %s" t.pass report)));
+    validated ~changed t.pass
+  in
+  let on_graph =
+    if validate then
+      Some (fun g -> graph_findings := !graph_findings @ Invariants.check g)
+    else None
   in
   let t0 = now_s () in
-  let t, _ = timed "fold" (fun () -> Fold.run f) in
-  record t;
-  let t, _ = timed "simplify" (fun () -> Simplify.run f) in
-  record t;
-  let t, _ = timed "cse" (fun () -> Cse.run f) in
-  record t;
+  let t, n = timed "fold" (fun () -> Fold.run f) in
+  record ~changed:(n > 0) t;
+  let t, n = timed "simplify" (fun () -> Simplify.run f) in
+  record ~changed:(n > 0) t;
+  let t, n = timed "cse" (fun () -> Cse.run f) in
+  record ~changed:(n > 0) t;
   let t, converted = timed "ifconv" (fun () -> Ifconv.run f) in
-  record t;
+  record ~changed:(converted > 0) t;
   (* Flattening branches exposes duplicates CSE could not see across
      blocks. *)
   if converted > 0 then begin
-    let t, _ = timed "cse2" (fun () -> Cse.run f) in
-    record t
+    let t, n = timed "cse2" (fun () -> Cse.run f) in
+    record ~changed:(n > 0) t
   end;
   let vect_report =
     match setting with
     | None -> None
     | Some config ->
-        let t, rep = timed "slp" (fun () -> Vectorize.run ?scratch config f) in
-        record t;
+        let t, rep =
+          timed "slp" (fun () -> Vectorize.run ?scratch ?on_graph config f)
+        in
+        (* The vectorizer only rewrites when it commits a profitable
+           tree; an all-rejected run leaves the IR untouched. *)
+        record
+          ~changed:
+            (List.exists (fun tr -> tr.Vectorize.vectorized) rep.Vectorize.trees)
+          t;
         Some rep
   in
-  let t, _ = timed "dce" (fun () -> Dce.run f) in
-  record t;
+  let t, n = timed "dce" (fun () -> Dce.run f) in
+  record ~changed:(n > 0) t;
   let t, () = timed "verify" (fun () -> Verifier.verify_exn f) in
   record t;
   let total_seconds = now_s () -. t0 in
-  { func = f; vect_report; timings = List.rev !timings; total_seconds }
+  let validation =
+    if not validate then None
+    else begin
+      (* The whole-pipeline verdict compares the untouched input
+         against the final IR — the end-to-end guarantee the per-pass
+         verdicts decompose.  Both snapshots are already captured: the
+         input's, and the last recorded pass's (the "verify" pass that
+         follows never rewrites). *)
+      let tv0 = now_s () in
+      let end_verdict =
+        Snslp_lint.Validate.compare_snapshots ?tolerance
+          (Option.get !first_snap) (Option.get !prev_snap)
+      in
+      validate_seconds := !validate_seconds +. (now_s () -. tv0);
+      Some
+        {
+          pass_verdicts = List.rev !pass_verdicts;
+          graph_findings = !graph_findings;
+          end_verdict;
+          validate_seconds = !validate_seconds;
+        }
+    end
+  in
+  { func = f; vect_report; timings = List.rev !timings; total_seconds; validation }

@@ -7,11 +7,24 @@ open Snslp_vectorizer
 
 type timing = { pass : string; seconds : float }
 
+type validation = {
+  pass_verdicts : (string * Snslp_lint.Validate.verdict) list;
+      (** one verdict per recorded rewriting pass, in pass order *)
+  graph_findings : string list;
+      (** structural-invariant violations of built SLP graphs *)
+  end_verdict : Snslp_lint.Validate.verdict;
+      (** original input vs final output *)
+  validate_seconds : float;
+      (** time the validator itself consumed (excluded from pass
+          timings) *)
+}
+
 type result = {
   func : Defs.func;
   vect_report : Vectorize.report option; (** [None] under plain -O3 *)
   timings : timing list;
   total_seconds : float;
+  validation : validation option; (** [Some] iff run with [~validate:true] *)
 }
 
 type setting = Config.t option
@@ -24,6 +37,8 @@ val run :
   ?scratch:Vectorize.scratch ->
   ?setting:setting ->
   ?verify_each:bool ->
+  ?validate:bool ->
+  ?tolerance:float ->
   Defs.func ->
   result
 (** Optimises a clone; the input function is not modified.  Defaults
@@ -32,4 +47,8 @@ val run :
     domains).  [verify_each] (default: the setting's
     [Config.verify_each]) re-verifies the IR after every pass and
     raises {!Snslp_ir.Verifier.Invalid_ir} naming the pass that broke
-    it. *)
+    it.  [validate] (default false) runs the translation validator
+    after every rewriting pass, checks the invariants of every built
+    SLP graph, and records a whole-pipeline verdict in
+    [result.validation]; [tolerance] is the validator's relative float
+    tolerance (default 1e-6). *)

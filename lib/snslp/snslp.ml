@@ -55,6 +55,18 @@ module Cost = Snslp_vectorizer.Cost
 module Codegen = Snslp_vectorizer.Codegen
 module Reduction = Snslp_vectorizer.Reduction
 module Vectorize = Snslp_vectorizer.Vectorize
+module Invariants = Snslp_vectorizer.Invariants
+
+(* Static analysis and translation validation *)
+module Lint = Snslp_lint.Lint
+module Lint_finding = Snslp_lint.Finding
+module Lint_dataflow = Snslp_lint.Dataflow
+module Lint_liveness = Snslp_lint.Liveness
+module Lint_reaching = Snslp_lint.Reaching
+module Lint_avail = Snslp_lint.Avail
+module Lint_checks = Snslp_lint.Checks
+module Normal = Snslp_lint.Normal
+module Validate = Snslp_lint.Validate
 
 (* Execution substrate *)
 module Rvalue = Snslp_interp.Rvalue

@@ -1,0 +1,9 @@
+(** Structural invariants of a built SLP graph, re-derived
+    independently of the builder: bundle schedulability under a fresh
+    dependence analysis, lane isomorphism, consecutive memory
+    bundles, alternating-mask/APO agreement, child operand
+    consistency. *)
+
+val check : Graph.t -> string list
+(** Violation descriptions (with pretty-printed lane instructions);
+    empty when the invariants hold. *)

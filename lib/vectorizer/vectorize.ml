@@ -55,7 +55,7 @@ let count_kind (g : Graph.t) kindp =
    reachability windows survive across rejected and retried seeds. *)
 let try_seed (config : Config.t) (stats : Stats.t) trees func block
     ~(scratch : scratch option) ~(shared_deps : Deps.t option) ~(dirty : bool ref)
-    (seed : Defs.instr list) : bool =
+    ~(on_graph : (Graph.t -> unit) option) (seed : Defs.instr list) : bool =
   (* Earlier trees may have consumed these stores. *)
   if not (List.for_all (Block.mem block) seed) then false
   else begin
@@ -86,6 +86,7 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
     with
     | None -> false
     | Some g ->
+        (match on_graph with Some f -> f g | None -> ());
         stats.Stats.graphs_built <- stats.Stats.graphs_built + 1;
         stats.Stats.nodes_formed <- stats.Stats.nodes_formed + List.length (Graph.nodes g);
         stats.Stats.gathers <-
@@ -138,7 +139,7 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
    vector width; stores of rejected groups (and the short tail of the
    run) are retried at the next narrower power-of-two width, as LLVM's
    SLP does.  The function is verified after every rewrite. *)
-let run ?scratch (config : Config.t) (func : Defs.func) : report =
+let run ?scratch ?on_graph (config : Config.t) (func : Defs.func) : report =
   (* A scratch's memo may hold entries for the previous function this
      domain processed; instruction ids are only unique per function. *)
   (match scratch with Some s -> Lookahead.cache_clear s.lookahead | None -> ());
@@ -176,7 +177,7 @@ let run ?scratch (config : Config.t) (func : Defs.func) : report =
                         (fun seed ->
                           if
                             try_seed config stats trees func block ~scratch
-                              ~shared_deps ~dirty seed
+                              ~shared_deps ~dirty ~on_graph seed
                           then []
                           else seed)
                         groups

@@ -23,6 +23,9 @@ type scratch
 
 val scratch_create : unit -> scratch
 
-val run : ?scratch:scratch -> Config.t -> Defs.func -> report
+val run :
+  ?scratch:scratch -> ?on_graph:(Graph.t -> unit) -> Config.t -> Defs.func -> report
 (** Vectorizes in place; the function is verified afterwards.
-    [scratch] must belong to the calling domain. *)
+    [scratch] must belong to the calling domain.  [on_graph] observes
+    every successfully built SLP graph before the cost decision
+    (invariant checking hooks); it must not rewrite the IR. *)

@@ -1,0 +1,522 @@
+(* Tests for lib/lint: the dataflow engine instances, the checker
+   suite, the translation validator, the vectorizer graph invariants,
+   and the lint/validation sweep over every evaluation asset. *)
+
+open Snslp_ir
+open Snslp_lint
+module Oracle = Snslp_fuzzer.Oracle
+module Gen = Snslp_fuzzer.Gen
+module Pipeline = Snslp_passes.Pipeline
+module Config = Snslp_vectorizer.Config
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let compile = Snslp_frontend.Frontend.compile_one
+
+(* --- Dataflow: liveness ---------------------------------------------------- *)
+
+(* entry:  %g = gep A, 0
+           %x = load %g
+           %y = fadd %x, %x      (stored: live)
+           %z = fadd %x, %x      (unused: dead)
+           store %y, %g          *)
+let test_liveness_straightline () =
+  let f = Func.create ~name:"lv" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let g = Builder.gep b a (Value.const_int 0) in
+  let x = Builder.load b (Instr.value g) in
+  let y = Builder.add b (Instr.value x) (Instr.value x) in
+  let z = Builder.add b (Instr.value x) (Instr.value x) in
+  ignore (Builder.store b (Instr.value y) (Instr.value g));
+  Builder.ret b;
+  let sol = Liveness.compute f in
+  (* Nothing is live out of the function... *)
+  check_int "live-out empty" 0 (Liveness.S.cardinal (Liveness.live_out sol entry));
+  (* ...and on entry only the argument is. *)
+  check "arg live on entry" true
+    (Liveness.S.mem (Liveness.arg_key (Func.arg f 0)) (Liveness.live_in sol entry));
+  check "x not live on entry" false
+    (Liveness.S.mem (Liveness.instr_key x) (Liveness.live_in sol entry));
+  (* Below the definition of %y, %y and %g are live (the store reads
+     both), %z is not. *)
+  let states = Liveness.instr_states sol entry in
+  let _, live_below_y, _ =
+    List.find (fun (i, _, _) -> i == y) states
+  in
+  check "y live below its def" true (Liveness.S.mem (Liveness.instr_key y) live_below_y);
+  check "g live below y" true (Liveness.S.mem (Liveness.instr_key g) live_below_y);
+  check "z dead below y" false (Liveness.S.mem (Liveness.instr_key z) live_below_y);
+  (* The dead-instruction view agrees with DCE's verdict. *)
+  (match Liveness.dead sol f with
+  | [ d ] -> check "only z is dead" true (d == z)
+  | l -> Alcotest.failf "expected exactly %%z dead, got %d instrs" (List.length l))
+
+(* Liveness across a diamond: a value defined in the entry block and
+   used in only one arm must be live into that arm and not the other. *)
+let test_liveness_diamond () =
+  let f =
+    compile
+      {|
+kernel d(double A[], double B[], long i) {
+  if (i < 4) { A[i] = B[i] * 2.0; } else { A[0] = 1.0; }
+}
+|}
+  in
+  let sol = Liveness.compute f in
+  let block name = List.find (fun (b : Defs.block) -> b.Defs.bname = name) f.Defs.blocks in
+  let uses_b blk =
+    Liveness.S.exists
+      (fun k -> k = Liveness.arg_key (Func.arg f 1))
+      (Liveness.live_in sol blk)
+  in
+  let arms =
+    List.filter
+      (fun (b : Defs.block) -> b != Func.entry f && Block.successors b <> [])
+      f.Defs.blocks
+  in
+  (match arms with
+  | [ _; _ ] -> ()
+  | _ -> Alcotest.fail "expected a two-arm diamond");
+  check "B live into exactly one arm" true
+    (List.length (List.filter uses_b arms) = 1);
+  ignore block
+
+(* --- Dataflow: reaching stores --------------------------------------------- *)
+
+let test_reaching_stores () =
+  let f = Func.create ~name:"rs" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let g0 = Builder.gep b a (Value.const_int 0) in
+  let g1 = Builder.gep b a (Value.const_int 1) in
+  let x = Builder.load b (Instr.value g0) in
+  let s1 = Builder.store b (Instr.value x) (Instr.value g0) in
+  let s2 = Builder.store b (Instr.value x) (Instr.value g0) in
+  let s3 = Builder.store b (Instr.value x) (Instr.value g1) in
+  Builder.ret b;
+  let sol = Reaching.compute f in
+  let out = Reaching.reaching_out sol entry in
+  check "overwritten store killed" false (Reaching.S.mem s1.Defs.iid out);
+  check "covering store reaches" true (Reaching.S.mem s2.Defs.iid out);
+  check "disjoint store reaches" true (Reaching.S.mem s3.Defs.iid out);
+  check "iids resolve back to stores" true
+    (match Reaching.store_of sol s2.Defs.iid with Some i -> i == s2 | None -> false)
+
+(* --- Dataflow: available expressions --------------------------------------- *)
+
+let test_avail_load_killed_by_store () =
+  let f = Func.create ~name:"av" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let g0 = Builder.gep b a (Value.const_int 0) in
+  let g0' = Builder.gep b a (Value.const_int 0) in
+  let x = Builder.load b (Instr.value g0) in
+  ignore (Builder.store b (Instr.value x) (Instr.value g0));
+  let x' = Builder.load b (Instr.value g0) in
+  ignore (Builder.store b (Instr.value x') (Instr.value g0'));
+  Builder.ret b;
+  let sol = Avail.compute f in
+  let redundant = Avail.redundant sol f in
+  (* The repeated gep is available again; the reload is not (the store
+     killed every load expression). *)
+  check "gep is redundant" true (List.memq g0' redundant);
+  check "reload after store is not redundant" false (List.memq x' redundant)
+
+(* --- Checkers -------------------------------------------------------------- *)
+
+let test_check_undef () =
+  let f = Func.create ~name:"ud" ~args:[ ("x", Ty.f64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let x = Defs.Arg (Func.arg f 0) in
+  ignore (Builder.add b x (Defs.Undef Ty.f64));
+  Builder.ret b;
+  match Checks.undef_uses f with
+  | [ fd ] ->
+      check "severity" true (Finding.is_error fd);
+      check "where is the pretty-printed instr" true
+        (String.length fd.Finding.where > 0
+        && String.sub fd.Finding.where 0 1 = "%")
+  | l -> Alcotest.failf "expected 1 undef finding, got %d" (List.length l)
+
+let test_check_dead_store () =
+  let f = Func.create ~name:"ds" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let g0 = Builder.gep b a (Value.const_int 0) in
+  let x = Builder.load b (Instr.value g0) in
+  ignore (Builder.store b (Instr.value x) (Instr.value g0));
+  ignore (Builder.store b (Instr.value x) (Instr.value g0));
+  Builder.ret b;
+  check_int "one dead store" 1 (List.length (Checks.dead_stores f));
+  (* An intervening load of the same cell keeps the first store alive. *)
+  let f2 = Func.create ~name:"ds2" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry2 = Func.add_block f2 "entry" in
+  let b2 = Builder.create f2 ~at:entry2 in
+  let a2 = Defs.Arg (Func.arg f2 0) in
+  let h0 = Builder.gep b2 a2 (Value.const_int 0) in
+  let y = Builder.load b2 (Instr.value h0) in
+  ignore (Builder.store b2 (Instr.value y) (Instr.value h0));
+  let y' = Builder.load b2 (Instr.value h0) in
+  ignore (Builder.store b2 (Instr.value y') (Instr.value h0));
+  Builder.ret b2;
+  check_int "intervening load keeps it live" 0 (List.length (Checks.dead_stores f2))
+
+let test_check_bounds () =
+  let f = Func.create ~name:"ob" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let gneg = Builder.gep b a (Value.const_int (-1)) in
+  let x = Builder.load b (Instr.value gneg) in
+  let gpast = Builder.gep b a (Value.const_int 6) in
+  ignore (Builder.store b (Instr.value x) (Instr.value gpast));
+  Builder.ret b;
+  check_int "negative index alone" 1 (List.length (Checks.bounds f));
+  check_int "negative index + past the end" 2 (List.length (Checks.bounds ~bound:4 f));
+  check_int "large enough buffer" 1 (List.length (Checks.bounds ~bound:16 f))
+
+let test_check_memory_kind () =
+  let f = Func.create ~name:"mk" ~args:[ ("A", Ty.ptr Ty.F64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let g0 = Builder.gep b a (Value.const_int 0) in
+  let x = Builder.load b (Instr.value g0) in
+  ignore (Builder.store b (Instr.value x) (Instr.value g0));
+  Builder.ret b;
+  check_int "well-typed access is silent" 0 (List.length (Checks.memory_kinds f));
+  (* Mutate the load into an integer access to the float buffer — the
+     shape Memory.read rejects at runtime.  The store forwarding the
+     retyped value is flagged too. *)
+  x.Defs.ty <- Ty.i64;
+  (match Checks.memory_kinds f with
+  | [ fd; fd' ] ->
+      check "cross-kind load is an error" true (Finding.is_error fd);
+      check "cross-kind store is an error" true (Finding.is_error fd')
+  | l -> Alcotest.failf "expected 2 memory-kind findings, got %d" (List.length l));
+  (* A same-kind width change is only a warning. *)
+  x.Defs.ty <- Ty.f32;
+  match Checks.memory_kinds f with
+  | fd :: rest ->
+      check "width mismatch is a warning" false (Finding.is_error fd);
+      check "no error among width findings" true (Finding.errors rest = [])
+  | [] -> Alcotest.fail "expected width-mismatch findings"
+
+(* --- Verifier messages carry the pretty-printed instruction ---------------- *)
+
+let test_verifier_where_pretty () =
+  let f = Func.create ~name:"vw" ~args:[ ("P", Ty.ptr Ty.I64) ] in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let p = Defs.Arg (Func.arg f 0) in
+  let x = Builder.load b p in
+  Builder.ret b;
+  (* Retype the load into a float read through the i64 pointer: the
+     builder refuses to construct this, so mutate after the fact. *)
+  x.Defs.ty <- Ty.f64;
+  match Verifier.verify f with
+  | [] -> Alcotest.fail "expected a verifier error"
+  | e :: _ ->
+      check "where is the whole instruction" true
+        (String.equal e.Verifier.where (Instr.to_string x))
+
+(* --- The translation validator --------------------------------------------- *)
+
+let build_store_of ~name emit =
+  let f =
+    Func.create ~name ~args:[ ("A", Ty.ptr Ty.F64); ("B", Ty.ptr Ty.F64) ]
+  in
+  let entry = Func.add_block f "entry" in
+  let b = Builder.create f ~at:entry in
+  let a = Defs.Arg (Func.arg f 0) in
+  let load_a k =
+    Instr.value (Builder.load b (Instr.value (Builder.gep b a (Value.const_int k))))
+  in
+  let out = Builder.gep b (Defs.Arg (Func.arg f 1)) (Value.const_int 0) in
+  let v = emit b load_a in
+  ignore (Builder.store b v (Instr.value out));
+  Builder.ret b;
+  f
+
+let test_validate_reassociation () =
+  (* (a+b)+c vs (c+a)+b: same signed multiset, Valid. *)
+  let pre =
+    build_store_of ~name:"re1" (fun b la ->
+        let x = Builder.add b (la 0) (la 1) in
+        Instr.value (Builder.add b (Instr.value x) (la 2)))
+  in
+  let post =
+    build_store_of ~name:"re2" (fun b la ->
+        let x = Builder.add b (la 2) (la 0) in
+        Instr.value (Builder.add b (Instr.value x) (la 1)))
+  in
+  match Validate.compare_funcs pre post with
+  | Validate.Valid -> ()
+  | v -> Alcotest.failf "expected valid, got %s" (Validate.verdict_to_string v)
+
+let test_validate_inverse_cancellation () =
+  (* a + b - b normalises to a: the inverse-element pair cancels. *)
+  let pre =
+    build_store_of ~name:"iv1" (fun b la ->
+        let x = Builder.add b (la 0) (la 1) in
+        Instr.value (Builder.sub b (Instr.value x) (la 1)))
+  in
+  let post = build_store_of ~name:"iv2" (fun _ la -> la 0) in
+  match Validate.compare_funcs pre post with
+  | Validate.Valid -> ()
+  | v -> Alcotest.failf "expected valid, got %s" (Validate.verdict_to_string v)
+
+let test_validate_mul_div_inverse () =
+  (* (a*b)/b normalises to a: the multiplicative inverse pair. *)
+  let pre =
+    build_store_of ~name:"md1" (fun b la ->
+        let x = Builder.mul b (la 0) (la 1) in
+        Instr.value (Builder.div b (Instr.value x) (la 1)))
+  in
+  let post = build_store_of ~name:"md2" (fun _ la -> la 0) in
+  match Validate.compare_funcs pre post with
+  | Validate.Valid -> ()
+  | v -> Alcotest.failf "expected valid, got %s" (Validate.verdict_to_string v)
+
+let test_validate_sign_flip_mismatch () =
+  let pre =
+    build_store_of ~name:"sf1" (fun b la -> Instr.value (Builder.add b (la 0) (la 1)))
+  in
+  let post =
+    build_store_of ~name:"sf2" (fun b la -> Instr.value (Builder.sub b (la 0) (la 1)))
+  in
+  match Validate.compare_funcs pre post with
+  | Validate.Mismatch { where; _ } ->
+      check "mismatch pinpoints the store" true
+        (String.length where > 0 && String.sub where 0 5 = "store")
+  | v -> Alcotest.failf "expected mismatch, got %s" (Validate.verdict_to_string v)
+
+let test_validate_missing_store_mismatch () =
+  let pre =
+    build_store_of ~name:"ms1" (fun b la -> Instr.value (Builder.add b (la 0) (la 1)))
+  in
+  let post = Func.clone pre in
+  (* Drop the store on the output side. *)
+  Block.discard_if (Func.entry post) (fun i -> Instr.is_store i);
+  match Validate.compare_funcs pre post with
+  | Validate.Mismatch _ -> ()
+  | v -> Alcotest.failf "expected mismatch, got %s" (Validate.verdict_to_string v)
+
+let test_validate_loop_unknown () =
+  let f = Func.create ~name:"lp" ~args:[ ("A", Ty.ptr Ty.F64); ("i", Ty.i64) ] in
+  let entry = Func.add_block f "entry" in
+  let body = Func.add_block f "body" in
+  let b = Builder.create f ~at:entry in
+  Builder.br b body;
+  Builder.position b body;
+  let i = Defs.Arg (Func.arg f 1) in
+  let c = Builder.icmp b Defs.Lt i (Value.const_int 4) in
+  Builder.cond_br b (Instr.value c) body entry;
+  match Validate.compare_funcs f (Func.clone f) with
+  | Validate.Unknown _ -> ()
+  | v -> Alcotest.failf "expected unknown on a loop, got %s" (Validate.verdict_to_string v)
+
+let test_validate_ifconv () =
+  (* The diamond-merge path: if-conversion must validate Valid against
+     the branchy original, in both paired-store and one-armed form. *)
+  List.iter
+    (fun src ->
+      let f = compile src in
+      let g = Func.clone f in
+      ignore (Snslp_passes.Ifconv.run g);
+      match Validate.compare_funcs f g with
+      | Validate.Valid -> ()
+      | v ->
+          Alcotest.failf "ifconv of %s: expected valid, got %s" f.Defs.fname
+            (Validate.verdict_to_string v))
+    [
+      {|
+kernel d(double A[], double B[], long i) {
+  if (i < 4) { A[i] = B[i] * 2.0; } else { A[i] = B[i] + 1.0; }
+}
+|};
+      {|
+kernel t(double A[], double B[], long i) {
+  if (i < 4) { A[i] = B[i] * 2.0; }
+  A[i+8] = 1.0;
+}
+|};
+    ]
+
+(* --- Graph invariants ------------------------------------------------------ *)
+
+let test_invariants_on_registry_graphs () =
+  List.iter
+    (fun (k : Snslp_kernels.Registry.t) ->
+      let f = compile k.Snslp_kernels.Registry.source in
+      (* Scalar canonicalisation first, as the pipeline would. *)
+      ignore (Snslp_passes.Fold.run f);
+      ignore (Snslp_passes.Simplify.run f);
+      ignore (Snslp_passes.Cse.run f);
+      List.iter
+        (fun fd -> Alcotest.failf "%s: %s" k.Snslp_kernels.Registry.name
+            (Finding.to_string fd))
+        (Lint.vector_invariants Config.snslp f))
+    Snslp_kernels.Registry.all
+
+(* --- Lint sweep over the evaluation assets --------------------------------- *)
+
+let test_lint_sweep_registry () =
+  List.iter
+    (fun (k : Snslp_kernels.Registry.t) ->
+      let f = compile k.Snslp_kernels.Registry.source in
+      List.iter
+        (fun fd -> Alcotest.failf "%s: %s" k.Snslp_kernels.Registry.name
+            (Finding.to_string fd))
+        (Finding.errors (Lint.run ~bound:Oracle.buffer_size f)))
+    Snslp_kernels.Registry.all
+
+let test_lint_sweep_fullbench () =
+  List.iter
+    (fun (fb : Snslp_kernels.Fullbench.t) ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun fd -> Alcotest.failf "%s: %s" fb.Snslp_kernels.Fullbench.name
+                (Finding.to_string fd))
+            (Finding.errors (Lint.run f)))
+        (Snslp_frontend.Frontend.compile (Snslp_kernels.Fullbench.source fb)))
+    Snslp_kernels.Fullbench.all
+
+(* --- The 500-seed property ------------------------------------------------- *)
+
+let validated_settings : (string * Pipeline.setting) list =
+  [
+    ("o3", None);
+    ("slp", Some Config.vanilla);
+    ("lslp", Some Config.lslp);
+    ("snslp", Some Config.snslp);
+  ]
+
+(* Generated IR is lint-clean, and every configuration's pipeline
+   validates Valid or Unknown — never Mismatch — with no graph
+   invariant violations. *)
+let prop_generated_ir_validates =
+  QCheck.Test.make ~count:500 ~name:"generated IR lints clean and validates"
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let func = Gen.generate ~seed () in
+      (match Finding.errors (Lint.run ~bound:Oracle.buffer_size func) with
+      | [] -> ()
+      | fd :: _ ->
+          QCheck.Test.fail_reportf "seed %d: %s" seed (Finding.to_string fd));
+      let tolerance = Gen.tolerance_for func in
+      List.iter
+        (fun (name, setting) ->
+          let result = Pipeline.run ~setting ~validate:true ~tolerance func in
+          match result.Pipeline.validation with
+          | None -> QCheck.Test.fail_reportf "seed %d %s: no validation record" seed name
+          | Some v ->
+              List.iter
+                (fun (pass, verdict) ->
+                  match verdict with
+                  | Validate.Mismatch { where; detail } ->
+                      QCheck.Test.fail_reportf "seed %d %s pass %s: mismatch @%s: %s"
+                        seed name pass where detail
+                  | Validate.Valid | Validate.Unknown _ -> ())
+                v.Pipeline.pass_verdicts;
+              (match v.Pipeline.end_verdict with
+              | Validate.Mismatch { where; detail } ->
+                  QCheck.Test.fail_reportf "seed %d %s end-to-end: mismatch @%s: %s"
+                    seed name where detail
+              | Validate.Valid | Validate.Unknown _ -> ());
+              List.iter
+                (fun msg ->
+                  QCheck.Test.fail_reportf "seed %d %s: graph invariant: %s" seed name msg)
+                v.Pipeline.graph_findings)
+        validated_settings;
+      true)
+
+(* --- The static side-channel of the oracle --------------------------------- *)
+
+let flip_first_float_add (f : Defs.func) =
+  let flipped = ref false in
+  Func.iter_instrs
+    (fun i ->
+      if
+        (not !flipped)
+        && i.Defs.op = Defs.Binop Defs.Add
+        && Ty.scalar_is_float (Ty.elem i.Defs.ty)
+      then begin
+        i.Defs.op <- Defs.Binop Defs.Sub;
+        flipped := true
+      end)
+    f
+
+(* The PR-3 reduced-reproducer class must be caught by the *validator*
+   — a static proof, independent of the interpreter diff. *)
+let test_static_mismatch_on_injected_bug () =
+  let func = Ir_parser.parse Test_fuzz.reduced_repro_inverse_pair in
+  Fun.protect
+    ~finally:(fun () -> Oracle.inject_bug := None)
+    (fun () ->
+      Oracle.inject_bug := Some flip_first_float_add;
+      let findings = Oracle.run_case func in
+      check "validator flags the injected bug statically" true
+        (List.exists
+           (fun (fd : Oracle.finding) ->
+             match fd.Oracle.kind with Oracle.Static_mismatch _ -> true | _ -> false)
+           findings);
+      (* And the flag really gates the static side-channel. *)
+      let without = Oracle.run_case ~validate:false func in
+      check "no static findings with validation off" false
+        (List.exists
+           (fun (fd : Oracle.finding) ->
+             match fd.Oracle.kind with Oracle.Static_mismatch _ -> true | _ -> false)
+           without))
+
+(* Clean functions produce no static findings through the oracle. *)
+let test_oracle_validates_clean () =
+  let func = Ir_parser.parse Test_fuzz.reduced_repro_inverse_pair in
+  List.iter
+    (fun fd -> Alcotest.failf "unexpected finding: %s" (Oracle.finding_to_string fd))
+    (Oracle.run_case func)
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "liveness: straight line" `Quick test_liveness_straightline;
+        Alcotest.test_case "liveness: diamond" `Quick test_liveness_diamond;
+        Alcotest.test_case "reaching stores" `Quick test_reaching_stores;
+        Alcotest.test_case "available exprs killed by store" `Quick
+          test_avail_load_killed_by_store;
+        Alcotest.test_case "check: use of undef" `Quick test_check_undef;
+        Alcotest.test_case "check: dead store" `Quick test_check_dead_store;
+        Alcotest.test_case "check: out of bounds" `Quick test_check_bounds;
+        Alcotest.test_case "check: memory kinds" `Quick test_check_memory_kind;
+        Alcotest.test_case "verifier errors carry the instruction" `Quick
+          test_verifier_where_pretty;
+        Alcotest.test_case "validate: reassociation" `Quick test_validate_reassociation;
+        Alcotest.test_case "validate: additive inverse pair" `Quick
+          test_validate_inverse_cancellation;
+        Alcotest.test_case "validate: multiplicative inverse pair" `Quick
+          test_validate_mul_div_inverse;
+        Alcotest.test_case "validate: sign flip is a mismatch" `Quick
+          test_validate_sign_flip_mismatch;
+        Alcotest.test_case "validate: dropped store is a mismatch" `Quick
+          test_validate_missing_store_mismatch;
+        Alcotest.test_case "validate: loops are unknown" `Quick test_validate_loop_unknown;
+        Alcotest.test_case "validate: if-conversion" `Quick test_validate_ifconv;
+        Alcotest.test_case "graph invariants hold on registry kernels" `Quick
+          test_invariants_on_registry_graphs;
+        Alcotest.test_case "lint sweep: registry" `Quick test_lint_sweep_registry;
+        Alcotest.test_case "lint sweep: fullbench" `Slow test_lint_sweep_fullbench;
+        QCheck_alcotest.to_alcotest prop_generated_ir_validates;
+        Alcotest.test_case "oracle: static mismatch on injected bug" `Quick
+          test_static_mismatch_on_injected_bug;
+        Alcotest.test_case "oracle: clean case stays clean" `Quick
+          test_oracle_validates_clean;
+      ] );
+  ]
