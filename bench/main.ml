@@ -310,17 +310,17 @@ let memo_vs_legacy ~depth ~rounds (func : Snslp_ir.Defs.func) =
   let mk memoize =
     Some { Config.snslp with Config.lookahead_depth = depth; Config.memoize }
   in
-  ignore (Pipeline.run ~setting:(mk true) func);
-  ignore (Pipeline.run ~setting:(mk false) func);
+  ignore (Pipeline.run ~setting:(mk Config.On) func);
+  ignore (Pipeline.run ~setting:(mk Config.Off) func);
   let memo_s = ref 0.0 and legacy_s = ref 0.0 in
   let stats = ref (Stats.create ()) in
   for _ = 1 to rounds do
-    let m = Pipeline.run ~setting:(mk true) func in
+    let m = Pipeline.run ~setting:(mk Config.On) func in
     memo_s := !memo_s +. m.Pipeline.total_seconds;
     (match m.Pipeline.vect_report with
     | Some rep -> stats := rep.Vectorize.stats
     | None -> ());
-    let l = Pipeline.run ~setting:(mk false) func in
+    let l = Pipeline.run ~setting:(mk Config.Off) func in
     legacy_s := !legacy_s +. l.Pipeline.total_seconds
   done;
   let n = float_of_int rounds in
@@ -340,7 +340,7 @@ let memo_identity ~depth (kernels : Registry.t list) =
         in
         Snslp_ir.Printer.func_to_string (Pipeline.run ~setting func).Pipeline.func
       in
-      if not (String.equal (ir true) (ir false)) then (
+      if not (String.equal (ir Config.On) (ir Config.Off) && String.equal (ir Config.On) (ir Config.Auto)) then (
         pr "  !! %s: memoized and legacy outputs differ at depth %d@." k.Registry.name
           depth;
         exit 1))
@@ -510,7 +510,10 @@ let wall_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 let parallel_run ~jobs (funcs : Snslp_ir.Defs.func list) =
   let setting = Some { Config.snslp with Config.jobs = jobs } in
   let t0 = wall_s () in
-  let results = Snslp_driver.Driver.run_all ~setting funcs in
+  (* The adaptive driver clamps [jobs] to the cores and the work on
+     the table — on a 1-core container every point runs inline, which
+     is exactly the regression fix the sweep guards. *)
+  let results = Snslp_driver.Driver.run_all_adaptive ~setting funcs in
   let dt = wall_s () -. t0 in
   (dt, results)
 
@@ -564,16 +567,22 @@ let parallel_report ~samples ~rounds ~jobs_list ~(kernels : Registry.t list) () 
         in
         let mean = Stat.mean times in
         let best = List.fold_left min (List.hd times) times in
-        (jobs, mean, best))
+        let eff =
+          Snslp_driver.Driver.adaptive_jobs
+            (Some { Config.snslp with Config.jobs = jobs })
+            funcs
+        in
+        (jobs, eff, mean, best))
       jobs_list
   in
-  let _, _, base_best = List.hd measured in
+  let _, _, _, base_best = List.hd measured in
   let rows =
     List.map
-      (fun (jobs, mean, best) ->
+      (fun (jobs, eff, mean, best) ->
         let speedup = base_best /. best in
         [
           string_of_int jobs;
+          string_of_int eff;
           Printf.sprintf "%.1f" (mean *. 1e3);
           Printf.sprintf "%.1f" (best *. 1e3);
           Printf.sprintf "%.2fx" speedup;
@@ -582,24 +591,36 @@ let parallel_report ~samples ~rounds ~jobs_list ~(kernels : Registry.t list) () 
       measured
   in
   emit ~name:"parallel"
-    ~headers:[ "jobs"; "mean ms"; "best ms"; "speedup"; "" ]
+    ~headers:[ "jobs"; "effective"; "mean ms"; "best ms"; "speedup"; "" ]
     rows;
   let speedup_at j =
     List.fold_left
-      (fun acc (jobs, _, best) -> if jobs = j then Some (base_best /. best) else acc)
+      (fun acc (jobs, _, _, best) -> if jobs = j then Some (base_best /. best) else acc)
       None measured
   in
   let j4 = match speedup_at 4 with Some s -> s | None -> 1.0 in
   let applicable = cores >= 4 in
+  (* The low-core guard: with the adaptive clamp, oversubscribed jobs
+     values run inline, so every sweep point must stay within noise of
+     jobs=1 when the machine cannot scale. *)
+  let worst =
+    List.fold_left (fun acc (_, _, _, best) -> min acc (base_best /. best)) infinity
+      measured
+  in
+  let low_core_ok = worst >= 0.8 in
   pr "  determinism across jobs values: %s@."
     (if !determinism_ok then "identical IR and counters (PASS)" else "MISMATCH (FAIL)");
   if applicable then
     pr "  speedup at jobs=4: %.2fx %s@." j4
       (if j4 >= 1.8 then "(criterion >= 1.8x: PASS)" else "(criterion >= 1.8x: FAIL)")
-  else
+  else begin
     pr "  speedup at jobs=4: %.2fx — criterion >= 1.8x needs >= 4 cores, this machine \
         has %d; recorded, not judged@."
       j4 cores;
+    pr "  worst sweep point %.2fx of jobs=1 %s@." worst
+      (if low_core_ok then "(low-core criterion >= 0.8x: PASS)"
+       else "(low-core criterion >= 0.8x: FAIL)")
+  end;
   Json.write "BENCH_parallel.json"
     (Json.Obj
        [
@@ -612,10 +633,11 @@ let parallel_report ~samples ~rounds ~jobs_list ~(kernels : Registry.t list) () 
          ( "sweep",
            Json.List
              (List.map
-                (fun (jobs, mean, best) ->
+                (fun (jobs, eff, mean, best) ->
                   Json.Obj
                     [
                       ("jobs", Json.Int jobs);
+                      ("effective_jobs", Json.Int eff);
                       ("mean_s", Json.Float mean);
                       ("best_s", Json.Float best);
                       ("speedup_vs_jobs1", Json.Float (base_best /. best));
@@ -625,19 +647,24 @@ let parallel_report ~samples ~rounds ~jobs_list ~(kernels : Registry.t list) () 
            Json.Obj
              [
                ( "jobs_values",
-                 Json.List (List.map (fun (j, _, _) -> Json.Int j) measured) );
+                 Json.List (List.map (fun (j, _, _, _) -> Json.Int j) measured) );
                ("identical_ir_and_counters", Json.Bool !determinism_ok);
              ] );
          ( "headline",
            Json.Obj
              [
                ("jobs4_speedup", Json.Float j4);
+               ("worst_sweep_speedup", Json.Float worst);
                ( "criterion",
                  Json.String
                    ">= 1.8x wall-clock speedup at jobs=4 over jobs=1 on the full \
-                    registry sweep (memoize=true); requires >= 4 physical cores" );
+                    registry sweep when >= 4 cores are available; on fewer cores \
+                    the adaptive clamp must keep every jobs value within noise \
+                    (>= 0.8x) of jobs=1" );
                ("criterion_applicable", Json.Bool applicable);
-               ("pass", Json.Bool (if applicable then j4 >= 1.8 else !determinism_ok));
+               ( "pass",
+                 Json.Bool
+                   (if applicable then j4 >= 1.8 else !determinism_ok && low_core_ok) );
              ] );
        ]);
   pr "  wrote BENCH_parallel.json@.";
@@ -1137,6 +1164,347 @@ let interp () =
   interp_report ~kernels:Registry.all ~iters:64 ~oracle_iters:256 ~oracle_reps:3
     ~rounds:3 ~campaign_cases:300 ()
 
+(* --- Compile service: semantic cache, daemon throughput, adaptive memo ------
+
+   The snslpd service benchmark (BENCH_service.json):
+
+   1. registry replay through the protocol loop, cold server vs warm
+      cache — the headline, criterion >= 5x;
+   2. semantic equivalence: structurally distinct but equivalent
+      sources answered from one cache entry (>= 1 hit-semantic);
+   3. sustained single-request throughput and latency percentiles on
+      a fresh server (first round cold, the rest warm);
+   4. Config.memoize = Auto vs the legacy path on every registry
+      kernel — Auto must never lose (>= 1.0x within noise), because
+      below the threshold it *is* the legacy path. *)
+
+module Service = Snslp_service.Server
+module Scache = Snslp_service.Cache
+module Sproto = Snslp_service.Protocol
+
+let compile_frame mode src =
+  let lines = String.split_on_char '\n' (String.trim src) in
+  Printf.sprintf "compile %s %d" mode (List.length lines) :: lines
+
+(* Run one whole protocol conversation against [server] from a queue
+   of request lines; returns the response lines. *)
+let converse server lines =
+  let inq = Queue.create () in
+  List.iter (fun l -> Queue.add l inq) lines;
+  let out = ref [] in
+  Service.serve server
+    ~reader:(fun () -> Queue.take_opt inq)
+    ~writer:(fun l -> out := l :: !out);
+  List.rev !out
+
+let responses_of lines =
+  let q = Queue.create () in
+  List.iter (fun l -> Queue.add l q) lines;
+  let rec go acc =
+    match Sproto.read_response (fun () -> Queue.take_opt q) with
+    | None -> List.rev acc
+    | Some (Ok r) -> go (r :: acc)
+    | Some (Error e) ->
+        pr "  !! malformed service response: %s@." e;
+        exit 1
+  in
+  go []
+
+let compiled_irs lines =
+  List.filter_map
+    (function Sproto.Compiled { ir; _ } -> Some ir | _ -> None)
+    (responses_of lines)
+
+let compiled_statuses lines =
+  List.concat_map
+    (function Sproto.Compiled { statuses; _ } -> statuses | _ -> [])
+    (responses_of lines)
+
+(* Structurally different, semantically equal source pairs: the cache
+   must answer the second from the first's entry. *)
+let semantic_pairs =
+  [
+    ( "reassoc-add-sub",
+      {|
+kernel reassoc(long A[], long B[], long C[], long D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = D[i+1] - C[i+1] + B[i+1];
+}
+|},
+      {|
+kernel reassoc(long A[], long B[], long C[], long D[], long i) {
+  A[i+0] = D[i+0] + B[i+0] - C[i+0];
+  A[i+1] = B[i+1] - C[i+1] + D[i+1];
+}
+|} );
+    ( "mul-div-cancel",
+      {|
+kernel cancel(float A[], float B[], float C[], long i) {
+  A[i+0] = B[i+0] * C[i+0] / C[i+0];
+  A[i+1] = B[i+1] * C[i+1] / C[i+1];
+}
+|},
+      {|
+kernel cancel(float A[], float B[], float C[], long i) {
+  A[i+0] = B[i+0];
+  A[i+1] = B[i+1];
+}
+|} );
+  ]
+
+let percentile p xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      a.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+
+let service_report ~kernels ~replay_rounds ~rounds () =
+  pr "%s" (Table.section "Service: snslpd compile cache (cold vs warm registry replay)");
+  (* Part 1: the whole registry as one batch through the protocol
+     loop.  The first conversation compiles everything; repeats cost
+     parsing, hashing and printing only. *)
+  let server = Service.create () in
+  let batch_lines =
+    (Printf.sprintf "batch %d" (List.length kernels)
+    :: List.concat_map
+         (fun (k : Registry.t) -> compile_frame "sn-slp" k.Registry.source)
+         kernels)
+    @ [ "quit" ]
+  in
+  let time_conv lines =
+    let t0 = wall_s () in
+    let out = converse server lines in
+    (wall_s () -. t0, out)
+  in
+  let cold_s, cold_out = time_conv batch_lines in
+  let warm_s = ref infinity and warm_out = ref [] in
+  for _ = 1 to rounds do
+    let dt, out = time_conv batch_lines in
+    if dt < !warm_s then begin
+      warm_s := dt;
+      warm_out := out
+    end
+  done;
+  let warm_s = !warm_s in
+  (* A cache answer must be byte-identical to the fresh compile. *)
+  let bit_identical = compiled_irs cold_out = compiled_irs !warm_out in
+  if not bit_identical then pr "  !! warm replay IR differs from cold (FAIL)@.";
+  (* Two registry kernels may legitimately share a semantic entry —
+     the warm guard only requires that nothing recompiles. *)
+  let warm_all_hits =
+    List.for_all
+      (fun s -> s = "hit-textual" || s = "hit-semantic")
+      (compiled_statuses !warm_out)
+  in
+  if not warm_all_hits then pr "  !! warm replay missed the cache (FAIL)@.";
+  let warm_speedup = cold_s /. Float.max warm_s 1e-9 in
+  emit ~name:"service-replay"
+    ~headers:[ "phase"; "kernels"; "wall ms"; "speedup" ]
+    [
+      [ "cold"; string_of_int (List.length kernels); Printf.sprintf "%.2f" (cold_s *. 1e3); "1.00x" ];
+      [
+        "warm";
+        string_of_int (List.length kernels);
+        Printf.sprintf "%.2f" (warm_s *. 1e3);
+        Printf.sprintf "%.2fx" warm_speedup;
+      ];
+    ];
+  (* Part 2: semantic hits — the variant compiles to an answer the
+     cache already holds under a different structure. *)
+  let sem_rows =
+    List.map
+      (fun (name, original, variant) ->
+        let status resp =
+          match resp with
+          | Sproto.Compiled { statuses; _ } -> String.concat "," statuses
+          | Sproto.Err e -> "err: " ^ e
+          | Sproto.Stats_reply _ -> "?"
+        in
+        let first = status (List.hd (Service.handle_batch server [ Ok ("sn-slp", original) ])) in
+        let second = status (List.hd (Service.handle_batch server [ Ok ("sn-slp", variant) ])) in
+        (name, first, second))
+      semantic_pairs
+  in
+  emit ~name:"service-semantic"
+    ~headers:[ "equivalence pair"; "original"; "variant" ]
+    (List.map (fun (n, a, b) -> [ n; a; b ]) sem_rows);
+  let semantic_hits =
+    List.length (List.filter (fun (_, _, b) -> b = "hit-semantic") sem_rows)
+  in
+  (* Part 3: sustained single-request stream on a fresh server — the
+     first round is all misses, the rest all hits; latency is per
+     request as a synchronous client observes it. *)
+  let tserver = Service.create () in
+  let stream =
+    List.concat
+      (List.init replay_rounds (fun _ ->
+           List.concat_map
+             (fun (k : Registry.t) -> compile_frame "sn-slp" k.Registry.source)
+             kernels))
+    @ [ "quit" ]
+  in
+  let t0 = wall_s () in
+  let _ = converse tserver stream in
+  let elapsed = wall_s () -. t0 in
+  let nreq = replay_rounds * List.length kernels in
+  let kps = float_of_int nreq /. Float.max elapsed 1e-9 in
+  let lat = Service.latencies_s tserver in
+  let p50 = percentile 50.0 lat and p99 = percentile 99.0 lat in
+  let c = Scache.counters (Service.cache tserver) in
+  emit ~name:"service-throughput"
+    ~headers:[ "requests"; "kernels/s"; "hit rate"; "p50 ms"; "p99 ms" ]
+    [
+      [
+        string_of_int nreq;
+        Printf.sprintf "%.0f" kps;
+        Printf.sprintf "%.2f" (Scache.hit_rate c);
+        Printf.sprintf "%.3f" (p50 *. 1e3);
+        Printf.sprintf "%.3f" (p99 *. 1e3);
+      ];
+    ];
+  (* Part 4: adaptive memoization.  Auto resolves per function from
+     the instruction count; below the threshold it takes the legacy
+     path, so it can only tie (within timer noise) or win. *)
+  let memo_rows =
+    List.map
+      (fun (k : Registry.t) ->
+        let func = Snslp_frontend.Frontend.compile_one k.Registry.source in
+        let instrs = Snslp_ir.Func.num_instrs func in
+        (* Interleave the two arms round by round: measuring one arm's
+           rounds back to back lets GC state drift bias sub-millisecond
+           timings by 10-20%. *)
+        let run memoize () =
+          ignore (Pipeline.run ~setting:(Some { Config.snslp with Config.memoize }) func)
+        in
+        let auto = run Config.Auto and legacy = run Config.Off in
+        auto ();
+        legacy ();
+        let auto_s = ref infinity and legacy_s = ref infinity in
+        for _ = 1 to max 5 rounds do
+          let t0 = wall_s () in
+          auto ();
+          let d = wall_s () -. t0 in
+          if d < !auto_s then auto_s := d;
+          let t0 = wall_s () in
+          legacy ();
+          let d = wall_s () -. t0 in
+          if d < !legacy_s then legacy_s := d
+        done;
+        let auto_s = !auto_s and legacy_s = !legacy_s in
+        let resolved =
+          (Config.resolve_memo ~num_instrs:instrs
+             { Config.snslp with Config.memoize = Config.Auto })
+            .Config.memoize
+        in
+        (k.Registry.name, instrs, resolved, auto_s, legacy_s, legacy_s /. auto_s))
+      kernels
+  in
+  emit ~name:"service-memo-auto"
+    ~headers:[ "kernel"; "instrs"; "auto resolves"; "auto ms"; "legacy ms"; "ratio" ]
+    (List.map
+       (fun (name, instrs, resolved, auto_s, legacy_s, ratio) ->
+         [
+           name;
+           string_of_int instrs;
+           Config.memo_to_string resolved;
+           Printf.sprintf "%.2f" (auto_s *. 1e3);
+           Printf.sprintf "%.2f" (legacy_s *. 1e3);
+           Printf.sprintf "%.2fx" ratio;
+         ])
+       memo_rows);
+  let auto_worst =
+    List.fold_left (fun acc (_, _, _, _, _, r) -> min acc r) infinity memo_rows
+  in
+  (* 10% timer-noise tolerance on the tie: below the threshold both
+     arms run the same code, and the small kernels compile in well
+     under a millisecond. *)
+  let auto_ok = auto_worst >= 0.9 in
+  let pass =
+    warm_speedup >= 5.0 && semantic_hits >= 1 && bit_identical && warm_all_hits
+    && auto_ok
+  in
+  pr "  warm replay speedup %.2fx %s@." warm_speedup
+    (if warm_speedup >= 5.0 then "(criterion >= 5x: PASS)" else "(criterion >= 5x: FAIL)");
+  pr "  semantic cache hits: %d/%d pairs %s@." semantic_hits (List.length sem_rows)
+    (if semantic_hits >= 1 then "(criterion >= 1: PASS)" else "(criterion >= 1: FAIL)");
+  pr "  memoize=Auto worst ratio vs legacy: %.2fx %s@." auto_worst
+    (if auto_ok then "(criterion >= 1.0x within 10% noise: PASS)"
+     else "(criterion >= 1.0x within 10% noise: FAIL)");
+  Json.write "BENCH_service.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-service/1");
+         ( "replay",
+           Json.Obj
+             [
+               ("kernels", Json.Int (List.length kernels));
+               ("cold_s", Json.Float cold_s);
+               ("warm_best_s", Json.Float warm_s);
+               ("warm_speedup", Json.Float warm_speedup);
+               ("warm_all_hits", Json.Bool warm_all_hits);
+               ("bit_identical", Json.Bool bit_identical);
+             ] );
+         ( "semantic",
+           Json.List
+             (List.map
+                (fun (name, first, second) ->
+                  Json.Obj
+                    [
+                      ("pair", Json.String name);
+                      ("original", Json.String first);
+                      ("variant", Json.String second);
+                    ])
+                sem_rows) );
+         ( "throughput",
+           Json.Obj
+             [
+               ("requests", Json.Int nreq);
+               ("elapsed_s", Json.Float elapsed);
+               ("kernels_per_sec", Json.Float kps);
+               ("hit_rate", Json.Float (Scache.hit_rate c));
+               ("p50_ms", Json.Float (p50 *. 1e3));
+               ("p99_ms", Json.Float (p99 *. 1e3));
+               ("hits_semantic", Json.Int c.Scache.hits_semantic);
+               ("hits_textual", Json.Int c.Scache.hits_textual);
+               ("misses", Json.Int c.Scache.misses);
+             ] );
+         ( "memoize_auto",
+           Json.List
+             (List.map
+                (fun (name, instrs, resolved, auto_s, legacy_s, ratio) ->
+                  Json.Obj
+                    [
+                      ("kernel", Json.String name);
+                      ("instrs", Json.Int instrs);
+                      ("auto_resolves", Json.String (Config.memo_to_string resolved));
+                      ("auto_s", Json.Float auto_s);
+                      ("legacy_s", Json.Float legacy_s);
+                      ("ratio_vs_legacy", Json.Float ratio);
+                    ])
+                memo_rows) );
+         ( "headline",
+           Json.Obj
+             [
+               ("warm_speedup", Json.Float warm_speedup);
+               ("semantic_hits", Json.Int semantic_hits);
+               ("auto_worst_ratio", Json.Float auto_worst);
+               ( "criterion",
+                 Json.String
+                   "warm registry replay >= 5x cold through the service loop; >= 1 \
+                    semantic (not just textual) cache hit; memoize=Auto >= 1.0x the \
+                    legacy path (within 10% timer noise) on every registry kernel; \
+                    cached answers byte-identical to fresh compiles" );
+               ("pass", Json.Bool pass);
+             ] );
+       ]);
+  pr "  wrote BENCH_service.json@.";
+  if not pass then exit 1
+
+let service () = service_report ~kernels:Registry.all ~replay_rounds:20 ~rounds:5 ()
+
 (* Reduced-iteration smoke variant wired into `dune runtest` (see
    bench/dune): exercises the full reporting path, including the JSON
    emission and the memoized/legacy output-identity guard, in a few
@@ -1166,6 +1534,13 @@ let smoke () =
      sweep keeps the BENCH_lint.json plumbing and the zero-Mismatch
      criterion exercised on every test run. *)
   lint_report ~seeds:150 ~rounds:2 ();
+  (* Service smoke: in-process daemon, a cold/warm registry-subset
+     replay through the protocol loop, the semantic-hit pairs, and the
+     memoize=Auto tie guard; writes BENCH_service.json. *)
+  service_report
+    ~kernels:
+      (List.filter_map Registry.find [ "motiv_leaf"; "milc_su3"; "milc_mat_vec" ])
+    ~replay_rounds:3 ~rounds:2 ();
   pr "bench-smoke OK@."
 
 (* --- Bechamel: statistically sound compile-time microbenchmarks ------------- *)
@@ -1232,12 +1607,12 @@ let bechamel () =
   let memo_test memoize =
     let setting = Some { Config.snslp with Config.lookahead_depth = 3; Config.memoize } in
     Test.make
-      ~name:(if memoize then "memoized" else "legacy")
+      ~name:(if memoize = Config.On then "memoized" else "legacy")
       (Staged.stage (fun () -> ignore (Pipeline.run ~setting lfunc)))
   in
   let memo_tests =
     Test.make_grouped ~name:("memo/" ^ largest.Registry.name) ~fmt:"%s %s"
-      [ memo_test true; memo_test false ]
+      [ memo_test Config.On; memo_test Config.Off ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] memo_tests in
@@ -1373,6 +1748,7 @@ let experiments =
     ("fuzz", fuzz);
     ("lint", lint);
     ("interp", interp);
+    ("service", service);
     ("smoke", smoke);
     ("bechamel", bechamel);
   ]

@@ -111,6 +111,15 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
             Fmt.pr "%a@." Snslp_lint.Finding.pp x)
           (Snslp_lint.Lint.run func))
       funcs;
+  (* -j is a cap, not a mandate: the fan-out is clamped to what the
+     machine can run in parallel and what the batch can amortise, so
+     `-j 8` on a 1-core container costs nothing over `-j 1`. *)
+  let jobs =
+    Snslp_parallel.Pool.effective_jobs ~requested:jobs ~items:(List.length funcs)
+      ~total_cost:
+        (List.fold_left (fun acc f -> acc + Snslp_ir.Func.num_instrs f) 0 funcs)
+      ()
+  in
   let results =
     Snslp_driver.Driver.run_all ~jobs
       ?verify_each:(if verify_each then Some true else None)

@@ -90,8 +90,8 @@ let default_configs : (string * Pipeline.setting) list =
   let both name (c : Config.t) =
     let c = { c with Config.verify_each = true } in
     [
-      (name, Some { c with Config.memoize = true });
-      (name ^ "-nomemo", Some { c with Config.memoize = false });
+      (name, Some { c with Config.memoize = Config.On });
+      (name ^ "-nomemo", Some { c with Config.memoize = Config.Off });
     ]
   in
   (("o3", None) :: both "slp" Config.vanilla)

@@ -1,0 +1,45 @@
+(** Semantic content hashing: cache keys for compile results, built on
+    the translation validator's canonical forms.
+
+    Two semantically equivalent functions — equal stored {!Normal}
+    forms at equal symbolic locations, the relation {!Validate}
+    decides — map to the same [Semantic] key even when their
+    instruction sequences differ, so a compile cache keyed this way
+    answers reassociated or algebraically simplified variants from one
+    entry.  Functions outside the validated fragment fall back to a
+    [Structural] key (digest of the printed IR, name normalised away)
+    and therefore only ever hit on byte-identical bodies. *)
+
+open Snslp_ir
+
+type key =
+  | Semantic of string
+      (** digest of the canonical stored-memory form; shared by every
+          semantically equivalent function of the same signature *)
+  | Structural of string
+      (** digest of the printed IR with the function name normalised;
+          the conservative fallback for [Unknown]-fragment functions *)
+
+val key_to_string : key -> string
+(** Prefixed rendering ([sem:]/[str:]) — the two digest spaces can
+    never collide. *)
+
+val signature : Defs.func -> string
+(** The argument types, in position order.  Part of every cache key:
+    identical behaviour under a different header must not share. *)
+
+val structural_digest : Defs.func -> string
+(** Digest of the printed IR with [fname] normalised to ["f"].  Also
+    how a cache distinguishes a semantic hit (same key, different
+    structure) from a textual one. *)
+
+val of_func : Defs.func -> key
+(** Capture the function symbolically and digest the result;
+    [Structural] when the capture reports [Unknown]. *)
+
+val cache_key : fingerprint:string -> Defs.func -> string
+(** The full cache key:
+    [fingerprint ^ "|" ^ signature f ^ "|" ^ key_to_string (of_func f)].
+    [fingerprint] should be {!Snslp_vectorizer.Config.fingerprint} —
+    every output-relevant configuration knob, so one cache serves
+    mixed-mode request streams. *)

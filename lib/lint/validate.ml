@@ -361,6 +361,31 @@ let capture (f : Defs.func) : snapshot =
   | exception Invalid_argument reason -> Error reason
   | exception Not_found -> Error "internal lookup failure"
 
+(* The semantic digest: one hex string per observable behaviour.  Two
+   functions that store the same normal forms to the same symbolic
+   locations — however differently they compute them — fold to the
+   same line set and therefore the same digest, which is exactly the
+   equivalence [compare_snapshots] decides pairwise.  [None] when the
+   function fell outside the supported fragment: an [Unknown] snapshot
+   has no canonical form, so it must never share a digest. *)
+let snapshot_digest (s : snapshot) : string option =
+  match s with
+  | Error _ -> None
+  | Ok mem ->
+      let lines =
+        Hashtbl.fold
+          (fun key (e : entry) acc ->
+            if e.stored then (key ^ "=" ^ Normal.skey e.value) :: acc else acc)
+          mem []
+      in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        (List.sort String.compare lines);
+      Some (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
 (* [compare_snapshots pre post] validates that [post] stores the same
    normal forms to the same locations as [pre]. *)
 let compare_snapshots ?(tolerance = 1e-6) (pre : snapshot) (post : snapshot) : verdict =

@@ -27,6 +27,15 @@ val capture : Defs.func -> snapshot
     pass pipeline chains them — the snapshot taken after pass [n] is
     the pre-state of pass [n+1]. *)
 
+val snapshot_digest : snapshot -> string option
+(** A content digest of the snapshot's observable behaviour: the
+    stored locations and their {!Normal} canonical forms, sorted and
+    hashed.  Semantically equivalent functions (equal under
+    {!compare_snapshots} with zero tolerance) digest identically even
+    when their instruction sequences differ.  [None] when the capture
+    fell outside the supported fragment — an unknown behaviour has no
+    canonical form and must never share a digest. *)
+
 val compare_snapshots : ?tolerance:float -> snapshot -> snapshot -> verdict
 (** [compare_snapshots pre post] validates that [post] stores the same
     normal forms to the same symbolic locations as [pre].

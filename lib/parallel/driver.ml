@@ -41,6 +41,28 @@ let run_all ?pool ?jobs ?verify_each ?validate ~(setting : Pipeline.setting)
         Pool.with_pool ~jobs (fun p ->
             run_with_pool ?verify_each ?validate p setting funcs)
 
+(* Adaptive fan-out: size the pool from what the machine can run and
+   what the work can amortise, instead of trusting [Config.jobs]
+   verbatim.  The per-request cost estimate is the instruction count —
+   compile time is near-linear in it across the registry
+   (BENCH_compile_time.json) — and the clamp is {!Pool.effective_jobs},
+   so a single request, a 1-core container, or a batch of tiny kernels
+   all run inline with zero pool machinery.  An explicit [run_all
+   ~jobs] keeps its exact, unclamped meaning for tests and benchmarks
+   that want to force the fan-out. *)
+let adaptive_jobs (setting : Pipeline.setting) (funcs : Defs.func list) =
+  let requested = jobs_of_setting setting in
+  if requested = 1 then 1
+  else
+    let total_cost =
+      List.fold_left (fun acc f -> acc + Func.num_instrs f) 0 funcs
+    in
+    Pool.effective_jobs ~requested ~items:(List.length funcs) ~total_cost ()
+
+let run_all_adaptive ?verify_each ?validate ~(setting : Pipeline.setting)
+    (funcs : Defs.func list) : Pipeline.result list =
+  run_all ~jobs:(adaptive_jobs setting funcs) ?verify_each ?validate ~setting funcs
+
 let merged_stats (results : Pipeline.result list) : Stats.t =
   List.fold_left
     (fun acc (r : Pipeline.result) ->

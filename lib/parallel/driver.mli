@@ -33,6 +33,23 @@ val run_all :
     here and never shared.  [verify_each] and [validate] (the
     translation validator) pass through to {!Pipeline.run}. *)
 
+val adaptive_jobs : Pipeline.setting -> Defs.func list -> int
+(** The fan-out {!run_all_adaptive} will use: the setting's
+    [Config.jobs] clamped by {!Snslp_parallel.Pool.effective_jobs}
+    (available cores, item count, and summed instruction count as the
+    per-request cost estimate). *)
+
+val run_all_adaptive :
+  ?verify_each:bool ->
+  ?validate:bool ->
+  setting:Pipeline.setting ->
+  Defs.func list ->
+  Pipeline.result list
+(** {!run_all} with the fan-out adapted to the machine and the work
+    ({!adaptive_jobs}) instead of trusting [Config.jobs] verbatim —
+    a single request, a 1-core host, or a batch of tiny functions runs
+    inline.  Output is bit-identical to every other jobs value. *)
+
 val merged_stats : Pipeline.result list -> Stats.t
 (** Fold of the per-item vectorizer stats with {!Stats.merge}, in
     work-item index order — deterministic for every [jobs] value and

@@ -37,6 +37,30 @@ let size t = t.size
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* Minimum estimated work (abstract cost units; the driver charges one
+   unit per IR instruction) that must be on the table before each
+   additional worker domain pays for itself.  Calibrated against
+   BENCH_compile_time.json: SN-SLP compiles at roughly 2.5–7 us per
+   instruction, while spawning and joining a domain costs on the order
+   of 100 us — so a domain needs a few thousand instructions of work
+   to amortise.  BENCH_parallel.json showed the blind fan-out losing
+   2–4x on a 1-core container; this bound plus the core clamp is the
+   fix. *)
+let min_cost_per_domain = 2048
+
+(* [effective_jobs ~requested ~items ~total_cost] — how many workers a
+   fan-out of [items] work items with summed estimated cost
+   [total_cost] should actually use: never more than requested, than
+   the machine can run in parallel ([cores], default
+   {!recommended_jobs}), than there are items, or than the work can
+   amortise.  1 means fully inline (no domain is spawned anywhere
+   downstream).  Output never depends on the answer — only wall-clock
+   does — so clamping is always safe. *)
+let effective_jobs ?cores ~requested ~items ~total_cost () =
+  let cores = match cores with Some c -> max 1 c | None -> recommended_jobs () in
+  let by_cost = 1 + (max 0 total_cost / min_cost_per_domain) in
+  max 1 (min (min requested cores) (min items by_cost))
+
 (* Next chunk for worker [w], lock held: front of the own deque, else
    a chunk stolen from the back of the fullest other deque. *)
 let take (j : job) w =

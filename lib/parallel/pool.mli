@@ -24,6 +24,21 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what the machine can
     actually run in parallel. *)
 
+val min_cost_per_domain : int
+(** Estimated work (cost units) each additional domain must have on
+    the table to amortise its spawn/join overhead; see
+    {!effective_jobs}. *)
+
+val effective_jobs :
+  ?cores:int -> requested:int -> items:int -> total_cost:int -> unit -> int
+(** [effective_jobs ~requested ~items ~total_cost ()] adapts a
+    requested fan-out to the machine and the work: the result never
+    exceeds [requested], [cores] (default {!recommended_jobs} — the
+    fix for jobs>1 losing on a 1-core container), [items], or
+    [1 + total_cost / min_cost_per_domain].  At least 1; a result of
+    1 means run inline without spawning.  Clamping never changes
+    output, only wall-clock. *)
+
 val mapi : ?chunk:int -> t -> (worker:int -> int -> 'a -> 'b) -> 'a array -> 'b array
 (** [mapi pool f arr] computes [f ~worker i arr.(i)] for every index,
     distributing chunks over the pool's workers, and returns the

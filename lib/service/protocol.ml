@@ -1,0 +1,130 @@
+(* The snslpd wire protocol: line-framed text, symmetric enough that
+   the in-process tests speak it through a pair of queues and the
+   daemon through a socket or stdio with the same code.
+
+   Multi-line payloads (KernelC source, printed IR) are framed by a
+   line count in the header — no sentinels, so payload lines need no
+   quoting.  Requests:
+
+     compile <mode> <nlines>     the next <nlines> lines are KernelC
+     batch <n>                   the next <n> compile frames form one
+                                 batch (compiled together, answered
+                                 in order)
+     stats                       one-line counters snapshot
+     quit                        close the conversation
+
+   Responses:
+
+     ok <statuses> <nlines>      per-function cache outcomes
+                                 (comma-joined) and <nlines> lines of
+                                 printed IR
+     stats <k>=<v> ...           counters, space-separated pairs
+     err <message>               request-level failure (parse error,
+                                 unknown mode, malformed frame) *)
+
+type request =
+  | Compile of { mode : string; source : string }
+  | Batch of int
+  | Stats
+  | Quit
+
+type response =
+  | Compiled of { statuses : string list; ir : string }
+  | Stats_reply of (string * string) list
+  | Err of string
+
+let lines_of s = if String.equal s "" then [] else String.split_on_char '\n' s
+
+(* A trailing newline in the payload would silently add an empty
+   frame line; strip exactly one. *)
+let payload_lines s =
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+  in
+  lines_of s
+
+let read_payload reader n =
+  let buf = Buffer.create 256 in
+  let rec go k =
+    if k = 0 then Some (Buffer.contents buf)
+    else
+      match reader () with
+      | None -> None
+      | Some line ->
+          if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+          Buffer.add_string buf line;
+          go (k - 1)
+  in
+  go n
+
+let read_request (reader : unit -> string option) :
+    (request, string) result option =
+  match reader () with
+  | None -> None
+  | Some line -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "" ] -> Some (Error "empty request line")
+      | [ "compile"; mode; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> (
+              match read_payload reader n with
+              | Some source -> Some (Ok (Compile { mode; source }))
+              | None -> Some (Error "eof inside compile payload"))
+          | _ -> Some (Error ("bad line count " ^ n)))
+      | [ "batch"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Some (Ok (Batch n))
+          | _ -> Some (Error ("bad batch size " ^ n)))
+      | [ "stats" ] -> Some (Ok Stats)
+      | [ "quit" ] -> Some (Ok Quit)
+      | verb :: _ -> Some (Error ("unknown request " ^ verb))
+      | [] -> Some (Error "empty request line"))
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let write_response (writer : string -> unit) (resp : response) : unit =
+  match resp with
+  | Compiled { statuses; ir } ->
+      let body = payload_lines ir in
+      writer
+        (Printf.sprintf "ok %s %d" (String.concat "," statuses)
+           (List.length body));
+      List.iter writer body
+  | Stats_reply kvs ->
+      writer
+        ("stats "
+        ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+  | Err msg -> writer ("err " ^ one_line msg)
+
+(* The client half, for tests and the smoke benchmark. *)
+let read_response (reader : unit -> string option) :
+    (response, string) result option =
+  match reader () with
+  | None -> None
+  | Some line -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | "ok" :: statuses :: n :: [] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> (
+              match read_payload reader n with
+              | Some ir ->
+                  Some
+                    (Ok
+                       (Compiled
+                          { statuses = String.split_on_char ',' statuses; ir }))
+              | None -> Some (Error "eof inside response payload"))
+          | _ -> Some (Error ("bad line count " ^ n)))
+      | "stats" :: kvs ->
+          let pair kv =
+            match String.index_opt kv '=' with
+            | Some i ->
+                ( String.sub kv 0 i,
+                  String.sub kv (i + 1) (String.length kv - i - 1) )
+            | None -> (kv, "")
+          in
+          Some (Ok (Stats_reply (List.map pair kvs)))
+      | "err" :: rest -> Some (Ok (Err (String.concat " " rest)))
+      | verb :: _ -> Some (Error ("unknown response " ^ verb))
+      | [] -> Some (Error "empty response line"))

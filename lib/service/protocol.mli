@@ -1,0 +1,32 @@
+(** The snslpd wire protocol: line-framed requests and responses with
+    count-prefixed multi-line payloads.  Both halves are written
+    against a [unit -> string option] reader (one line per call,
+    [None] at end of stream) and a [string -> unit] writer (one line
+    per call, no trailing newline), so the same code serves a Unix
+    socket, stdio, and an in-process queue pair. *)
+
+type request =
+  | Compile of { mode : string; source : string }
+      (** [mode] is [o3], [slp], [lslp] or [sn-slp]; [source] is
+          KernelC text *)
+  | Batch of int
+      (** the next [n] compile frames are compiled as one batch and
+          answered in order *)
+  | Stats
+  | Quit
+
+type response =
+  | Compiled of { statuses : string list; ir : string }
+      (** one {!Cache.outcome} spelling per compiled function, and the
+          printed optimised IR *)
+  | Stats_reply of (string * string) list
+  | Err of string
+
+val read_request : (unit -> string option) -> (request, string) result option
+(** [None] at end of stream; [Error] for a malformed frame (the
+    stream stays positioned after the bad header line). *)
+
+val write_response : (string -> unit) -> response -> unit
+
+val read_response : (unit -> string option) -> (response, string) result option
+(** The client half — used by tests and the smoke benchmark. *)

@@ -1,0 +1,45 @@
+(** The snslpd compile service: one compile cache plus the
+    {!Protocol} conversation loop around it.
+
+    Misses fan out across the adaptive domain pool; hits are answered
+    by renaming the cached optimised function to the requester's name
+    and printing it, which keeps cache answers byte-identical to fresh
+    compiles of the same source. *)
+
+type t
+
+type cached
+(** A cache entry: the optimised function plus its memoised rendering
+    under the origin's name. *)
+
+val create : ?capacity:int -> unit -> t
+(** A fresh server with an empty cache of [capacity] entries
+    (default {!Cache.default_capacity}). *)
+
+val cache : t -> cached Cache.t
+(** The underlying cache — exposed for tests and the benchmark's
+    counter assertions. *)
+
+val handle_batch :
+  t -> (string * string, string) result list -> Protocol.response list
+(** [handle_batch t requests] compiles one batch: each [Ok (mode,
+    source)] yields a [Compiled] response in order, each [Error msg]
+    an [Err].  Cache lookups happen per function; the misses of the
+    whole batch compile together (one adaptive pool fan-out per
+    distinct mode, identical misses deduplicated by cache key).
+    Exposed for in-process use; {!serve} frames the same calls. *)
+
+val stats_reply : t -> Protocol.response
+(** The counters snapshot [serve] answers [stats] with: cache
+    counters, hit rate, and latency mean/p50/p99. *)
+
+val latencies_s : t -> float list
+(** Recorded per-request wall latencies, newest first.  Requests in a
+    batch all record the batch's wall time — what a synchronous
+    client observes. *)
+
+val serve : t -> reader:(unit -> string option) -> writer:(string -> unit) -> unit
+(** Run the conversation until [quit] or end of stream.  [reader]
+    returns one line per call without its newline; [writer] takes one
+    line per call.  The same server (and cache) may serve any number
+    of consecutive conversations. *)

@@ -67,6 +67,7 @@ module Lint_avail = Snslp_lint.Avail
 module Lint_checks = Snslp_lint.Checks
 module Normal = Snslp_lint.Normal
 module Validate = Snslp_lint.Validate
+module Semhash = Snslp_lint.Semhash
 
 (* Execution substrate *)
 module Rvalue = Snslp_interp.Rvalue
@@ -86,3 +87,12 @@ module Workload = Snslp_kernels.Workload
 module Fullbench = Snslp_kernels.Fullbench
 module Stat = Snslp_report.Stat
 module Table = Snslp_report.Table
+
+(* Parallel compilation *)
+module Pool = Snslp_parallel.Pool
+module Driver = Snslp_driver.Driver
+
+(* The compile service *)
+module Service_cache = Snslp_service.Cache
+module Service_protocol = Snslp_service.Protocol
+module Server = Snslp_service.Server

@@ -76,7 +76,7 @@ let discover (config : Config.t) (func : Defs.func) (root : Defs.instr) : t opti
           let eligible =
             is_root
             || (!budget > 0
-               && trunk_eligible ~mode:config.Config.mode ~memoize:config.Config.memoize
+               && trunk_eligible ~mode:config.Config.mode ~memoize:(Config.memo_on config)
                     ~fam ~elem ~block ~func v)
           in
           match v with

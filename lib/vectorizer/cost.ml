@@ -64,7 +64,7 @@ let extract_cost (config : Config.t) (g : Graph.t) : float =
             match v with
             | Defs.Instr i when not (Instr.is_store i) ->
                 let uses =
-                  if config.Config.memoize then Func.uses_of func (Defs.Instr i)
+                  if Config.memo_on config then Func.uses_of func (Defs.Instr i)
                   else Func.scan_uses_of func (Defs.Instr i)
                 in
                 let external_uses =

@@ -337,7 +337,7 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
               (match t.lookahead_cache with
               | Some c -> Lookahead.cache_clear c
               | None -> ());
-              if t.config.Config.memoize then
+              if Config.memo_on t.config then
                 Stats.time ?stats:t.stats "deps" (fun () -> Deps.refresh t.deps t.block)
               else begin
                 t.deps <-
@@ -356,7 +356,7 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
                       (* Only the freshly generated left-leaning spine
                          is protected; stop at leaves. *)
                       let uses =
-                        if t.config.Config.memoize then Func.uses_of t.func (Defs.Instr j)
+                        if Config.memo_on t.config then Func.uses_of t.func (Defs.Instr j)
                         else Func.scan_uses_of t.func (Defs.Instr j)
                       in
                       if
@@ -417,7 +417,7 @@ let build ?stats ?deps ?cache (config : Config.t) (func : Defs.func) (block : De
     | Some d -> (d, 0)
     | None ->
         ( Stats.time ?stats "deps" (fun () ->
-              Deps.of_block ~caching:config.Config.memoize block),
+              Deps.of_block ~caching:(Config.memo_on config) block),
           1 )
   in
   let t =
@@ -435,7 +435,7 @@ let build ?stats ?deps ?cache (config : Config.t) (func : Defs.func) (block : De
       no_remassage = Hashtbl.create 16;
       supernode_sizes = [];
       lookahead_cache =
-        (if not config.Config.memoize then None
+        (if not (Config.memo_on config) then None
          else match cache with Some c -> Some c | None -> Some (Lookahead.cache_create ()));
       deps_rebuilds;
     }

@@ -284,7 +284,7 @@ let attempt (config : Config.t) (func : Defs.func) (block : Defs.block)
                        [Supernode.regenerate_lane], the trunk is in
                        pre-order with single-use interior nodes, so
                        one root-first pass suffices. *)
-                    if config.Config.memoize then
+                    if Config.memo_on config then
                       List.iter
                         (fun i ->
                           if not (Func.has_uses func (Defs.Instr i)) then
@@ -328,7 +328,7 @@ let run (config : Config.t) (stats : Stats.t) (func : Defs.func) : int =
       | [] -> ()
       | _ ->
           let shared =
-            if config.Config.memoize then begin
+            if Config.memo_on config then begin
               stats.Stats.deps_builds <- stats.Stats.deps_builds + 1;
               Some (Stats.time ~stats "deps" (fun () -> Deps.of_block block))
             end

@@ -265,7 +265,7 @@ let regenerate_lane (config : Config.t) (func : Defs.func) (st : lane_state) :
      root first, every other trunk node below its single user — so one
      root-first pass erases the whole thing in O(trunk): by the time a
      node is visited, its user is already gone. *)
-  if config.Config.memoize then begin
+  if Config.memo_on config then begin
     List.iter
       (fun i -> if not (Func.has_uses func (Defs.Instr i)) then Func.erase_instr func i)
       chain.Chain.trunk;

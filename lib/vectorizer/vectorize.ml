@@ -73,7 +73,7 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
        hit/miss counters are cumulative across everything this scratch
        ever served, so harvest the per-graph contribution as a delta. *)
     let cache =
-      if config.Config.memoize then
+      if Config.memo_on config then
         Option.map (fun s -> s.lookahead) scratch
       else None
     in
@@ -140,6 +140,10 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
    run) are retried at the next narrower power-of-two width, as LLVM's
    SLP does.  The function is verified after every rewrite. *)
 let run ?scratch ?on_graph (config : Config.t) (func : Defs.func) : report =
+  (* Collapse [Auto] memoization here, once per function: everything
+     below (graph build, chains, cost, reduction seeding) then sees a
+     concrete [On]/[Off] policy sized to this function. *)
+  let config = Config.resolve_memo ~num_instrs:(Func.num_instrs func) config in
   (* A scratch's memo may hold entries for the previous function this
      domain processed; instruction ids are only unique per function. *)
   (match scratch with Some s -> Lookahead.cache_clear s.lookahead | None -> ());
@@ -152,7 +156,7 @@ let run ?scratch ?on_graph (config : Config.t) (func : Defs.func) : report =
       (* One dependence analysis per block under memoization; the
          unmemoized vectorizer lets every graph build its own. *)
       let shared_deps =
-        if config.Config.memoize && runs <> [] then begin
+        if Config.memo_on config && runs <> [] then begin
           stats.Stats.deps_builds <- stats.Stats.deps_builds + 1;
           Some (Stats.time ~stats "deps" (fun () -> Deps.of_block block))
         end

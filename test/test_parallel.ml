@@ -132,6 +132,53 @@ let batch_determinism () =
         (Stats.equal_counters (snd base) st))
     [ 2; 4; 8 ]
 
+(* --- Adaptive fan-out --------------------------------------------------- *)
+
+(* [effective_jobs] is a pure clamp: requested, cores, items, and the
+   amortisation bound 1 + cost/min_cost_per_domain, floored at 1. *)
+let ej = Pool.effective_jobs
+
+let big = 100 * Pool.min_cost_per_domain
+
+let adaptive_clamps () =
+  Alcotest.(check int) "requested caps the result" 2
+    (ej ~cores:16 ~requested:2 ~items:100 ~total_cost:big ());
+  Alcotest.(check int) "a 1-core host runs inline" 1
+    (ej ~cores:1 ~requested:8 ~items:100 ~total_cost:big ());
+  Alcotest.(check int) "a single item runs inline" 1
+    (ej ~cores:16 ~requested:8 ~items:1 ~total_cost:big ());
+  Alcotest.(check int) "items cap the fan-out" 3
+    (ej ~cores:16 ~requested:8 ~items:3 ~total_cost:big ());
+  Alcotest.(check int) "tiny work runs inline" 1
+    (ej ~cores:16 ~requested:8 ~items:100 ~total_cost:0 ());
+  Alcotest.(check int) "cost bound adds one domain per cost unit" 3
+    (ej ~cores:16 ~requested:8 ~items:100
+       ~total_cost:(2 * Pool.min_cost_per_domain)
+       ());
+  Alcotest.(check int) "never below 1" 1
+    (ej ~cores:16 ~requested:0 ~items:0 ~total_cost:0 ())
+
+let adaptive_driver_jobs () =
+  let func =
+    Snslp_frontend.Frontend.compile_one
+      "kernel f(long A[], long B[], long i) { A[i] = B[i]; }"
+  in
+  let setting jobs = Some { Config.snslp with Config.jobs = jobs } in
+  Alcotest.(check int) "one tiny function runs inline" 1
+    (Driver.adaptive_jobs (setting 8) [ func ]);
+  Alcotest.(check int) "never exceeds the requested jobs" 1
+    (Driver.adaptive_jobs (setting 1) (List.init 16 (fun _ -> func)))
+
+let adaptive_output_identity () =
+  let funcs = List.concat_map compile_kernel Snslp_kernels.Registry.all in
+  let setting jobs = Some { Config.snslp with Config.jobs = jobs } in
+  let exact = fingerprint (Driver.run_all ~setting:(setting 1) funcs) in
+  let adaptive = fingerprint (Driver.run_all_adaptive ~setting:(setting 8) funcs) in
+  Alcotest.(check string) "adaptive fan-out changes nothing but wall-clock"
+    (fst exact) (fst adaptive);
+  Alcotest.(check bool) "merged counters identical" true
+    (Stats.equal_counters (snd exact) (snd adaptive))
+
 (* --- Stats.merge properties --------------------------------------------- *)
 
 (* Phase times are generated as small multiples of 0.25: dyadic
@@ -191,6 +238,12 @@ let suite =
       determinism_tests
       @ [ Alcotest.test_case "whole-registry batch, jobs in {2,4,8}" `Slow batch_determinism ]
     );
+    ( "parallel-adaptive",
+      [
+        Alcotest.test_case "effective_jobs clamps" `Quick adaptive_clamps;
+        Alcotest.test_case "adaptive_jobs on real functions" `Quick adaptive_driver_jobs;
+        Alcotest.test_case "run_all_adaptive output identity" `Slow adaptive_output_identity;
+      ] );
     ( "parallel-stats",
       [ to_alcotest merge_associative; to_alcotest merge_identity ] );
   ]

@@ -1,0 +1,366 @@
+(* The compile service: semantic cache keys, the LRU cache, the wire
+   protocol, and the server loop.
+
+   The load-bearing properties:
+   - semantically equivalent but structurally distinct sources share
+     one cache key (reassociation; mul/div inverse cancellation), and
+     the service answers the variant from the original's entry as a
+     *semantic* hit;
+   - functions outside the validated fragment fall back to structural
+     keys and never falsely share;
+   - a cache answer is byte-identical to the fresh compile of the
+     same source;
+   - eviction respects the entry budget, preferring the least
+     recently used entry. *)
+
+open Snslp_ir
+module Semhash = Snslp_lint.Semhash
+module Cache = Snslp_service.Cache
+module Protocol = Snslp_service.Protocol
+module Server = Snslp_service.Server
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let compile_one = Snslp_frontend.Frontend.compile_one
+
+let fingerprint = "test-fp"
+let key src = Semhash.cache_key ~fingerprint (compile_one src)
+
+(* --- Semantic keys -------------------------------------------------------- *)
+
+let reassoc_a =
+  {|
+kernel f(long A[], long B[], long C[], long D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = D[i+1] - C[i+1] + B[i+1];
+}
+|}
+
+let reassoc_b =
+  {|
+kernel g(long A[], long B[], long C[], long D[], long i) {
+  A[i+0] = D[i+0] + B[i+0] - C[i+0];
+  A[i+1] = B[i+1] - C[i+1] + D[i+1];
+}
+|}
+
+let test_semantic_key_reassociation () =
+  check "reassociated chains share a key" true (String.equal (key reassoc_a) (key reassoc_b));
+  check "but are structurally distinct" false
+    (String.equal
+       (Semhash.structural_digest (compile_one reassoc_a))
+       (Semhash.structural_digest (compile_one reassoc_b)))
+
+let test_semantic_key_cancellation () =
+  let a =
+    {|
+kernel f(float A[], float B[], float C[], long i) {
+  A[i+0] = B[i+0] * C[i+0] / C[i+0];
+  A[i+1] = B[i+1] * C[i+1] / C[i+1];
+}
+|}
+  in
+  let b =
+    {|
+kernel f(float A[], float B[], float C[], long i) {
+  A[i+0] = B[i+0];
+  A[i+1] = B[i+1];
+}
+|}
+  in
+  check "(a*b)/b and a share a key" true (String.equal (key a) (key b))
+
+let test_different_semantics_different_keys () =
+  let a = "kernel f(long A[], long B[], long i) { A[i] = B[i] + 1; }" in
+  let b = "kernel f(long A[], long B[], long i) { A[i] = B[i] + 2; }" in
+  check "different stored values, different keys" false (String.equal (key a) (key b))
+
+let test_signature_part_of_key () =
+  (* Same stored behaviour, different argument types: must not share
+     (the cached IR's header would not match the request's). *)
+  let a = "kernel f(long A[], long B[], long i) { A[i] = B[i]; }" in
+  let b = "kernel f(long A[], long B[], long i, long unused) { A[i] = B[i]; }" in
+  check "signatures differ, keys differ" false (String.equal (key a) (key b))
+
+let test_name_irrelevant_to_key () =
+  let a = "kernel f(long A[], long B[], long i) { A[i] = B[i] + 1; }" in
+  let b = "kernel other_name(long A[], long B[], long i) { A[i] = B[i] + 1; }" in
+  check "kernel name does not reach the key" true (String.equal (key a) (key b));
+  check "nor the structural digest" true
+    (String.equal
+       (Semhash.structural_digest (compile_one a))
+       (Semhash.structural_digest (compile_one b)))
+
+(* Cyclic control flow is outside the validator's fragment: such
+   functions must fall back to structural keys and never share unless
+   byte-identical. *)
+let loop_ir body =
+  Printf.sprintf "func @f(i64 %%i) {\nentry:\n  br %%loop\nloop:\n%s  br %%loop\n}\n" body
+
+let test_unknown_never_falsely_shares () =
+  let a = Ir_parser.parse (loop_ir "") in
+  let b = Ir_parser.parse (loop_ir "  %0 = add i64 %i, %i\n") in
+  (match Semhash.of_func a with
+  | Semhash.Structural _ -> ()
+  | Semhash.Semantic _ -> Alcotest.fail "a cyclic function captured semantically");
+  check "distinct unknown-fragment bodies get distinct keys" false
+    (String.equal
+       (Semhash.cache_key ~fingerprint a)
+       (Semhash.cache_key ~fingerprint b));
+  (* The same unknown body resubmitted is still recognised. *)
+  let a' = Ir_parser.parse (loop_ir "") in
+  check "identical unknown bodies share" true
+    (String.equal
+       (Semhash.cache_key ~fingerprint a)
+       (Semhash.cache_key ~fingerprint a'))
+
+let test_semantic_and_structural_spaces_disjoint () =
+  (* A structural digest can never collide with a semantic one even if
+     the hex strings matched: the rendering is prefixed. *)
+  check "prefixes differ" false
+    (String.equal
+       (Semhash.key_to_string (Semhash.Semantic "deadbeef"))
+       (Semhash.key_to_string (Semhash.Structural "deadbeef")))
+
+(* --- The LRU cache -------------------------------------------------------- *)
+
+let test_cache_outcomes () =
+  let c = Cache.create ~capacity:4 () in
+  check "cold lookup misses" true (Cache.find c ~key:"k" ~structural:"s1" = None);
+  Cache.add c ~key:"k" ~structural:"s1" 42;
+  (match Cache.find c ~key:"k" ~structural:"s1" with
+  | Some (42, Cache.Hit_textual) -> ()
+  | _ -> Alcotest.fail "same structure should be a textual hit");
+  (match Cache.find c ~key:"k" ~structural:"s2" with
+  | Some (42, Cache.Hit_semantic) -> ()
+  | _ -> Alcotest.fail "different structure should be a semantic hit");
+  let n = Cache.counters c in
+  check_int "misses" 1 n.Cache.misses;
+  check_int "textual" 1 n.Cache.hits_textual;
+  check_int "semantic" 1 n.Cache.hits_semantic;
+  Alcotest.(check (float 1e-9)) "hit rate" (2.0 /. 3.0) (Cache.hit_rate n)
+
+let test_cache_eviction_bound () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c ~key:"a" ~structural:"s" 1;
+  Cache.add c ~key:"b" ~structural:"s" 2;
+  (* Touch [a] so [b] is the least recently used. *)
+  ignore (Cache.find c ~key:"a" ~structural:"s");
+  Cache.add c ~key:"c" ~structural:"s" 3;
+  let n = Cache.counters c in
+  check_int "bounded" 2 n.Cache.entries;
+  check_int "one eviction" 1 n.Cache.evictions;
+  check "recently-used survives" true (Cache.mem c "a");
+  check "LRU evicted" false (Cache.mem c "b");
+  check "new entry present" true (Cache.mem c "c")
+
+let test_cache_first_value_wins () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.add c ~key:"k" ~structural:"s" 1;
+  Cache.add c ~key:"k" ~structural:"s" 2;
+  (match Cache.find c ~key:"k" ~structural:"s" with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "re-insertion must not replace (compiles are deterministic)");
+  check_int "no duplicate entry" 1 (Cache.counters c).Cache.entries
+
+(* --- Protocol ------------------------------------------------------------- *)
+
+let feed lines =
+  let q = Queue.create () in
+  List.iter (fun l -> Queue.add l q) lines;
+  fun () -> Queue.take_opt q
+
+let test_protocol_request_roundtrip () =
+  let reader = feed [ "compile sn-slp 2"; "kernel f() {"; "}"; "batch 3"; "stats"; "quit" ] in
+  (match Protocol.read_request reader with
+  | Some (Ok (Protocol.Compile { mode; source })) ->
+      check_str "mode" "sn-slp" mode;
+      check_str "payload joined" "kernel f() {\n}" source
+  | _ -> Alcotest.fail "compile frame");
+  (match Protocol.read_request reader with
+  | Some (Ok (Protocol.Batch 3)) -> ()
+  | _ -> Alcotest.fail "batch frame");
+  (match Protocol.read_request reader with
+  | Some (Ok Protocol.Stats) -> ()
+  | _ -> Alcotest.fail "stats frame");
+  (match Protocol.read_request reader with
+  | Some (Ok Protocol.Quit) -> ()
+  | _ -> Alcotest.fail "quit frame");
+  check "eof" true (Protocol.read_request reader = None)
+
+let test_protocol_malformed () =
+  let bad lines =
+    match Protocol.read_request (feed lines) with
+    | Some (Error _) -> true
+    | _ -> false
+  in
+  check "unknown verb" true (bad [ "frobnicate" ]);
+  check "bad count" true (bad [ "compile sn-slp x" ]);
+  check "eof inside payload" true (bad [ "compile sn-slp 3"; "only one line" ]);
+  check "bad batch size" true (bad [ "batch 0" ])
+
+let test_protocol_response_roundtrip () =
+  let out = ref [] in
+  let writer l = out := l :: !out in
+  Protocol.write_response writer
+    (Protocol.Compiled { statuses = [ "miss"; "hit-textual" ]; ir = "line1\nline2" });
+  Protocol.write_response writer (Protocol.Stats_reply [ ("served", "3") ]);
+  Protocol.write_response writer (Protocol.Err "multi\nline message");
+  let reader = feed (List.rev !out) in
+  (match Protocol.read_response reader with
+  | Some (Ok (Protocol.Compiled { statuses; ir })) ->
+      check "statuses" true (statuses = [ "miss"; "hit-textual" ]);
+      check_str "payload" "line1\nline2" ir
+  | _ -> Alcotest.fail "compiled response");
+  (match Protocol.read_response reader with
+  | Some (Ok (Protocol.Stats_reply [ ("served", "3") ])) -> ()
+  | _ -> Alcotest.fail "stats response");
+  match Protocol.read_response reader with
+  | Some (Ok (Protocol.Err msg)) -> check "newlines collapsed" true (msg = "multi line message")
+  | _ -> Alcotest.fail "err response"
+
+(* --- The server ----------------------------------------------------------- *)
+
+let converse server lines =
+  let out = ref [] in
+  Server.serve server ~reader:(feed lines) ~writer:(fun l -> out := l :: !out);
+  let q = Queue.create () in
+  List.iter (fun l -> Queue.add l q) (List.rev !out);
+  let rec go acc =
+    match Protocol.read_response (fun () -> Queue.take_opt q) with
+    | None -> List.rev acc
+    | Some (Ok r) -> go (r :: acc)
+    | Some (Error e) -> Alcotest.fail ("malformed response: " ^ e)
+  in
+  go []
+
+let compile_frame mode src =
+  let lines = String.split_on_char '\n' (String.trim src) in
+  Printf.sprintf "compile %s %d" mode (List.length lines) :: lines
+
+let statuses_of = function
+  | Protocol.Compiled { statuses; _ } -> String.concat "," statuses
+  | Protocol.Err e -> "err:" ^ e
+  | Protocol.Stats_reply _ -> "stats"
+
+let ir_of = function
+  | Protocol.Compiled { ir; _ } -> ir
+  | _ -> Alcotest.fail "expected a compiled response"
+
+let test_server_cold_then_warm () =
+  let server = Server.create () in
+  let lines = compile_frame "sn-slp" reassoc_a @ compile_frame "sn-slp" reassoc_a @ [ "quit" ] in
+  match converse server lines with
+  | [ first; second ] ->
+      check_str "cold misses" "miss" (statuses_of first);
+      check_str "warm hits" "hit-textual" (statuses_of second);
+      check_str "cache answer byte-identical to fresh compile" (ir_of first) (ir_of second);
+      (* And identical to what a fresh server compiles. *)
+      let fresh = converse (Server.create ()) (compile_frame "sn-slp" reassoc_a @ [ "quit" ]) in
+      check_str "identical across servers" (ir_of first) (ir_of (List.hd fresh))
+  | rs -> Alcotest.fail (Printf.sprintf "expected 2 responses, got %d" (List.length rs))
+
+let test_server_semantic_hit_renames () =
+  let server = Server.create () in
+  let lines = compile_frame "sn-slp" reassoc_a @ compile_frame "sn-slp" reassoc_b @ [ "quit" ] in
+  match converse server lines with
+  | [ first; second ] ->
+      check_str "variant answered semantically" "hit-semantic" (statuses_of second);
+      (* The cached entry was compiled as @f; the answer must carry
+         the requester's name. *)
+      check "renamed to the requester" true
+        (String.length (ir_of second) > 7
+        && String.sub (ir_of second) 0 7 = "func @g");
+      check "origin kept its own name" true (String.sub (ir_of first) 0 7 = "func @f")
+  | _ -> Alcotest.fail "expected 2 responses"
+
+let test_server_modes_do_not_share () =
+  (* The config fingerprint is part of the key: sn-slp's entry must
+     not answer an slp request. *)
+  let server = Server.create () in
+  let lines = compile_frame "sn-slp" reassoc_a @ compile_frame "slp" reassoc_a @ [ "quit" ] in
+  match converse server lines with
+  | [ _; second ] -> check_str "other mode misses" "miss" (statuses_of second)
+  | _ -> Alcotest.fail "expected 2 responses"
+
+let test_server_batch_and_stats () =
+  let server = Server.create () in
+  let lines =
+    [ "batch 2" ]
+    @ compile_frame "sn-slp" reassoc_a
+    @ compile_frame "sn-slp" reassoc_b
+    @ [ "stats"; "quit" ]
+  in
+  match converse server lines with
+  | [ first; second; Protocol.Stats_reply kvs ] ->
+      check_str "first of batch compiles" "miss" (statuses_of first);
+      (* Same semantic key within one batch: deduplicated, answered
+         from the first compile. *)
+      check_str "second deduplicates" "miss" (statuses_of second);
+      check_str "one compile served both" (ir_of first)
+        (String.concat "\n"
+           (List.map
+              (fun l ->
+                if String.length l > 7 && String.sub l 0 7 = "func @g" then
+                  "func @f" ^ String.sub l 7 (String.length l - 7)
+                else l)
+              (String.split_on_char '\n' (ir_of second))));
+      check_str "served" "2" (List.assoc "served" kvs)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 3 responses, got %d" (List.length rs))
+
+let test_server_bad_requests () =
+  let server = Server.create () in
+  let lines =
+    [ "compile nosuchmode 1"; "kernel f() {}" ]
+    @ compile_frame "sn-slp" "kernel f(long A[]) { A[0] = ; }"
+    @ [ "frobnicate"; "quit" ]
+  in
+  match converse server lines with
+  | [ Protocol.Err _; Protocol.Err _; Protocol.Err _ ] -> ()
+  | rs ->
+      Alcotest.fail
+        (Printf.sprintf "expected 3 errors, got %d responses: %s" (List.length rs)
+           (String.concat "; " (List.map statuses_of rs)))
+
+let test_server_eviction_end_to_end () =
+  (* Capacity 1: the second distinct kernel evicts the first, so a
+     third request for the first source recompiles. *)
+  let server = Server.create ~capacity:1 () in
+  let other = "kernel h(long A[], long B[], long i) { A[i] = B[i] + 7; }" in
+  let lines =
+    compile_frame "sn-slp" reassoc_a
+    @ compile_frame "sn-slp" other
+    @ compile_frame "sn-slp" reassoc_a
+    @ [ "quit" ]
+  in
+  match converse server lines with
+  | [ _; _; third ] -> check_str "evicted entry recompiles" "miss" (statuses_of third)
+  | _ -> Alcotest.fail "expected 3 responses"
+
+let suite =
+  [
+    ( "service",
+      [
+        Alcotest.test_case "semantic key: reassociation" `Quick test_semantic_key_reassociation;
+        Alcotest.test_case "semantic key: (a*b)/b = a" `Quick test_semantic_key_cancellation;
+        Alcotest.test_case "different semantics differ" `Quick test_different_semantics_different_keys;
+        Alcotest.test_case "signature in key" `Quick test_signature_part_of_key;
+        Alcotest.test_case "name not in key" `Quick test_name_irrelevant_to_key;
+        Alcotest.test_case "unknown fragment never shares" `Quick test_unknown_never_falsely_shares;
+        Alcotest.test_case "key spaces disjoint" `Quick test_semantic_and_structural_spaces_disjoint;
+        Alcotest.test_case "cache outcomes and counters" `Quick test_cache_outcomes;
+        Alcotest.test_case "cache eviction bound (LRU)" `Quick test_cache_eviction_bound;
+        Alcotest.test_case "cache first value wins" `Quick test_cache_first_value_wins;
+        Alcotest.test_case "protocol request roundtrip" `Quick test_protocol_request_roundtrip;
+        Alcotest.test_case "protocol malformed frames" `Quick test_protocol_malformed;
+        Alcotest.test_case "protocol response roundtrip" `Quick test_protocol_response_roundtrip;
+        Alcotest.test_case "server cold/warm bit-identical" `Quick test_server_cold_then_warm;
+        Alcotest.test_case "server semantic hit renames" `Quick test_server_semantic_hit_renames;
+        Alcotest.test_case "server modes do not share" `Quick test_server_modes_do_not_share;
+        Alcotest.test_case "server batch + dedup + stats" `Quick test_server_batch_and_stats;
+        Alcotest.test_case "server bad requests" `Quick test_server_bad_requests;
+        Alcotest.test_case "server eviction end to end" `Quick test_server_eviction_end_to_end;
+      ] );
+  ]

@@ -447,6 +447,54 @@ let test_rejected_graph_keeps_scalar_code () =
   in
   check_int "no vector instructions" 0 vec_instrs
 
+(* --- memoize = Auto ------------------------------------------------------ *)
+
+let test_resolve_memo_threshold () =
+  let resolve n = (Config.resolve_memo ~num_instrs:n { Config.snslp with Config.memoize = Config.Auto }).Config.memoize in
+  Alcotest.(check bool) "below threshold resolves Off" true
+    (resolve (Config.auto_memo_threshold - 1) = Config.Off);
+  Alcotest.(check bool) "at threshold resolves On" true
+    (resolve Config.auto_memo_threshold = Config.On);
+  (* Concrete settings pass through untouched, whatever the size. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "concrete settings unchanged" true
+        ((Config.resolve_memo ~num_instrs:0 { Config.snslp with Config.memoize = m }).Config.memoize = m))
+    [ Config.On; Config.Off ]
+
+let test_memo_on () =
+  let on m = Config.memo_on { Config.snslp with Config.memoize = m } in
+  Alcotest.(check bool) "On is on" true (on Config.On);
+  Alcotest.(check bool) "unresolved Auto defaults on" true (on Config.Auto);
+  Alcotest.(check bool) "Off is off" false (on Config.Off)
+
+let test_memoize_output_identity () =
+  (* The memoize knob trades compile time, never output: all three
+     settings print the same optimized IR. *)
+  let f = compile motiv_leaf_src in
+  let ir m =
+    Printer.func_to_string
+      (Pipeline.run ~setting:(Some { Config.snslp with Config.memoize = m }) f).Pipeline.func
+  in
+  let reference = ir Config.On in
+  Alcotest.(check string) "Off matches On" reference (ir Config.Off);
+  Alcotest.(check string) "Auto matches On" reference (ir Config.Auto)
+
+let test_fingerprint_excludes_speed_knobs () =
+  let base = Config.snslp in
+  let fp c = Config.fingerprint c in
+  List.iter
+    (fun variant ->
+      Alcotest.(check string) "speed knobs don't reach the fingerprint"
+        (fp base) (fp variant))
+    [
+      { base with Config.memoize = Config.Off };
+      { base with Config.memoize = Config.Auto };
+      { base with Config.jobs = 17 };
+    ];
+  Alcotest.(check bool) "modes do" false
+    (String.equal (fp Config.snslp) (fp Config.vanilla))
+
 let suite =
   [
     ( "seeds",
@@ -490,5 +538,14 @@ let suite =
         Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
         Alcotest.test_case "rejected graphs stay scalar" `Quick
           test_rejected_graph_keeps_scalar_code;
+      ] );
+    ( "memoize",
+      [
+        Alcotest.test_case "Auto resolves by size" `Quick test_resolve_memo_threshold;
+        Alcotest.test_case "memo_on" `Quick test_memo_on;
+        Alcotest.test_case "output identity across settings" `Quick
+          test_memoize_output_identity;
+        Alcotest.test_case "fingerprint excludes speed knobs" `Quick
+          test_fingerprint_excludes_speed_knobs;
       ] );
   ]
