@@ -497,6 +497,171 @@ let compile_time_report ~rounds ~(kernels : Registry.t list) () =
 
 let compile_time () = compile_time_report ~rounds:10 ~kernels:Registry.all ()
 
+(* --- Global pack selection: BENCH_packing.json ------------------------------ *)
+
+(* Greedy vs global statement packing (docs/PACKING.md): simulated
+   cycles per registry kernel, compile-time overhead, search-effort
+   counters, and a fuzz-corpus static-cost sweep.  The criteria:
+   - global is never worse than greedy — on simulated cycles for every
+     kernel and on the machine-model static cost for every fuzz
+     function.  The portfolio construction (greedy incumbent always
+     scored, winner by strict improvement only) guarantees this; the
+     sweep measures that the guarantee survives the whole pipeline;
+   - at least [min_wins] registry kernels are strict cycle wins;
+   - the geometric-mean compile-time ratio across the sweep stays
+     within 3x of greedy at the chosen beam — the search is bounded,
+     not free, and the bound must hold in aggregate (individual
+     wide-candidate-space kernels may exceed it; the table shows
+     them). *)
+let packing_report ~(kernels : Registry.t list) ~fuzz_seeds ~beam ~rounds ~min_wins () =
+  pr "%s"
+    (Table.section
+       (Printf.sprintf
+          "Global pack selection: beam %d branch-and-bound vs greedy (%d kernels, %d \
+           fuzz seeds)"
+          beam (List.length kernels) fuzz_seeds));
+  let greedy_setting = Some Config.snslp in
+  let global_setting =
+    Some
+      {
+        Config.snslp with
+        Config.packing =
+          Config.Global { beam; node_budget = Config.default_node_budget };
+      }
+  in
+  let us s = s *. 1e6 in
+  let measured =
+    List.map
+      (fun (k : Registry.t) ->
+        let wl = Workload.prepare k in
+        let greedy_cyc, _ = simulate wl greedy_setting in
+        let global_cyc, _ = simulate wl global_setting in
+        let compile_s setting =
+          Stat.mean
+            (Stat.sample ~runs:rounds ~warmup:1 (fun () ->
+                 (Pipeline.run ~setting wl.Workload.func).Pipeline.total_seconds))
+        in
+        let greedy_s = compile_s greedy_setting in
+        let global_s = compile_s global_setting in
+        let stats = stats_of global_setting wl.Workload.func in
+        (k, greedy_cyc, global_cyc, greedy_s, global_s, stats))
+      kernels
+  in
+  let rows =
+    List.map
+      (fun ((k : Registry.t), gc, lc, gs, ls, (stats : Stats.t)) ->
+        [
+          k.Registry.name;
+          Printf.sprintf "%.0f" gc;
+          Printf.sprintf "%.0f" lc;
+          Printf.sprintf "%.3fx" (gc /. lc);
+          Printf.sprintf "%.1f" (us gs);
+          Printf.sprintf "%.1f" (us ls);
+          Printf.sprintf "%.2fx" (ls /. gs);
+          string_of_int stats.Stats.pack_candidates;
+          string_of_int stats.Stats.pack_expansions;
+          string_of_int stats.Stats.pack_pruned;
+          string_of_int stats.Stats.pack_plans;
+        ])
+      measured
+  in
+  emit ~name:"packing"
+    ~headers:
+      [
+        "kernel"; "greedy cyc"; "global cyc"; "speedup"; "greedy us"; "global us";
+        "ratio"; "cands"; "expand"; "pruned"; "plans";
+      ]
+    rows;
+  (* Fuzz corpus: the same generator the differential campaigns use;
+     compare the machine-model static cost of the two packings'
+     outputs.  [worse] must stay 0. *)
+  let fuzz_better = ref 0 and fuzz_equal = ref 0 and fuzz_worse = ref 0 in
+  for seed = 0 to fuzz_seeds - 1 do
+    let cost setting =
+      let r = Pipeline.run ~setting (Snslp_fuzzer.Gen.generate ~seed ()) in
+      Packing.static_cost Config.snslp r.Pipeline.func
+    in
+    let g = cost greedy_setting and l = cost global_setting in
+    if l < g -. 1e-6 then incr fuzz_better
+    else if l > g +. 1e-6 then incr fuzz_worse
+    else incr fuzz_equal
+  done;
+  pr "  fuzz corpus: %d better, %d equal, %d worse (static machine-model cost)@."
+    !fuzz_better !fuzz_equal !fuzz_worse;
+  (* Headline criteria. *)
+  let never_worse =
+    List.for_all (fun (_, gc, lc, _, _, _) -> lc <= gc +. 1e-6) measured
+    && !fuzz_worse = 0
+  in
+  let strict_wins =
+    List.length (List.filter (fun (_, gc, lc, _, _, _) -> lc < gc -. 1e-6) measured)
+  in
+  let ratio_geomean =
+    exp
+      (List.fold_left (fun acc (_, _, _, gs, ls, _) -> acc +. log (ls /. gs)) 0.0 measured
+      /. float_of_int (List.length measured))
+  in
+  let pass = never_worse && strict_wins >= min_wins && ratio_geomean <= 3.0 in
+  pr "  never worse: %s; strict wins: %d (need >= %d); compile ratio geomean %.2fx \
+      (limit 3x)@."
+    (if never_worse then "yes" else "NO") strict_wins min_wins ratio_geomean;
+  pr "  criteria: %s@." (if pass then "PASS" else "FAIL");
+  let kernel_json ((k : Registry.t), gc, lc, gs, ls, (stats : Stats.t)) =
+    Json.Obj
+      [
+        ("name", Json.String k.Registry.name);
+        ("greedy_cycles", Json.Float gc);
+        ("global_cycles", Json.Float lc);
+        ("speedup", Json.Float (gc /. lc));
+        ("greedy_us", Json.Float (us gs));
+        ("global_us", Json.Float (us ls));
+        ("compile_ratio", Json.Float (ls /. gs));
+        ( "search",
+          Json.Obj
+            [
+              ("candidates", Json.Int stats.Stats.pack_candidates);
+              ("expansions", Json.Int stats.Stats.pack_expansions);
+              ("pruned", Json.Int stats.Stats.pack_pruned);
+              ("plans", Json.Int stats.Stats.pack_plans);
+            ] );
+      ]
+  in
+  Json.write "BENCH_packing.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-packing/1");
+         ("beam", Json.Int beam);
+         ("rounds", Json.Int rounds);
+         ("kernels", Json.List (List.map kernel_json measured));
+         ( "fuzz",
+           Json.Obj
+             [
+               ("seeds", Json.Int fuzz_seeds);
+               ("better", Json.Int !fuzz_better);
+               ("equal", Json.Int !fuzz_equal);
+               ("worse", Json.Int !fuzz_worse);
+             ] );
+         ( "headline",
+           Json.Obj
+             [
+               ("never_worse", Json.Bool never_worse);
+               ("strict_wins", Json.Int strict_wins);
+               ("min_wins", Json.Int min_wins);
+               ("compile_ratio_geomean", Json.Float ratio_geomean);
+               ( "criterion",
+                 Json.String
+                   "global <= greedy everywhere (cycles and fuzz static cost); strict \
+                    wins >= min_wins; geomean compile ratio <= 3x" );
+               ("pass", Json.Bool pass);
+             ] );
+       ]);
+  pr "  wrote BENCH_packing.json@.";
+  if not pass then exit 1
+
+let packing () =
+  packing_report ~kernels:Registry.all ~fuzz_seeds:1000 ~beam:Config.default_beam
+    ~rounds:10 ~min_wins:3 ()
+
 (* --- Parallel scaling: the domain-pool vectorization driver ------------------ *)
 
 (* Wall-clock monotonic seconds. *)
@@ -1520,6 +1685,12 @@ let smoke () =
   parallel_report ~samples:1 ~rounds:2 ~jobs_list:[ 1; 2 ]
     ~kernels:(List.filter_map Registry.find [ "motiv_leaf"; "milc_su3" ])
     ();
+  (* Packing smoke: a three-kernel sweep (one engineered strict win
+     included) at a small beam keeps the BENCH_packing.json plumbing
+     and the never-worse criterion exercised on every test run. *)
+  packing_report
+    ~kernels:(List.filter_map Registry.find [ "calculix_blend"; "milc_su3"; "motiv_leaf" ])
+    ~fuzz_seeds:150 ~beam:2 ~rounds:2 ~min_wins:1 ();
   (* Bounded fuzz smoke: fixed seed, a couple hundred cases, the
      parallel determinism axis included; writes BENCH_fuzz.json. *)
   fuzz_report ~seed:42 ~cases:200 ~jobs:2 ();
@@ -1744,6 +1915,7 @@ let experiments =
     ("ablation-target", ablation_target);
     ("ablation-model", ablation_model);
     ("compile-time", compile_time);
+    ("packing", packing);
     ("parallel", parallel);
     ("fuzz", fuzz);
     ("lint", lint);

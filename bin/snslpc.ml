@@ -46,13 +46,21 @@ let target_of_string = function
       Fmt.epr "unknown target %S (sse, avx2, sse-noaddsub)@." s;
       exit 2
 
-let run verbose file kernel mode model target dump_before dump_after dump_graph stats
-    simulate lookahead jobs verify_each lint validate =
+let run verbose file kernel mode model target packing dump_before dump_after dump_graph
+    stats simulate lookahead jobs verify_each lint validate =
   setup_logs verbose;
   if jobs < 1 then begin
     Fmt.epr "-j must be at least 1@.";
     exit 2
   end;
+  let packing =
+    match Config.packing_of_string packing with
+    | Some p -> p
+    | None ->
+        Fmt.epr "unknown packing %S (greedy, global, global:BEAM, global:BEAM:BUDGET)@."
+          packing;
+        exit 2
+  in
   let src = load_source file kernel in
   (* A .ir input bypasses the frontend: parse the textual IR
      directly. *)
@@ -78,6 +86,7 @@ let run verbose file kernel mode model target dump_before dump_after dump_graph 
                 Config.mode;
                 model;
                 target = target_of_string target;
+                packing;
                 lookahead_depth = lookahead;
                 jobs;
                 verify_each;
@@ -199,6 +208,16 @@ let () =
     Arg.(
       value & opt string "sse" & info [ "target" ] ~doc:"Target: sse, avx2, sse-noaddsub.")
   in
+  let packing =
+    Arg.(
+      value & opt string "greedy"
+      & info [ "packing" ]
+          ~doc:
+            "Statement packing: $(b,greedy) (the paper's root-first builder) or \
+             $(b,global)[:BEAM[:BUDGET]] (goSLP-style beam/branch-and-bound pack \
+             selection; never worse than greedy under the machine-model static \
+             cost).  Search counters appear under --stats.")
+  in
   let dump_before = Arg.(value & flag & info [ "dump-before" ] ~doc:"Print input IR.") in
   let dump_after = Arg.(value & flag & info [ "dump-after" ] ~doc:"Print optimised IR.") in
   let dump_graph =
@@ -246,9 +265,9 @@ let () =
   in
   let term =
     Term.(
-      const run $ verbose $ file $ kernel $ mode $ model $ target $ dump_before
-      $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs $ verify_each
-      $ lint $ validate)
+      const run $ verbose $ file $ kernel $ mode $ model $ target $ packing
+      $ dump_before $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs
+      $ verify_each $ lint $ validate)
   in
   let info =
     Cmd.info "snslpc" ~doc:"Super-Node SLP vectorizing compiler for KernelC"

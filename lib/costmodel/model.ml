@@ -140,6 +140,36 @@ let x86 =
     extract = 1.8;
   }
 
+(* [instr_cost model target i] — cost in abstract cycles of one
+   execution of [i].  This is the single pricing function shared by
+   the performance simulator (per dynamic instruction) and the global
+   pack selector (summed over live static instructions): both must
+   charge the same machine model or a plan that wins statically could
+   lose in simulation. *)
+let instr_cost (model : t) (target : Target.t) (i : Defs.instr) : float =
+  let lanes ty = Ty.lanes ty in
+  match i.Defs.op with
+  | Defs.Binop b ->
+      let c = class_of_binop b i.Defs.ty in
+      if Ty.is_vector i.Defs.ty then model.vector c ~lanes:(lanes i.Defs.ty)
+      else model.scalar c
+  | Defs.Alt_binop kinds ->
+      let fam_mul = Array.exists (fun k -> k = Defs.Mul || k = Defs.Div) kinds in
+      model.alt target ~lanes:(lanes i.Defs.ty) ~fam_mul
+  | Defs.Load ->
+      if Ty.is_vector i.Defs.ty then model.vector C_load ~lanes:(lanes i.Defs.ty)
+      else model.scalar C_load
+  | Defs.Store ->
+      let vty = Value.ty i.Defs.ops.(0) in
+      if Ty.is_vector vty then model.vector C_store ~lanes:(lanes vty)
+      else model.scalar C_store
+  | Defs.Gep -> model.scalar C_gep
+  | Defs.Insert -> model.scalar C_insert
+  | Defs.Extract -> model.scalar C_extract
+  | Defs.Shuffle _ -> model.scalar C_shuffle
+  | Defs.Icmp _ | Defs.Fcmp _ -> model.scalar C_cmp
+  | Defs.Select -> model.scalar C_select
+
 let by_name = function
   | "paper" -> Some paper
   | "x86" -> Some x86

@@ -41,6 +41,12 @@ val class_of_binop : Defs.binop -> Ty.t -> op_class
 val class_of_instr : Defs.instr -> op_class option
 (** [None] for [Alt_binop], which is priced via {!field-alt}. *)
 
+val instr_cost : t -> Target.t -> Defs.instr -> float
+(** Cost in abstract cycles of one execution of the instruction —
+    the pricing shared by the performance simulator (per dynamic
+    instruction) and the global pack selector (per live static
+    instruction). *)
+
 val paper : t
 val x86 : t
 val by_name : string -> t option

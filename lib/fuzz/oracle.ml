@@ -94,8 +94,25 @@ let default_configs : (string * Pipeline.setting) list =
       (name ^ "-nomemo", Some { c with Config.memoize = Config.Off });
     ]
   in
+  (* The packing axis rides on sn-slp (the mode with the largest
+     candidate space): global pack selection at the default beam and
+     at beam 2 with a tight node budget — the budget-exhaustion path
+     is a correctness path too. *)
+  let global name beam node_budget =
+    ( name,
+      Some
+        {
+          Config.snslp with
+          Config.verify_each = true;
+          packing = Config.Global { beam; node_budget };
+        } )
+  in
   (("o3", None) :: both "slp" Config.vanilla)
   @ both "lslp" Config.lslp @ both "snslp" Config.snslp
+  @ [
+      global "snslp-global" Config.default_beam Config.default_node_budget;
+      global "snslp-global-b2" 2 64;
+    ]
 
 (* --- Execution harness ---------------------------------------------------- *)
 

@@ -219,6 +219,77 @@ kernel hmmer_path(double s[], double p[], double q[], double r[], double p2[], l
 |};
   }
 
+(* The three kernels below are the global-packing shapes (goSLP,
+   PAPERS.md; docs/PACKING.md): code where the greedy root-first
+   driver's first committed (or first attempted) pack forecloses a
+   better packing that a global selector finds.  Each is a
+   reconstruction in the same sense as the rest of the registry: the
+   expression shape the benchmark family is known for, boiled down to
+   the smallest loop body that exhibits it. *)
+
+let lbm_stream =
+  {
+    name = "lbm_stream";
+    provenance = "470.lbm: streaming collide update with an off-grid head store";
+    description =
+      "the aligned store pair mixes families and is rejected; the profitable pack sits \
+       one store off the greedy chunk grid, which greedy never retries";
+    istride = 3;
+    extent = 1;
+    default_iters = 4096;
+    source =
+      {|
+kernel lbm_stream(double o[], double a[], double b[], long i) {
+  o[i+0] = a[i+4] * b[i+6];
+  o[i+1] = a[i+0] + b[i+0];
+  o[i+2] = a[i+1] + b[i+1];
+}
+|};
+  }
+
+let leslie_flux =
+  {
+    name = "leslie_flux";
+    provenance = "437.leslie3d: flux row whose upper half reads a shifted plane";
+    description =
+      "the four-wide pack is profitable (one gathered operand) and greedy commits it \
+       wide-first, foreclosing the two all-consecutive pairs that together save more";
+    istride = 4;
+    extent = 1;
+    default_iters = 2048;
+    source =
+      {|
+kernel leslie_flux(float o[], float a[], float b[], long i) {
+  o[i+0] = a[i+0] + b[i+0];
+  o[i+1] = a[i+1] + b[i+1];
+  o[i+2] = a[i+2] + b[i+8];
+  o[i+3] = a[i+3] + b[i+9];
+}
+|};
+  }
+
+let calculix_blend =
+  {
+    name = "calculix_blend";
+    provenance = "454.calculix: strain add/sub blend, float32, 4 lanes on SSE";
+    description =
+      "one commutative lane written flipped: the greedy chain never reconsiders lane 0, \
+       gathers both operand vectors and rejects; the exhaustive per-lane swap restores \
+       consecutive loads";
+    istride = 4;
+    extent = 1;
+    default_iters = 2048;
+    source =
+      {|
+kernel calculix_blend(float o[], float a[], float b[], long i) {
+  o[i+0] = b[i+0] + a[i+0];
+  o[i+1] = a[i+1] - b[i+1];
+  o[i+2] = a[i+2] - b[i+2];
+  o[i+3] = a[i+3] + b[i+3];
+}
+|};
+  }
+
 (* 433.milc's hot function, mult_su3_mat_vec, fully unrolled: a 3x3
    complex matrix times a complex 3-vector per lattice site, over
    [sites] sites per loop iteration (milc's own site loops unroll the
@@ -314,6 +385,9 @@ let all =
     soplex_update;
     motiv_leaf;
     motiv_trunk;
+    lbm_stream;
+    leslie_flux;
+    calculix_blend;
     milc_mat_vec;
   ]
 

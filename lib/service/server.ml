@@ -58,6 +58,12 @@ type t = {
          correctness, so a reset only costs refills *)
   mutable latencies_s : float list; (* newest first *)
   mutable served : int;
+  mutable vstats : Stats.t;
+      (* vectorizer counters accumulated over every miss compiled by
+         this server — hits replay renderings and add nothing, so
+         these measure the work the cache did NOT absorb.  The pack_*
+         counters expose the global pack selector's search effort
+         (candidates / expansions / pruned / replayed plans). *)
 }
 
 let create ?capacity () =
@@ -69,18 +75,42 @@ let create ?capacity () =
     index_bound = 8 * (Cache.counters cache).Cache.capacity;
     latencies_s = [];
     served = 0;
+    vstats = Stats.create ();
   }
 
 let cache t = t.cache
 
 let now_s () = Unix.gettimeofday ()
 
-let setting_of_mode : string -> (Pipeline.setting, string) result = function
-  | "o3" -> Ok None
-  | "slp" -> Ok (Some Config.vanilla)
-  | "lslp" -> Ok (Some Config.lslp)
-  | "sn-slp" -> Ok (Some Config.snslp)
-  | m -> Error ("unknown mode " ^ m)
+(* A mode string is the vectorizer mode, optionally followed by
+   "+PACKING" — e.g. "sn-slp+global", "sn-slp+global:8:1024",
+   "lslp+greedy".  The packing choice lands in the config and hence in
+   [Config.fingerprint], so cached entries never cross packing modes
+   ("sn-slp" and "sn-slp+greedy" do share: same config). *)
+let setting_of_mode (m : string) : (Pipeline.setting, string) result =
+  let base, packing =
+    match String.index_opt m '+' with
+    | Some k ->
+        (String.sub m 0 k, Some (String.sub m (k + 1) (String.length m - k - 1)))
+    | None -> (m, None)
+  in
+  let with_packing (c : Config.t) =
+    match packing with
+    | None -> Ok (Some c)
+    | Some p -> (
+        match Config.packing_of_string p with
+        | Some packing -> Ok (Some { c with Config.packing })
+        | None -> Error ("unknown packing " ^ p))
+  in
+  match base with
+  | "o3" -> (
+      match packing with
+      | None -> Ok None
+      | Some _ -> Error "mode o3 takes no packing suffix")
+  | "slp" -> with_packing Config.vanilla
+  | "lslp" -> with_packing Config.lslp
+  | "sn-slp" -> with_packing Config.snslp
+  | _ -> Error ("unknown mode " ^ base)
 
 let fingerprint_of_setting = function
   | None -> "o3"
@@ -228,6 +258,9 @@ let handle_batch t (requests : (string * string, string) result list) :
       in
       List.iter2
         (fun ((f : Defs.func), key, structural, cell) (r : Pipeline.result) ->
+          (match r.Pipeline.vect_report with
+          | Some rep -> t.vstats <- Stats.merge t.vstats rep.Vectorize.stats
+          | None -> ());
           let c =
             {
               cfunc = r.Pipeline.func;
@@ -308,6 +341,12 @@ let stats_reply t : Protocol.response =
       ("mean_ms", ms mean);
       ("p50_ms", ms (percentile 50.0 lat));
       ("p99_ms", ms (percentile 99.0 lat));
+      (* Global pack-selection search effort, summed over every miss
+         this server compiled (greedy-packing compiles leave them 0). *)
+      ("pack_candidates", string_of_int t.vstats.Stats.pack_candidates);
+      ("pack_expansions", string_of_int t.vstats.Stats.pack_expansions);
+      ("pack_pruned", string_of_int t.vstats.Stats.pack_pruned);
+      ("pack_plans", string_of_int t.vstats.Stats.pack_plans);
     ]
 
 let record t dt n =

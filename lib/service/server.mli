@@ -24,14 +24,21 @@ val handle_batch :
   t -> (string * string, string) result list -> Protocol.response list
 (** [handle_batch t requests] compiles one batch: each [Ok (mode,
     source)] yields a [Compiled] response in order, each [Error msg]
-    an [Err].  Cache lookups happen per function; the misses of the
-    whole batch compile together (one adaptive pool fan-out per
-    distinct mode, identical misses deduplicated by cache key).
-    Exposed for in-process use; {!serve} frames the same calls. *)
+    an [Err].  A mode is "o3", "slp", "lslp" or "sn-slp", optionally
+    suffixed "+greedy" or "+global[:BEAM[:BUDGET]]" to pick the
+    statement-packing strategy; the choice is part of the config
+    fingerprint, so cache entries never cross packing modes.  Cache
+    lookups happen per function; the misses of the whole batch compile
+    together (one adaptive pool fan-out per distinct mode, identical
+    misses deduplicated by cache key).  Exposed for in-process use;
+    {!serve} frames the same calls. *)
 
 val stats_reply : t -> Protocol.response
 (** The counters snapshot [serve] answers [stats] with: cache
-    counters, hit rate, and latency mean/p50/p99. *)
+    counters, hit rate, latency mean/p50/p99, and the global
+    pack-selection search counters (pack_candidates / pack_expansions
+    / pack_pruned / pack_plans) accumulated over every miss the server
+    compiled. *)
 
 val latencies_s : t -> float list
 (** Recorded per-request wall latencies, newest first.  Requests in a

@@ -16,32 +16,11 @@ open Snslp_ir
 open Snslp_costmodel
 open Snslp_interp
 
-(* Cost, in abstract cycles, of one dynamic execution of [i]. *)
+(* Cost, in abstract cycles, of one dynamic execution of [i] — the
+   shared pricing function lives in {!Model} so the global pack
+   selector charges exactly what the simulator will. *)
 let instr_cost (model : Model.t) (target : Target.t) (i : Defs.instr) : float =
-  let lanes ty = Ty.lanes ty in
-  match i.Defs.op with
-  | Defs.Binop b ->
-      let c = Model.class_of_binop b i.Defs.ty in
-      if Ty.is_vector i.Defs.ty then model.Model.vector c ~lanes:(lanes i.Defs.ty)
-      else model.Model.scalar c
-  | Defs.Alt_binop kinds ->
-      let fam_mul =
-        Array.exists (fun k -> k = Defs.Mul || k = Defs.Div) kinds
-      in
-      model.Model.alt target ~lanes:(lanes i.Defs.ty) ~fam_mul
-  | Defs.Load ->
-      if Ty.is_vector i.Defs.ty then model.Model.vector Model.C_load ~lanes:(lanes i.Defs.ty)
-      else model.Model.scalar Model.C_load
-  | Defs.Store ->
-      let vty = Value.ty i.Defs.ops.(0) in
-      if Ty.is_vector vty then model.Model.vector Model.C_store ~lanes:(lanes vty)
-      else model.Model.scalar Model.C_store
-  | Defs.Gep -> model.Model.scalar Model.C_gep
-  | Defs.Insert -> model.Model.scalar Model.C_insert
-  | Defs.Extract -> model.Model.scalar Model.C_extract
-  | Defs.Shuffle _ -> model.Model.scalar Model.C_shuffle
-  | Defs.Icmp _ | Defs.Fcmp _ -> model.Model.scalar Model.C_cmp
-  | Defs.Select -> model.Model.scalar Model.C_select
+  Model.instr_cost model target i
 
 type result = { cycles : float; instrs_executed : int }
 

@@ -38,6 +38,45 @@ let memo_of_string = function
   | "auto" -> Some Auto
   | _ -> None
 
+(* Statement-packing strategy.  [Greedy] is the paper's root-first
+   builder, untouched (bit-identical legacy path).  [Global] runs the
+   greedy path as the incumbent and then a goSLP-style global search
+   over enumerated pack candidates (beam search with a
+   branch-and-bound admissible bound, pure OCaml), replays the best
+   plans, and keeps whichever result the machine-model static cost
+   ranks cheapest — greedy on ties, so Global is never worse than
+   Greedy under that metric.  [beam] bounds the search frontier
+   (beam <= 1 degenerates to the greedy incumbent alone, reproducing
+   [Greedy] bit-identically); [node_budget] caps the total SLP-graph
+   nodes built during candidate enumeration. *)
+type packing = Greedy | Global of { beam : int; node_budget : int }
+
+let default_beam = 4
+let default_node_budget = 4096
+
+let packing_to_string = function
+  | Greedy -> "greedy"
+  | Global { beam; node_budget } ->
+      if node_budget = default_node_budget then Printf.sprintf "global:%d" beam
+      else Printf.sprintf "global:%d:%d" beam node_budget
+
+(* Accepts "greedy", "global", "global:BEAM" and "global:BEAM:BUDGET". *)
+let packing_of_string s =
+  match String.split_on_char ':' s with
+  | [ "greedy" ] -> Some Greedy
+  | [ "global" ] -> Some (Global { beam = default_beam; node_budget = default_node_budget })
+  | [ "global"; beam ] -> (
+      match int_of_string_opt beam with
+      | Some beam when beam >= 1 ->
+          Some (Global { beam; node_budget = default_node_budget })
+      | _ -> None)
+  | [ "global"; beam; budget ] -> (
+      match (int_of_string_opt beam, int_of_string_opt budget) with
+      | Some beam, Some node_budget when beam >= 1 && node_budget >= 0 ->
+          Some (Global { beam; node_budget })
+      | _ -> None)
+  | _ -> None
+
 (* The Auto crossover, calibrated from BENCH_compile_time.json: every
    registry kernel at or below 104 instructions sits inside the noise
    band (0.69x–1.27x, the one clear loss being milc_su3), while the
@@ -54,6 +93,10 @@ type t = {
   max_chain : int; (* cap on trunk length, bounds compile time *)
   threshold : float; (* vectorize when cost < threshold *)
   reductions : bool; (* seed from reduction trees (-slp-vectorize-hor) *)
+  packing : packing;
+      (* statement-packing strategy: the greedy root-first builder, or
+         the global beam/branch-and-bound pack selector.  Changes the
+         emitted IR, so it is part of {!fingerprint}. *)
   memoize : memo;
       (* look-ahead memoization, incremental dependence refresh,
          use-list-backed queries.  [Off] reproduces the legacy
@@ -81,6 +124,7 @@ let default =
     max_chain = 16;
     threshold = 0.0;
     reductions = true;
+    packing = Greedy;
     memoize = Auto;
     jobs = 1;
     verify_each = false;
@@ -108,14 +152,20 @@ let memo_on (t : t) = match t.memoize with On | Auto -> true | Off -> false
 
 (* The output-relevant fingerprint, for content-addressed compile
    caching: two configs with equal fingerprints produce bit-identical
-   optimized IR for the same input.  [memoize], [jobs] and
+   optimized IR for the same input.  Audited against every field of
+   [t]: [mode], [target] (by name — names are unique in [Target]),
+   [model] (likewise), [lookahead_depth], [max_chain], [threshold]
+   (hex-exact), [reductions] and [packing] all steer what the
+   pipeline emits and are all included.  [memoize], [jobs] and
    [verify_each] are deliberately excluded — they change how fast the
    pipeline runs, never what it emits — so cache entries are shared
-   across memoization policies and parallelism settings. *)
+   across memoization policies and parallelism settings.
+   (test_packing.ml holds the qcheck property backing this: equal
+   fingerprints imply identical optimized IR on a fuzz corpus.) *)
 let fingerprint (t : t) =
-  Printf.sprintf "%s/%s/%s/la%d/ch%d/th%h/red%b" (mode_to_string t.mode)
+  Printf.sprintf "%s/%s/%s/la%d/ch%d/th%h/red%b/pk%s" (mode_to_string t.mode)
     t.target.Target.name t.model.Model.name t.lookahead_depth t.max_chain t.threshold
-    t.reductions
+    t.reductions (packing_to_string t.packing)
 
 let pp ppf (t : t) =
   Fmt.pf ppf "%s(target=%s, model=%s, la=%d)" (mode_to_string t.mode) t.target.Target.name

@@ -27,6 +27,26 @@ val auto_memo_threshold : int
     the observed small-kernel losses all sit below it, the decisive
     wins above). *)
 
+type packing = Greedy | Global of { beam : int; node_budget : int }
+(** Statement-packing strategy.  [Greedy] is the paper's root-first
+    builder (the bit-identical legacy path).  [Global] adds a
+    goSLP-style global pack selection: enumerate pack candidates,
+    search subsets with beam search + a branch-and-bound admissible
+    bound, replay the best plans, and keep whichever result
+    (greedy incumbent included) the machine-model static cost ranks
+    cheapest — greedy on ties.  [beam <= 1] reproduces [Greedy]
+    bit-identically; [node_budget] caps SLP-graph nodes built during
+    enumeration. *)
+
+val default_beam : int
+val default_node_budget : int
+
+val packing_to_string : packing -> string
+
+val packing_of_string : string -> packing option
+(** Accepts ["greedy"], ["global"], ["global:BEAM"] and
+    ["global:BEAM:BUDGET"]. *)
+
 type t = {
   mode : mode;
   target : Target.t;
@@ -35,6 +55,9 @@ type t = {
   max_chain : int; (** cap on trunk length, bounds compile time *)
   threshold : float; (** vectorize when cost < threshold *)
   reductions : bool; (** seed from reduction trees (-slp-vectorize-hor) *)
+  packing : packing;
+      (** statement-packing strategy; output-affecting, so part of
+          {!fingerprint} *)
   memoize : memo;
       (** look-ahead memoization, incremental dependence refresh and
           use-list-backed queries; [Off] reproduces the legacy
@@ -71,7 +94,9 @@ val memo_on : t -> bool
 val fingerprint : t -> string
 (** Output-relevant configuration fingerprint for content-addressed
     compile caching: equal fingerprints guarantee bit-identical
-    optimized IR for equal inputs.  Excludes [memoize], [jobs] and
+    optimized IR for equal inputs.  Covers every output-affecting
+    field — mode, target, model, look-ahead depth, chain cap,
+    threshold, reductions and packing; excludes [memoize], [jobs] and
     [verify_each], which affect compile speed only. *)
 
 val pp : t Fmt.t

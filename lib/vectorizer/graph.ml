@@ -35,10 +35,21 @@ type node = {
          first member's position instead of the last one *)
 }
 
+(* Operand-reorder strategy for commutative groups.  [R_chain] is the
+   legacy greedy left-to-right chain (LLVM's
+   reorderInputsAccordingToOpcode, look-ahead upgraded); the global
+   pack selector also tries [R_exhaustive], the look-ahead-scored
+   argmax over all per-lane swap assignments (lane 0 included, which
+   the chain never reconsiders).  Ties keep the chain's choice, so
+   exhaustive only ever departs when its total score is strictly
+   higher. *)
+type reorder = R_chain | R_exhaustive
+
 type t = {
   config : Config.t;
   func : Defs.func;
   block : Defs.block;
+  reorder : reorder;
   stats : Stats.t option; (* phase-timing sink, when the caller profiles *)
   mutable deps : Deps.t;
   mutable nodes : node list; (* creation order, root first *)
@@ -144,7 +155,53 @@ let reorder_operands (t : t) (instrs : Defs.instr array) :
         op0.(k) <- a;
         op1.(k) <- b
       end
-    done
+    done;
+    (* [R_exhaustive]: re-derive the assignment as a global argmax of
+       the same objective the chain optimizes lane by lane — the sum
+       of look-ahead scores between consecutive lanes of both operand
+       vectors — over every per-lane swap of the commutative lanes,
+       lane 0 included.  The chain's result is one point of that
+       space, taken as the incumbent, so exhaustive is never worse
+       under the objective and ties reproduce the chain exactly. *)
+    if t.reorder = R_exhaustive then begin
+      let swappable = ref [] in
+      for k = lanes - 1 downto 0 do
+        if commutative instrs.(k) then swappable := k :: !swappable
+      done;
+      let sw = Array.of_list !swappable in
+      let ns = Array.length sw in
+      if ns >= 1 && ns <= 10 then begin
+        let objective o0 o1 =
+          let total = ref 0 in
+          for k = 1 to lanes - 1 do
+            total := !total + score o0.(k - 1) o0.(k) + score o1.(k - 1) o1.(k)
+          done;
+          !total
+        in
+        let best = ref (objective op0 op1) in
+        let c0 = Array.make lanes op0.(0) in
+        let c1 = Array.make lanes op1.(0) in
+        for mask = 0 to (1 lsl ns) - 1 do
+          for k = 0 to lanes - 1 do
+            c0.(k) <- instrs.(k).Defs.ops.(0);
+            c1.(k) <- instrs.(k).Defs.ops.(1)
+          done;
+          Array.iteri
+            (fun bit k ->
+              if mask land (1 lsl bit) <> 0 then begin
+                c0.(k) <- instrs.(k).Defs.ops.(1);
+                c1.(k) <- instrs.(k).Defs.ops.(0)
+              end)
+            sw;
+          let o = objective c0 c1 in
+          if o > !best then begin
+            best := o;
+            Array.blit c0 0 op0 0 lanes;
+            Array.blit c1 0 op1 0 lanes
+          end
+        done
+      end
+    end
   end;
   (op0, op1)
 
@@ -410,8 +467,8 @@ and build_binop_group (t : t) (vals : Defs.value array) (instrs : Defs.instr arr
    it); entries are keyed by per-function instruction ids, so it must
    also be cleared between functions.  Without it, a fresh per-graph
    memo, as before. *)
-let build ?stats ?deps ?cache (config : Config.t) (func : Defs.func) (block : Defs.block)
-    (seed : Defs.instr list) : t option =
+let build ?stats ?deps ?cache ?(reorder = R_chain) (config : Config.t) (func : Defs.func)
+    (block : Defs.block) (seed : Defs.instr list) : t option =
   let deps, deps_rebuilds =
     match deps with
     | Some d -> (d, 0)
@@ -425,6 +482,7 @@ let build ?stats ?deps ?cache (config : Config.t) (func : Defs.func) (block : De
       config;
       func;
       block;
+      reorder;
       stats;
       deps;
       nodes = [];

@@ -29,10 +29,18 @@ type node = {
           instead of the last *)
 }
 
+type reorder = R_chain | R_exhaustive
+(** Operand-reorder strategy for commutative groups: the legacy
+    greedy left-to-right chain, or the look-ahead-scored argmax over
+    all per-lane swap assignments (lane 0 included).  Ties keep the
+    chain's result, so [R_exhaustive] departs only when its total
+    score is strictly higher. *)
+
 type t = {
   config : Config.t;
   func : Defs.func;
   block : Defs.block;
+  reorder : reorder;
   stats : Stats.t option;  (** phase-timing sink, when the caller profiles *)
   mutable deps : Deps.t;
   mutable nodes : node list;
@@ -65,6 +73,7 @@ val build :
   ?stats:Stats.t ->
   ?deps:Deps.t ->
   ?cache:Lookahead.cache ->
+  ?reorder:reorder ->
   Config.t ->
   Defs.func ->
   Defs.block ->
@@ -77,8 +86,10 @@ val build :
     between seeds if the IR changed); [?cache] lends the caller's
     look-ahead memo (domain-local scratch in the parallel driver; the
     caller clears it on IR rewrites outside the build and between
-    functions); [?stats] charges phase timings ("deps", "massage",
-    "reorder") to the given sink. *)
+    functions); [?reorder] selects the commutative operand-reorder
+    strategy (default [R_chain], the legacy greedy chain); [?stats]
+    charges phase timings ("deps", "massage", "reorder") to the given
+    sink. *)
 
 val pp_node : node Fmt.t
 val pp : t Fmt.t

@@ -24,6 +24,15 @@ type t = {
   mutable reach_misses : int;
   mutable deps_builds : int;
   mutable deps_refreshes : int;
+  (* Global pack selection (Config.packing = Global): candidate
+     enumeration and beam/branch-and-bound search counters.  All four
+     are deterministic for a given input+config (the search is
+     sequential and float-exact), so they survive the jobs-determinism
+     comparison like every other counter. *)
+  mutable pack_candidates : int; (* pack candidates enumerated *)
+  mutable pack_expansions : int; (* beam states expanded by the solver *)
+  mutable pack_pruned : int; (* states cut by the admissible bound or the beam *)
+  mutable pack_plans : int; (* plans replayed (empty plan included) *)
   phases : (string, float) Hashtbl.t; (* cumulative seconds per phase *)
 }
 
@@ -43,6 +52,10 @@ let create () =
     reach_misses = 0;
     deps_builds = 0;
     deps_refreshes = 0;
+    pack_candidates = 0;
+    pack_expansions = 0;
+    pack_pruned = 0;
+    pack_plans = 0;
     phases = Hashtbl.create 8;
   }
 
@@ -123,6 +136,10 @@ let merge (a : t) (b : t) =
     reach_misses = a.reach_misses + b.reach_misses;
     deps_builds = a.deps_builds + b.deps_builds;
     deps_refreshes = a.deps_refreshes + b.deps_refreshes;
+    pack_candidates = a.pack_candidates + b.pack_candidates;
+    pack_expansions = a.pack_expansions + b.pack_expansions;
+    pack_pruned = a.pack_pruned + b.pack_pruned;
+    pack_plans = a.pack_plans + b.pack_plans;
     phases;
   }
 
@@ -143,18 +160,24 @@ let equal_counters (a : t) (b : t) =
   && a.reach_misses = b.reach_misses
   && a.deps_builds = b.deps_builds
   && a.deps_refreshes = b.deps_refreshes
+  && a.pack_candidates = b.pack_candidates
+  && a.pack_expansions = b.pack_expansions
+  && a.pack_pruned = b.pack_pruned
+  && a.pack_plans = b.pack_plans
 
 let pp ppf (t : t) =
   Fmt.pf ppf
     "graphs=%d vectorized=%d nodes=%d gathers=%d supernodes=%d aggregate=%d avg=%.2f \
-     reductions=%d lookahead=%d/%d reach=%d/%d deps=%d+%dr"
+     reductions=%d lookahead=%d/%d reach=%d/%d deps=%d+%dr \
+     pack=%dc/%de/%dp/%dr"
     t.graphs_built t.graphs_vectorized t.nodes_formed t.gathers (num_supernodes t)
     (aggregate_supernode_size t) (average_supernode_size t) t.reductions
     t.lookahead_hits
     (t.lookahead_hits + t.lookahead_misses)
     t.reach_hits
     (t.reach_hits + t.reach_misses)
-    t.deps_builds t.deps_refreshes
+    t.deps_builds t.deps_refreshes t.pack_candidates t.pack_expansions t.pack_pruned
+    t.pack_plans
 
 let pp_phases ppf (t : t) =
   Fmt.pf ppf "%a"

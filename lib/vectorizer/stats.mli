@@ -22,6 +22,14 @@ type t = {
       (** full {!Snslp_analysis.Deps.of_block} constructions *)
   mutable deps_refreshes : int;
       (** in-place {!Snslp_analysis.Deps.refresh} calls *)
+  mutable pack_candidates : int;
+      (** global packing: candidates enumerated *)
+  mutable pack_expansions : int;
+      (** global packing: beam states expanded *)
+  mutable pack_pruned : int;
+      (** global packing: states cut by the bound or the beam *)
+  mutable pack_plans : int;
+      (** global packing: plans replayed (empty plan included) *)
   phases : (string, float) Hashtbl.t;
       (** cumulative monotonic-clock seconds per vectorizer phase *)
 }

@@ -53,8 +53,8 @@ let count_kind (g : Graph.t) kindp =
    dependence analysis: one [Deps.t] serves every seed of the block,
    refreshed in place only after a rewrite actually changed the IR, so
    reachability windows survive across rejected and retried seeds. *)
-let try_seed (config : Config.t) (stats : Stats.t) trees func block
-    ~(scratch : scratch option) ~(shared_deps : Deps.t option) ~(dirty : bool ref)
+let try_seed ?(reorder = Graph.R_chain) (config : Config.t) (stats : Stats.t) trees func
+    block ~(scratch : scratch option) ~(shared_deps : Deps.t option) ~(dirty : bool ref)
     ~(on_graph : (Graph.t -> unit) option) (seed : Defs.instr list) : bool =
   (* Earlier trees may have consumed these stores. *)
   if not (List.for_all (Block.mem block) seed) then false
@@ -82,7 +82,7 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
     in
     match
       Stats.time ~stats "graph" (fun () ->
-          Graph.build ~stats ?deps ?cache config func block seed)
+          Graph.build ~stats ?deps ?cache ~reorder config func block seed)
     with
     | None -> false
     | Some g ->
@@ -132,14 +132,16 @@ let try_seed (config : Config.t) (stats : Stats.t) trees func block
         vectorized
   end
 
-(* [run ?scratch config func] vectorizes [func] in place and returns
-   the detailed report.
+(* [run_greedy ?scratch config func] vectorizes [func] in place and
+   returns the detailed report — the paper's greedy root-first driver,
+   byte-for-byte the legacy path ([Config.Greedy] dispatches here
+   unconditionally).
 
    Each run of adjacent stores is first attempted at the target's full
    vector width; stores of rejected groups (and the short tail of the
    run) are retried at the next narrower power-of-two width, as LLVM's
    SLP does.  The function is verified after every rewrite. *)
-let run ?scratch ?on_graph (config : Config.t) (func : Defs.func) : report =
+let run_greedy ?scratch ?on_graph (config : Config.t) (func : Defs.func) : report =
   (* Collapse [Auto] memoization here, once per function: everything
      below (graph build, chains, cost, reduction seeding) then sees a
      concrete [On]/[Off] policy sized to this function. *)
@@ -207,3 +209,124 @@ let run ?scratch ?on_graph (config : Config.t) (func : Defs.func) : report =
       + Stats.time ~stats "reduction" (fun () -> Reduction.run config stats func);
   Verifier.verify_exn func;
   { config; stats; trees = List.rev !trees }
+
+(* --- Global pack selection (Config.Global) ----------------------------- *)
+
+(* [replay_plan config plan func] commits a solver plan: for each
+   chosen candidate, in plan (= greedy preference) order, rebuild its
+   tree on the live IR — with the candidate's operand-reorder strategy
+   — and let the usual profitability test decide the commit, exactly
+   as [try_seed] does for greedy.  Estimates were measured on a
+   scratch clone whose massage state can differ slightly, so a
+   replayed tree may legitimately be rejected here; claim-disjointness
+   of the plan guarantees the chosen seeds never consume each other.
+   Reductions and verification run as in the greedy driver. *)
+let replay_plan ?scratch ?on_graph (config : Config.t) (plan : Packing.candidate list)
+    (func : Defs.func) : report =
+  let config = Config.resolve_memo ~num_instrs:(Func.num_instrs func) config in
+  let stats = Stats.create () in
+  let trees = ref [] in
+  List.iter
+    (fun (block : Defs.block) ->
+      let cands =
+        List.filter (fun (c : Packing.candidate) -> c.Packing.bid = block.Defs.bid) plan
+      in
+      if cands <> [] then begin
+        let shared_deps =
+          if Config.memo_on config then begin
+            stats.Stats.deps_builds <- stats.Stats.deps_builds + 1;
+            Some (Stats.time ~stats "deps" (fun () -> Deps.of_block block))
+          end
+          else None
+        in
+        let dirty = ref false in
+        List.iter
+          (fun (c : Packing.candidate) ->
+            let by_iid = Hashtbl.create 16 in
+            Block.iter (fun i -> Hashtbl.replace by_iid i.Defs.iid i) block;
+            let seed = List.filter_map (Hashtbl.find_opt by_iid) c.Packing.seed_iids in
+            if List.length seed = List.length c.Packing.seed_iids then
+              ignore
+                (try_seed ~reorder:c.Packing.reorder config stats trees func block
+                   ~scratch ~shared_deps ~dirty ~on_graph seed))
+          cands;
+        match shared_deps with
+        | Some d ->
+            let h, m = Deps.reach_stats d in
+            stats.Stats.reach_hits <- stats.Stats.reach_hits + h;
+            stats.Stats.reach_misses <- stats.Stats.reach_misses + m;
+            stats.Stats.deps_refreshes <- stats.Stats.deps_refreshes + Deps.refresh_count d
+        | None -> ()
+      end)
+    (Func.blocks func);
+  if config.Config.reductions then
+    stats.Stats.reductions <-
+      stats.Stats.reductions
+      + Stats.time ~stats "reduction" (fun () -> Reduction.run config stats func);
+  Verifier.verify_exn func;
+  { config; stats; trees = List.rev !trees }
+
+(* The global path is a portfolio: run the untouched greedy driver on
+   one clone, enumerate + solve + replay the best plans (and the
+   always-cheap empty plan, which is how the portfolio gets to
+   *decline* trees the compile-time model mispredicts) on others, rank
+   every compiled result with the machine-model static cost, and
+   transplant the winner into [func].  Greedy is scored first and ties
+   require a strict improvement, so Global is never worse than Greedy
+   under the metric, and [beam <= 1] (a single search hypothesis: the
+   incumbent) reproduces Greedy bit-identically. *)
+let run_global ?scratch ?on_graph ~beam ~node_budget (config : Config.t)
+    (func : Defs.func) : report =
+  let clear_scratch () =
+    match scratch with Some s -> Lookahead.cache_clear s.lookahead | None -> ()
+  in
+  let greedy_func = Func.clone func in
+  let greedy_rep = run_greedy ?scratch ?on_graph config greedy_func in
+  let pack_stats = Stats.create () in
+  let plans =
+    if beam <= 1 then []
+    else
+      Stats.time ~stats:pack_stats "pack" (fun () ->
+          let cands =
+            Packing.enumerate ~stats:pack_stats ?on_graph ~node_budget config func
+          in
+          let profitable = List.filter (Packing.est_profitable config) cands in
+          Packing.solve ~stats:pack_stats ~beam ~max_plans:3 profitable)
+  in
+  let replays =
+    if beam <= 1 then []
+    else
+      List.map
+        (fun plan ->
+          let f = Func.clone func in
+          clear_scratch ();
+          let rep = replay_plan ?scratch ?on_graph config plan f in
+          (f, rep))
+        (plans @ [ [] ])
+  in
+  pack_stats.Stats.pack_plans <- List.length replays;
+  let scored =
+    List.map
+      (fun (f, rep) -> (Packing.static_cost config f, f, rep))
+      ((greedy_func, greedy_rep) :: replays)
+  in
+  let best =
+    List.fold_left
+      (fun (bc, bf, br) (c, f, r) -> if c < bc -. 1e-9 then (c, f, r) else (bc, bf, br))
+      (List.hd scored) (List.tl scored)
+  in
+  let _, winner, winner_rep = best in
+  func.Defs.blocks <- winner.Defs.blocks;
+  func.Defs.next_iid <- winner.Defs.next_iid;
+  func.Defs.next_bid <- winner.Defs.next_bid;
+  (* The scratch memo holds entries for losing clones' instructions. *)
+  clear_scratch ();
+  Verifier.verify_exn func;
+  { winner_rep with stats = Stats.merge winner_rep.stats pack_stats }
+
+(* [run ?scratch config func] — the packing-strategy dispatcher. *)
+let run ?scratch ?on_graph (config : Config.t) (func : Defs.func) : report =
+  match config.Config.packing with
+  | Config.Greedy -> run_greedy ?scratch ?on_graph config func
+  | Config.Global { beam; node_budget } ->
+      run_global ?scratch ?on_graph ~beam ~node_budget config func

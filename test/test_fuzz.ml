@@ -73,6 +73,46 @@ let test_campaign_smoke () =
     result.Campaign.reports;
   check "clean" true (Campaign.clean result)
 
+(* The packing-axis campaign: 2000 cases differentially checking
+   global pack selection (default beam, and beam 2 with a tight node
+   budget so the budget-exhaustion path is exercised) against greedy
+   on the same functions.  The oracle's validator-backed
+   [Static_mismatch] verdicts count as findings, so a clean run also
+   means zero translation-validator mismatches.  Narrower config list
+   than the all-configs smoke, deeper case count: this is the
+   dedicated soak for the global packing path. *)
+let packing_configs : (string * Pipeline.setting) list =
+  let snslp = { Config.snslp with Config.verify_each = true } in
+  [
+    ("snslp-greedy", Some snslp);
+    ( "snslp-global",
+      Some
+        {
+          snslp with
+          Config.packing =
+            Config.Global
+              { beam = Config.default_beam; node_budget = Config.default_node_budget };
+        } );
+    ( "snslp-global-b2",
+      Some { snslp with Config.packing = Config.Global { beam = 2; node_budget = 64 } }
+    );
+  ]
+
+let test_campaign_packing () =
+  let result =
+    Campaign.run ~configs:packing_configs ~reduce:true ~seed:7 ~cases:2000 ()
+  in
+  check_int "cases" 2000 result.Campaign.cases;
+  List.iter
+    (fun (r : Campaign.case_report) ->
+      List.iter
+        (fun f ->
+          Alcotest.failf "case seed %d: %s" r.Campaign.case_seed
+            (Oracle.finding_to_string f))
+        r.Campaign.findings)
+    result.Campaign.reports;
+  check "clean" true (Campaign.clean result)
+
 (* Flip the first float add into a sub — a miscompile the size of one
    bit, applied through the test-only hook to the *optimized* function
    only, so the reference stays intact. *)
@@ -181,6 +221,8 @@ let suite =
         Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
         Alcotest.test_case "generator feeds the vectorizer" `Quick test_generator_vectorizes;
         Alcotest.test_case "campaign smoke (200 cases, all configs)" `Slow test_campaign_smoke;
+        Alcotest.test_case "campaign packing axis (2000 cases)" `Slow
+          test_campaign_packing;
         Alcotest.test_case "injected bug is caught and reduced" `Quick
           test_injected_bug_reduces;
         Alcotest.test_case "reducer rejects non-failing input" `Quick

@@ -637,6 +637,51 @@ let use_lists_stay_consistent =
       let r = Snslp_passes.Pipeline.run ~setting:(Some Config.snslp) g in
       check_uses r.Snslp_passes.Pipeline.func)
 
+(* --- Fingerprint soundness --------------------------------------------------- *)
+
+(* [Config.fingerprint] keys the compile-service cache, so two configs
+   with equal fingerprints MUST produce byte-identical optimized IR on
+   every function.  The pool pairs fingerprint-equal configs differing
+   only in excluded knobs (memoize, verify_each — compile-strategy,
+   not semantics) with fingerprint-distinct ones differing in packing
+   and mode; the property quantifies over fuzz-generated functions.
+   By construction the pool contains both equal- and distinct-
+   fingerprint pairs, so the implication is never vacuous. *)
+let fingerprint_keys_output =
+  QCheck.Test.make ~count:60 ~name:"equal fingerprints imply identical optimized IR"
+    QCheck.(make Gen.(int_range 1 100_000))
+    (fun seed ->
+      let global beam node_budget (c : Config.t) =
+        { c with Config.packing = Config.Global { beam; node_budget } }
+      in
+      let pool =
+        [
+          { Config.snslp with Config.memoize = Config.On };
+          { Config.snslp with Config.memoize = Config.Off };
+          { Config.snslp with Config.verify_each = true };
+          global Config.default_beam Config.default_node_budget Config.snslp;
+          global Config.default_beam Config.default_node_budget
+            { Config.snslp with Config.memoize = Config.Off };
+          global 2 64 Config.snslp;
+          Config.lslp;
+        ]
+      in
+      let outputs =
+        List.map
+          (fun c ->
+            let f = Snslp_fuzzer.Gen.generate ~seed () in
+            let r = Snslp_passes.Pipeline.run ~setting:(Some c) f in
+            (Config.fingerprint c, Printer.func_to_string r.Snslp_passes.Pipeline.func))
+          pool
+      in
+      List.for_all
+        (fun (fp_a, out_a) ->
+          List.for_all
+            (fun (fp_b, out_b) ->
+              (not (String.equal fp_a fp_b)) || String.equal out_a out_b)
+            outputs)
+        outputs)
+
 let suite =
   [
     ( "properties",
@@ -654,5 +699,6 @@ let suite =
           lookahead_memo_matches_reference;
           cost_breakdown_sums;
           use_lists_stay_consistent;
+          fingerprint_keys_output;
         ] );
   ]

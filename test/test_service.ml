@@ -310,6 +310,35 @@ let test_server_batch_and_stats () =
       check_str "served" "2" (List.assoc "served" kvs)
   | rs -> Alcotest.fail (Printf.sprintf "expected 3 responses, got %d" (List.length rs))
 
+let test_server_packing_modes () =
+  (* "+global" is part of the config fingerprint: a greedy-packed
+     entry must not answer a global-packed request, and "sn-slp" and
+     "sn-slp+greedy" are the same config, so they DO share.  The
+     stats reply carries the pack search counters, which only global
+     compiles advance.  lbm_stream is one of the kernels where the
+     two packings produce different code, so sharing across them
+     would be a miscompile, not just a stale counter. *)
+  let server = Server.create () in
+  let src = (Option.get (Snslp_kernels.Registry.find "lbm_stream")).Snslp_kernels.Registry.source in
+  let lines =
+    compile_frame "sn-slp" src
+    @ compile_frame "sn-slp+global" src
+    @ compile_frame "sn-slp+greedy" src
+    @ compile_frame "sn-slp+global:8:2048" src
+    @ [ "stats"; "quit" ]
+  in
+  match converse server lines with
+  | [ greedy; glob; greedy_alias; glob_beam8; Protocol.Stats_reply kvs ] ->
+      check_str "global misses after greedy" "miss" (statuses_of glob);
+      check_str "+greedy shares the plain entry" "hit-textual" (statuses_of greedy_alias);
+      check_str "a different beam is a different config" "miss" (statuses_of glob_beam8);
+      check "global compiled different code" true
+        (not (String.equal (ir_of greedy) (ir_of glob)));
+      check "pack candidates counted" true
+        (int_of_string (List.assoc "pack_candidates" kvs) > 0);
+      check "plans replayed" true (int_of_string (List.assoc "pack_plans" kvs) > 0)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 5 responses, got %d" (List.length rs))
+
 let test_server_bad_requests () =
   let server = Server.create () in
   let lines =
@@ -360,6 +389,8 @@ let suite =
         Alcotest.test_case "server semantic hit renames" `Quick test_server_semantic_hit_renames;
         Alcotest.test_case "server modes do not share" `Quick test_server_modes_do_not_share;
         Alcotest.test_case "server batch + dedup + stats" `Quick test_server_batch_and_stats;
+        Alcotest.test_case "server packing modes and counters" `Quick
+          test_server_packing_modes;
         Alcotest.test_case "server bad requests" `Quick test_server_bad_requests;
         Alcotest.test_case "server eviction end to end" `Quick test_server_eviction_end_to_end;
       ] );
