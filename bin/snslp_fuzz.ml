@@ -15,7 +15,7 @@ module Gen = Snslp_fuzzer.Gen
 module Oracle = Snslp_fuzzer.Oracle
 module Campaign = Snslp_fuzzer.Campaign
 
-let run seed cases reduce jobs engine max_instrs max_groups quiet =
+let run seed cases reduce jobs engine max_instrs max_groups loops quiet =
   if cases < 1 then begin
     Fmt.epr "--cases must be at least 1@.";
     exit 2
@@ -25,7 +25,12 @@ let run seed cases reduce jobs engine max_instrs max_groups quiet =
     exit 2
   end;
   let profile =
-    { Gen.default_profile with Gen.max_instrs; max_groups = max max_groups 1 }
+    {
+      Gen.default_profile with
+      Gen.max_instrs;
+      max_groups = max max_groups 1;
+      allow_loops = loops;
+    }
   in
   let last_echo = ref 0 in
   let on_progress ~done_ ~failing =
@@ -120,10 +125,19 @@ let () =
       & opt int Gen.default_profile.Gen.max_groups
       & info [ "max-groups" ] ~doc:"Store groups per generated function.")
   in
+  let loops =
+    Arg.(
+      value & flag
+      & info [ "loops" ]
+          ~doc:
+            "Also generate counted loops around store groups, exercising the \
+             unroll and unroll-and-jam passes ahead of vectorization.")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.") in
   let term =
     Term.(
-      const run $ seed $ cases $ reduce $ jobs $ engine $ max_instrs $ max_groups $ quiet)
+      const run $ seed $ cases $ reduce $ jobs $ engine $ max_instrs $ max_groups $ loops
+      $ quiet)
   in
   let info =
     Cmd.info "snslp-fuzz"

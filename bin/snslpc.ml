@@ -46,8 +46,8 @@ let target_of_string = function
       Fmt.epr "unknown target %S (sse, avx2, sse-noaddsub)@." s;
       exit 2
 
-let run verbose file kernel mode model target packing dump_before dump_after dump_graph
-    stats simulate lookahead jobs verify_each lint validate =
+let run verbose file kernel mode model target packing unroll dump_before dump_after
+    dump_graph stats simulate lookahead jobs verify_each lint validate =
   setup_logs verbose;
   if jobs < 1 then begin
     Fmt.epr "-j must be at least 1@.";
@@ -59,6 +59,13 @@ let run verbose file kernel mode model target packing dump_before dump_after dum
     | None ->
         Fmt.epr "unknown packing %S (greedy, global, global:BEAM, global:BEAM:BUDGET)@."
           packing;
+        exit 2
+  in
+  let unroll =
+    match Config.unroll_of_string unroll with
+    | Some u -> u
+    | None ->
+        Fmt.epr "unknown unroll policy %S (none, auto, or a factor >= 2)@." unroll;
         exit 2
   in
   let src = load_source file kernel in
@@ -87,6 +94,7 @@ let run verbose file kernel mode model target packing dump_before dump_after dum
                 model;
                 target = target_of_string target;
                 packing;
+                unroll;
                 lookahead_depth = lookahead;
                 jobs;
                 verify_each;
@@ -149,6 +157,14 @@ let run verbose file kernel mode model target packing dump_before dump_after dum
             rep.Vectorize.trees;
           if stats then Fmt.pr "; stats: %a@." Stats.pp rep.Vectorize.stats
       | None -> ());
+      (match result.Pipeline.loop_stats with
+      | Some ls when stats ->
+          Fmt.pr
+            "; loops: %d found, %d counted, %d fully unrolled, %d partially \
+             unrolled, %d blocks jammed@."
+            ls.Pipeline.loops ls.Pipeline.counted ls.Pipeline.unrolled_full
+            ls.Pipeline.unrolled_partial ls.Pipeline.blocks_merged
+      | _ -> ());
       (match result.Pipeline.validation with
       | None -> ()
       | Some v ->
@@ -218,6 +234,16 @@ let () =
              selection; never worse than greedy under the machine-model static \
              cost).  Search counters appear under --stats.")
   in
+  let unroll =
+    Arg.(
+      value & opt string "auto"
+      & info [ "unroll" ]
+          ~doc:
+            "Loop unrolling ahead of vectorization: $(b,auto) (full unroll of \
+             counted loops with known trip counts under the size budget, \
+             partial unroll otherwise), a factor $(b,N) >= 2, or $(b,none).  \
+             Loop counters appear under --stats.")
+  in
   let dump_before = Arg.(value & flag & info [ "dump-before" ] ~doc:"Print input IR.") in
   let dump_after = Arg.(value & flag & info [ "dump-after" ] ~doc:"Print optimised IR.") in
   let dump_graph =
@@ -265,7 +291,7 @@ let () =
   in
   let term =
     Term.(
-      const run $ verbose $ file $ kernel $ mode $ model $ target $ packing
+      const run $ verbose $ file $ kernel $ mode $ model $ target $ packing $ unroll
       $ dump_before $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs
       $ verify_each $ lint $ validate)
   in

@@ -71,6 +71,7 @@ let class_of_instr (i : Defs.instr) : op_class option =
   | Defs.Shuffle _ -> Some C_shuffle
   | Defs.Icmp _ | Defs.Fcmp _ -> Some C_cmp
   | Defs.Select -> Some C_select
+  | Defs.Phi _ -> None (* resolved by register allocation; free *)
 
 (* --- The didactic model of the paper's examples. ------------------- *)
 
@@ -169,6 +170,11 @@ let instr_cost (model : t) (target : Target.t) (i : Defs.instr) : float =
   | Defs.Shuffle _ -> model.scalar C_shuffle
   | Defs.Icmp _ | Defs.Fcmp _ -> model.scalar C_cmp
   | Defs.Select -> model.scalar C_select
+  | Defs.Phi _ ->
+      (* A phi is a join-point annotation, not an executed operation:
+         register allocation places the incoming values; charge 0 like
+         a gep. *)
+      0.0
 
 let by_name = function
   | "paper" -> Some paper

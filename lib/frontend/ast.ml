@@ -44,6 +44,21 @@ and stmt_desc =
   | Let of base_ty * string * expr (* double t = e; *)
   | Store of string * expr * expr (* A[e1] = e2; *)
   | If of expr * stmt list * stmt list (* else-branch possibly empty *)
+  | For of for_loop
+      (* for (long k = init; k < bound; k = k + step) { body } — the
+         counted form only: the condition tests the loop variable, the
+         step rebinds it by +/- an expression. *)
+
+and for_loop = {
+  fvar_ty : base_ty; (* an integer type *)
+  fvar : string;
+  finit : expr;
+  fcmp : cmpop;
+  fbound : expr; (* index-free: evaluated once, so it must be invariant *)
+  fstep_op : binop; (* Add or Sub *)
+  fstep : expr; (* index-free, like the bound *)
+  fbody : stmt list;
+}
 
 type param = { pname : string; pty : param_ty; ppos : pos }
 
@@ -86,6 +101,12 @@ let rec pp_stmt ppf (s : stmt) =
         t
         (Fmt.list ~sep:Fmt.sp pp_stmt)
         e
+  | For fl ->
+      Fmt.pf ppf "for (%s %s = %a; %s %s %a; %s = %s %s %a) { %a }"
+        (base_ty_to_string fl.fvar_ty) fl.fvar pp_expr fl.finit fl.fvar
+        (cmpop_to_string fl.fcmp) pp_expr fl.fbound fl.fvar fl.fvar
+        (binop_to_string fl.fstep_op) pp_expr fl.fstep
+        (Fmt.list ~sep:Fmt.sp pp_stmt) fl.fbody
 
 let pp_param ppf (p : param) =
   match p.pty with

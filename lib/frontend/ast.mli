@@ -30,6 +30,20 @@ and stmt_desc =
   | Let of base_ty * string * expr (** [double t = e;] *)
   | Store of string * expr * expr (** [A[e1] = e2;] *)
   | If of expr * stmt list * stmt list (** else-branch possibly empty *)
+  | For of for_loop
+      (** [for (long k = init; k cmp bound; k = k +/- step) { body }] —
+          the counted form only *)
+
+and for_loop = {
+  fvar_ty : base_ty;  (** an integer type *)
+  fvar : string;
+  finit : expr;
+  fcmp : cmpop;
+  fbound : expr;  (** index-free: evaluated once, so it must be invariant *)
+  fstep_op : binop;  (** Add or Sub *)
+  fstep : expr;  (** index-free, like the bound *)
+  fbody : stmt list;
+}
 
 type param = { pname : string; pty : param_ty; ppos : pos }
 type kernel = { kname : string; kparams : param list; kbody : stmt list; kpos : pos }

@@ -8,6 +8,7 @@ type token =
   | KERNEL
   | IF
   | ELSE
+  | FOR
   | TYPE of Ast.base_ty
   | IDENT of string
   | INT of int64
@@ -37,6 +38,7 @@ let token_to_string = function
   | KERNEL -> "kernel"
   | IF -> "if"
   | ELSE -> "else"
+  | FOR -> "for"
   | TYPE t -> Ast.base_ty_to_string t
   | IDENT s -> s
   | INT i -> Int64.to_string i
@@ -129,6 +131,7 @@ let keyword = function
   | "kernel" -> Some KERNEL
   | "if" -> Some IF
   | "else" -> Some ELSE
+  | "for" -> Some FOR
   | "int" -> Some (TYPE Ast.Int_ty)
   | "long" -> Some (TYPE Ast.Long_ty)
   | "float" -> Some (TYPE Ast.Float_ty)

@@ -2,8 +2,10 @@
 
    Each kernel becomes one IR function; array parameters become typed
    pointers, scalar parameters become scalar arguments.  Array accesses
-   lower to [gep] + [load]/[store]; [if] lowers to a diamond of blocks.
-   Local [let]s are pure SSA bindings so no phis are required. *)
+   lower to [gep] + [load]/[store]; [if] lowers to a diamond of blocks;
+   counted [for] loops lower to a back-edge CFG whose header holds the
+   one phi of the function (the induction variable).  Local [let]s are
+   pure SSA bindings, so straight-line code needs no phis. *)
 
 open Snslp_ir
 module A = Ast
@@ -141,6 +143,47 @@ and lower_stmt (env : env) (b : Builder.t) ~fresh_block (s : A.stmt) =
         Builder.br b join_b
       end;
       Builder.position b join_b
+  | A.For fl ->
+      (* The canonical rotated counted loop (the shape the unroll
+         pass recognizes):
+
+           preheader: init/bound/step computed; br header
+           header:    iv = phi [init from preheader, next from latch]
+                      cond_br (iv cmp bound), body, exit
+           body..:    the lowered body
+           latch:     next = iv +/- step; br header
+
+         The phi's back-edge operand is a placeholder until the latch
+         exists. *)
+      let init_v = lower_expr env b Ty.I64 fl.A.finit in
+      let bound_v = lower_expr env b Ty.I64 fl.A.fbound in
+      let step_v = lower_expr env b Ty.I64 fl.A.fstep in
+      let preheader = Builder.block b in
+      let header = fresh_block "head" in
+      let body_b = fresh_block "lbody" in
+      let latch = fresh_block "latch" in
+      let exit_b = fresh_block "lexit" in
+      Builder.br b header;
+      Builder.position b header;
+      let iv =
+        Builder.phi b ~name:fl.A.fvar ~preds:[| preheader; latch |]
+          [| init_v; Defs.Undef (Ty.Scalar Ty.I64) |]
+      in
+      let cond = Builder.icmp b (ir_cmp fl.A.fcmp) (Instr.value iv) bound_v in
+      Builder.cond_br b (Instr.value cond) body_b exit_b;
+      Builder.position b body_b;
+      let scoped =
+        { env with values = Hashtbl.copy env.values; kinds = Hashtbl.copy env.kinds }
+      in
+      Hashtbl.replace scoped.values fl.A.fvar (Instr.value iv);
+      Hashtbl.replace scoped.kinds fl.A.fvar Typecheck.K_int;
+      lower_stmts scoped b ~fresh_block fl.A.fbody;
+      Builder.br b latch;
+      Builder.position b latch;
+      let next = Builder.binop b (ir_binop fl.A.fstep_op) (Instr.value iv) step_v in
+      Builder.br b header;
+      Instr.set_operand iv 1 (Instr.value next);
+      Builder.position b exit_b
 
 let lower_kernel (k : A.kernel) : Defs.func =
   Typecheck.check_kernel k;

@@ -10,6 +10,9 @@
      stmt     := type IDENT "=" expr ";"
                | IDENT "[" expr "]" "=" expr ";"
                | "if" "(" expr ")" block ("else" block)?
+               | "for" "(" type IDENT "=" expr ";"
+                           IDENT cmpop expr ";"
+                           IDENT "=" IDENT ("+"|"-") expr ")" block
      expr     := cmp
      cmp      := arith ((==|!=|<|<=|>|>=) arith)?
      arith    := term (("+"|"-") term)*
@@ -129,6 +132,58 @@ let rec parse_stmt (ps : t) : Ast.stmt =
         | _ -> []
       in
       { Ast.sdesc = Ast.If (cond, then_body, else_body); spos = p }
+  | FOR, p ->
+      (* The counted form only: the condition's left-hand side and the
+         step's target must all be the loop variable. *)
+      advance ps;
+      expect ps LPAREN "'('";
+      let fvar_ty =
+        match peek ps with
+        | TYPE ty, _ ->
+            advance ps;
+            ty
+        | got, p -> error p "expected loop variable type, found %S" (token_to_string got)
+      in
+      let fvar = expect_ident ps "loop variable name" in
+      expect ps ASSIGN "'='";
+      let finit = parse_expr ps in
+      expect ps SEMI "';'";
+      let cvar = expect_ident ps "loop variable in condition" in
+      if cvar <> fvar then
+        error p "loop condition must test the loop variable %s, found %s" fvar cvar;
+      let fcmp =
+        match peek ps with
+        | EQ, _ -> advance ps; Ast.Ceq
+        | NE, _ -> advance ps; Ast.Cne
+        | LT, _ -> advance ps; Ast.Clt
+        | LE, _ -> advance ps; Ast.Cle
+        | GT, _ -> advance ps; Ast.Cgt
+        | GE, _ -> advance ps; Ast.Cge
+        | got, p -> error p "expected a comparison operator, found %S" (token_to_string got)
+      in
+      let fbound = parse_arith ps in
+      expect ps SEMI "';'";
+      let svar = expect_ident ps "loop variable in step" in
+      if svar <> fvar then
+        error p "loop step must assign the loop variable %s, found %s" fvar svar;
+      expect ps ASSIGN "'='";
+      let svar2 = expect_ident ps "loop variable in step" in
+      if svar2 <> fvar then
+        error p "loop step must be %s = %s + e or %s = %s - e" fvar fvar fvar fvar;
+      let fstep_op =
+        match peek ps with
+        | PLUS, _ -> advance ps; Ast.Add
+        | MINUS, _ -> advance ps; Ast.Sub
+        | got, p -> error p "expected '+' or '-' in loop step, found %S" (token_to_string got)
+      in
+      let fstep = parse_arith ps in
+      expect ps RPAREN "')'";
+      let fbody = parse_block ps in
+      {
+        Ast.sdesc =
+          Ast.For { fvar_ty; fvar; finit; fcmp; fbound; fstep_op; fstep; fbody };
+        spos = p;
+      }
   | IDENT name, p -> (
       advance ps;
       match peek ps with

@@ -99,6 +99,17 @@ let check (env : env) (t : ty) (e : expr) =
       if t <> t' then
         error e.epos "expression has type %s, expected %s" (ty_to_string t') (ty_to_string t)
 
+(* Reject array reads inside an expression that is evaluated once but
+   reads as if evaluated repeatedly (loop bounds and steps). *)
+let rec index_free (e : expr) (what : string) =
+  match e.desc with
+  | Index _ -> error e.epos "%s must not read an array element" what
+  | Int_lit _ | Float_lit _ | Var _ -> ()
+  | Unary (_, a) -> index_free a what
+  | Binary (_, a, b) | Cmp (_, a, b) ->
+      index_free a what;
+      index_free b what
+
 let check_cond env (c : expr) =
   match c.desc with
   | Cmp (_, a, b) -> (
@@ -127,6 +138,25 @@ let rec check_stmt (env : env) (s : stmt) =
       List.iter (check_stmt snapshot) then_body;
       let snapshot = Hashtbl.copy env in
       List.iter (check_stmt snapshot) else_body
+  | For fl ->
+      (match fl.fvar_ty with
+      | Int_ty | Long_ty -> ()
+      | Float_ty | Double_ty ->
+          error s.spos "loop variable %s must have an integer type" fl.fvar);
+      if Hashtbl.mem env fl.fvar then error s.spos "redefinition of %s" fl.fvar;
+      check env K_int fl.finit;
+      (* The bound and step lower to values computed once, before the
+         loop; an array element could change inside the body, so both
+         must be built from scalars and literals only. *)
+      index_free fl.fbound "loop bound";
+      check env K_int fl.fbound;
+      index_free fl.fstep "loop step";
+      check env K_int fl.fstep;
+      (* The loop variable is scoped to the loop, like branch
+         locals. *)
+      let snapshot = Hashtbl.copy env in
+      Hashtbl.replace snapshot fl.fvar (Local K_int);
+      List.iter (check_stmt snapshot) fl.fbody
 
 let check_kernel (k : kernel) : unit =
   let env = env_of_params k.kparams in

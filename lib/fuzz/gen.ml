@@ -40,6 +40,7 @@ type profile = {
   allow_div : bool; (* mul/div chains (sink-quarantined) *)
   allow_select : bool; (* cmp+select terms *)
   allow_reduction : bool; (* single-store reduction trees *)
+  allow_loops : bool; (* counted loops around store groups *)
 }
 
 let default_profile =
@@ -51,7 +52,10 @@ let default_profile =
     allow_div = true;
     allow_select = true;
     allow_reduction = true;
+    allow_loops = false;
   }
+
+let loopy_profile = { default_profile with allow_loops = true }
 
 type family = F64 | F32 | I64
 
@@ -73,14 +77,21 @@ type term = int -> Defs.value
 
 type st = {
   rand : Random.State.t;
+  func : Defs.func;
   builder : Builder.t;
-  i_arg : Defs.value;
+  (* The symbolic address base: the [i] argument in straight-line
+     code, the induction variable inside a generated loop body. *)
+  mutable i_arg : Defs.value;
   fl : side;
   it : side;
   (* Reusable terms; [gen2] marks terms that read the work array and
-     may therefore only feed sink-writing groups. *)
+     may therefore only feed sink-writing groups.  [pool_enabled] is
+     cleared inside loop bodies: a memoized term materialized there
+     would not dominate uses after the loop exit. *)
   mutable pool : (family * bool (* gen2 *) * term) list;
+  mutable pool_enabled : bool;
   mutable count : int;
+  mutable loops_made : int;
   profile : profile;
 }
 
@@ -191,7 +202,9 @@ let select_term st fam ~sym ~gen2 : term =
    reused term from the pool — the shared-sub-expression bias. *)
 let sum_term st fam ~sym ~gen2 : term =
   let reusable =
-    List.filter (fun (f, g2, _) -> f = fam && ((not g2) || gen2)) st.pool
+    if st.pool_enabled then
+      List.filter (fun (f, g2, _) -> f = fam && ((not g2) || gen2)) st.pool
+    else []
   in
   if reusable <> [] && chance st 0.25 then
     let _, _, t = List.nth reusable (rint st (List.length reusable)) in
@@ -203,7 +216,7 @@ let sum_term st fam ~sym ~gen2 : term =
       | 3 when st.profile.allow_select -> select_term st fam ~sym ~gen2
       | _ -> leaf st fam ~sym ~gen2
     in
-    if List.length st.pool < 16 && chance st 0.5 then
+    if st.pool_enabled && List.length st.pool < 16 && chance st 0.5 then
       st.pool <- (fam, gen2, t) :: st.pool;
     t
   end
@@ -259,17 +272,22 @@ let store_to st arr ~sym off v =
    Lane 0 fixes a multiset of signed terms; other lanes usually
    compute a scrambled copy (the Super-Node pattern), sometimes an
    independent chain (the reject path), sometimes the same order. *)
-let gen_store_group st =
+let gen_store_group ?(in_loop = false) st =
   let fam = if st.profile.allow_int && chance st 0.4 then I64 else st.fl.fam in
   let side = side_of st fam in
-  let sym = chance st 0.7 in
+  (* Inside a loop every address is keyed on the induction variable so
+     iterations write moving windows. *)
+  let sym = chance st 0.7 || in_loop in
   let width =
     if fam = F32 && chance st 0.5 then 4
     else match rint st 8 with 0 -> 3 | 1 -> 4 | _ -> 2
   in
   let muldiv = is_float_family fam && st.profile.allow_div && chance st 0.22 in
-  (* Division results are quarantined: they never feed later groups. *)
-  let gen2 = (not muldiv) && chance st 0.35 in
+  (* Division results are quarantined: they never feed later groups.
+     In-loop groups read only the pristine inputs (gen2 off): a work
+     cell re-read across iterations would compound rounding beyond the
+     two-generation exactness bound. *)
+  let gen2 = (not muldiv) && (not in_loop) && chance st 0.35 in
   let dst = if muldiv || gen2 then side.sink else if chance st 0.8 then side.work else side.sink in
   let len = if muldiv then 2 + rint st 2 else 2 + rint st 4 in
   let fresh_terms () =
@@ -327,6 +345,57 @@ let gen_copy_probe st =
   let v = load_at st side.work ~sym:(chance st 0.7) (rint st 10) in
   store_to st side.sink ~sym:(chance st 0.7) (rint st 10) v
 
+(* A counted loop in the canonical frontend shape (preheader -> header
+   with the iv phi and bounds check -> body -> latch -> header), its
+   body one or two store groups addressed off the induction variable.
+   Bounds are small constants (full-unroll fodder, including zero
+   trips) or the [i] argument (symbolic: the partial-unroll path).
+   The term pool is disabled inside the body — a term materialized
+   there would not dominate uses after the exit — and restored after,
+   so loop-local caches never leak. *)
+let gen_loop st =
+  st.loops_made <- st.loops_made + 1;
+  let n = st.loops_made in
+  let preheader = Builder.block st.builder in
+  let header = Func.add_block st.func (Printf.sprintf "head%d" n) in
+  let body = Func.add_block st.func (Printf.sprintf "lbody%d" n) in
+  let latch = Func.add_block st.func (Printf.sprintf "latch%d" n) in
+  let exit_b = Func.add_block st.func (Printf.sprintf "lexit%d" n) in
+  let symbolic = chance st 0.3 in
+  let bound =
+    if symbolic then st.i_arg (* = 8 under the oracle's harness *)
+    else Value.const_int (rint st 7)
+  in
+  Builder.br st.builder header;
+  Builder.position st.builder header;
+  let iv =
+    Builder.phi st.builder
+      ~name:(Printf.sprintf "k%d" n)
+      ~preds:[| preheader; latch |]
+      [| Value.const_int 0; Defs.Undef (Ty.Scalar Ty.I64) |]
+  in
+  let cond = Builder.icmp st.builder Defs.Lt (Instr.value iv) bound in
+  Builder.cond_br st.builder (Instr.value cond) body exit_b;
+  Builder.position st.builder body;
+  let saved_i = st.i_arg and saved_pool = st.pool in
+  st.i_arg <- Instr.value iv;
+  st.pool_enabled <- false;
+  st.pool <- [];
+  let groups = 1 + rint st 2 in
+  for _ = 1 to groups do
+    gen_store_group ~in_loop:true st
+  done;
+  st.i_arg <- saved_i;
+  st.pool <- saved_pool;
+  st.pool_enabled <- true;
+  Builder.br st.builder latch;
+  Builder.position st.builder latch;
+  let next = Builder.add st.builder (Instr.value iv) (Value.const_int 1) in
+  Builder.br st.builder header;
+  Instr.set_operand iv 1 (Instr.value next);
+  Builder.position st.builder exit_b;
+  st.count <- st.count + 4
+
 (* --- Whole functions ------------------------------------------------------ *)
 
 let generate ?(profile = default_profile) ~seed () : Defs.func =
@@ -350,23 +419,29 @@ let generate ?(profile = default_profile) ~seed () : Defs.func =
   let st =
     {
       rand;
+      func;
       builder;
       i_arg = arg 8;
       fl = { fam = ffam; inputs = [| arg 0; arg 1 |]; work = arg 2; sink = arg 3 };
       it = { fam = I64; inputs = [| arg 4; arg 5 |]; work = arg 6; sink = arg 7 };
       pool = [];
+      pool_enabled = true;
       count = 0;
+      loops_made = 0;
       profile;
     }
   in
-  (* Always at least one store group; then add groups and probes until
-     the size budget or the group cap is reached. *)
+  (* Always at least one store group; then add groups, probes (and
+     loops, when enabled) until the size budget or the group cap is
+     reached.  The draw pattern is identical for loop-free profiles,
+     so a given (profile, seed) keeps generating the same function. *)
   gen_store_group st;
   let groups = ref 1 in
   while !groups < profile.max_groups && st.count < profile.max_instrs - 20 do
     (match rint st 10 with
     | 0 | 1 when profile.allow_reduction -> gen_reduction st
     | 2 -> gen_copy_probe st
+    | 3 | 4 when profile.allow_loops -> gen_loop st
     | _ -> gen_store_group st);
     incr groups
   done;

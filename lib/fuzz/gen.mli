@@ -17,9 +17,18 @@ type profile = {
   allow_div : bool;  (** mul/div chains (results never re-read) *)
   allow_select : bool;  (** cmp+select terms *)
   allow_reduction : bool;  (** single-store reduction trees *)
+  allow_loops : bool;
+      (** counted loops (canonical frontend shape) around store groups
+          addressed off the induction variable; constant trip counts
+          0..6 or the symbolic [i] bound, so both full and partial
+          unrolling get exercised *)
 }
 
 val default_profile : profile
+(** Straight-line only ([allow_loops = false]). *)
+
+val loopy_profile : profile
+(** {!default_profile} plus counted loops. *)
 
 val generate : ?profile:profile -> seed:int -> unit -> Snslp_ir.Defs.func
 (** [generate ~seed ()] emits one verified straight-line function,

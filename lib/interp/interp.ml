@@ -22,6 +22,10 @@ type env = {
   on_exec : Defs.instr -> unit;
   max_steps : int;
   mutable steps : int;
+  mutable cur_pred : int;
+      (* bid of the block whose terminator was last followed; phis in
+         the current block select their incoming value by it.  -1 at
+         entry (the entry block has no phis). *)
 }
 
 let value (env : env) (v : Defs.value) : Rvalue.t =
@@ -183,6 +187,14 @@ let exec_instr (env : env) (i : Defs.instr) : unit =
                   cv))
       | _ ->
           set (if Int64.compare (Rvalue.as_int c) 0L <> 0 then t else e))
+  | Defs.Phi preds ->
+      let npred = Array.length preds in
+      let rec find k =
+        if k >= npred then error "phi: no incoming edge for predecessor"
+        else if preds.(k) = env.cur_pred then k
+        else find (k + 1)
+      in
+      set (value env i.Defs.ops.(find 0))
 
 (* [run_counted ?on_exec ?max_steps func ~args ~memory] executes one
    call on the tree-walking engine and returns the number of executed
@@ -194,9 +206,20 @@ let run_counted ?(on_exec = fun _ -> ()) ?(max_steps = 10_000_000) (func : Defs.
     error "@%s expects %d arguments, got %d" (Func.name func)
       (Array.length (Func.args func))
       (Array.length args);
-  let env = { memory; args; regs = Hashtbl.create 64; on_exec; max_steps; steps = 0 } in
+  let env =
+    {
+      memory;
+      args;
+      regs = Hashtbl.create 64;
+      on_exec;
+      max_steps;
+      steps = 0;
+      cur_pred = -1;
+    }
+  in
   let rec exec_block (b : Defs.block) : unit =
     List.iter (exec_instr env) (Block.instrs b);
+    env.cur_pred <- b.Defs.bid;
     match Block.terminator b with
     | Defs.Ret -> ()
     | Defs.Br t -> exec_block t
@@ -255,6 +278,7 @@ type exec_state = {
   mutable cur_args : Rvalue.t array;
   mutable bufs : Memory.buffer option array; (* by arg position, bound per call *)
   mutable cur_mem : Memory.t;
+  mutable cur_pred : int; (* bid of the block last exited; -1 at entry *)
 }
 
 type cterm =
@@ -267,6 +291,7 @@ type cblock = {
   body : (unit -> unit) array;
   src : Defs.instr array; (* same order as [body], for on_exec *)
   cterm : cterm;
+  src_bid : int; (* becomes [cur_pred] when the terminator is followed *)
 }
 
 type plan = { pfunc : Defs.func; st : exec_state; cblocks : cblock array }
@@ -304,6 +329,7 @@ let compile (func : Defs.func) : plan =
       cur_args = [||];
       bufs = [||];
       cur_mem = Memory.create ();
+      cur_pred = -1;
     }
   in
   let const_rv (v : Defs.value) : Rvalue.t =
@@ -653,6 +679,33 @@ let compile (func : Defs.func) : plan =
               let t = rop i.Defs.ops.(1) and e = rop i.Defs.ops.(2) in
               fun () ->
                 st.v_regs.(d) <- (if Int64.compare (co ()) 0L <> 0 then t () else e ()))
+    | Defs.Phi preds ->
+        (* Select the operand whose predecessor [cur_pred] names; only
+           the chosen accessor runs, matching the tree-walker's lazy
+           evaluation of the untaken incoming values. *)
+        let preds = Array.copy preds in
+        let npred = Array.length preds in
+        let pick () =
+          let rec find k =
+            if k >= npred then error "phi: no incoming edge for predecessor"
+            else if preds.(k) = st.cur_pred then k
+            else find (k + 1)
+          in
+          find 0
+        in
+        (match i.Defs.ty with
+        | Ty.Scalar (Ty.F32 | Ty.F64) ->
+            let d = fdst () in
+            let ops = Array.map fop i.Defs.ops in
+            fun () -> st.f_regs.(d) <- ops.(pick ()) ()
+        | Ty.Scalar (Ty.I32 | Ty.I64) ->
+            let d = idst () in
+            let ops = Array.map iop i.Defs.ops in
+            fun () -> st.i_regs.(d) <- ops.(pick ()) ()
+        | Ty.Vector _ | Ty.Ptr _ ->
+            let d = vdst () in
+            let ops = Array.map rop i.Defs.ops in
+            fun () -> st.v_regs.(d) <- ops.(pick ()) ())
   in
   let blocks = Array.of_list (Func.blocks func) in
   let index_of_bid = Hashtbl.create 16 in
@@ -677,6 +730,7 @@ let compile (func : Defs.func) : plan =
           body = Array.map compile_instr instrs;
           src = instrs;
           cterm = compile_term b.Defs.term;
+          src_bid = b.Defs.bid;
         })
       blocks
   in
@@ -700,6 +754,7 @@ let execute ?on_exec ?(max_steps = 10_000_000) (plan : plan)
     st.bufs.(p) <- Hashtbl.find_opt memory p
   done;
   if Array.length plan.cblocks = 0 then ignore (Func.entry func);
+  st.cur_pred <- -1;
   let steps = ref 0 in
   let rec go k =
     let cb = plan.cblocks.(k) in
@@ -722,8 +777,13 @@ let execute ?on_exec ?(max_steps = 10_000_000) (plan : plan)
         done);
     match cb.cterm with
     | C_ret -> ()
-    | C_br t -> go t
-    | C_cond_br (c, t1, t2) -> go (if Int64.compare (c ()) 0L <> 0 then t1 else t2)
+    | C_br t ->
+        st.cur_pred <- cb.src_bid;
+        go t
+    | C_cond_br (c, t1, t2) ->
+        let taken = if Int64.compare (c ()) 0L <> 0 then t1 else t2 in
+        st.cur_pred <- cb.src_bid;
+        go taken
     | C_unterminated -> error "fell off an unterminated block"
   in
   go 0;

@@ -126,6 +126,20 @@ let select (b : t) ?name cond if_true if_false =
   require (Ty.equal ta (Value.ty if_false)) "select: arm types differ";
   insert b ?name Select ta [| cond; if_true; if_false |]
 
+(* [phi b ~preds ops] appends a join point: [ops.(k)] is the incoming
+   value when control arrives from [preds.(k)].  Phis must form the
+   block's head, so the builder demands every instruction already in
+   the block is itself a phi.  Operands may be placeholders patched
+   later with [Instr.set_operand] (a loop header's back-edge value is
+   built after the header). *)
+let phi (b : t) ?name ~(preds : block array) ops =
+  require (Array.length preds > 0) "phi: needs at least one predecessor";
+  require (Array.length preds = Array.length ops) "phi: operand/predecessor count mismatch";
+  let ty0 = Value.ty ops.(0) in
+  Array.iter (fun v -> require (Ty.equal (Value.ty v) ty0) "phi: operand types differ") ops;
+  require (List.for_all Instr.is_phi b.at.instrs) "phi: must precede every non-phi in its block";
+  insert b ?name (Phi (Array.map (fun (blk : block) -> blk.bid) preds)) ty0 ops
+
 let ret (b : t) = Block.set_terminator b.at Ret
 let br (b : t) target = Block.set_terminator b.at (Br target)
 

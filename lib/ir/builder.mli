@@ -43,6 +43,14 @@ val icmp : t -> ?name:string -> Defs.cmp -> Defs.value -> Defs.value -> Defs.ins
 val fcmp : t -> ?name:string -> Defs.cmp -> Defs.value -> Defs.value -> Defs.instr
 val select : t -> ?name:string -> Defs.value -> Defs.value -> Defs.value -> Defs.instr
 
+val phi :
+  t -> ?name:string -> preds:Defs.block array -> Defs.value array -> Defs.instr
+(** [phi b ~preds ops]: [ops.(k)] is the incoming value from
+    [preds.(k)].  Must be appended before any non-phi of the block;
+    operands may be placeholders patched later with
+    {!Instr.set_operand} (back-edge values are built after the
+    header). *)
+
 val ret : t -> unit
 val br : t -> Defs.block -> unit
 val cond_br : t -> Defs.value -> Defs.block -> Defs.block -> unit

@@ -7,9 +7,12 @@
 
    The IR is a mutable graph in the LLVM style: instructions reference
    their operands directly as [value]s (the use-def chain), blocks own
-   an ordered instruction list, and functions own blocks.  There is no
-   [phi]: the frontend only produces values that are defined before
-   use in a dominating block, which is all SLP needs. *)
+   an ordered instruction list, and functions own blocks.  The only
+   join-point mechanism is [Phi], introduced for loop headers: its
+   payload is the array of predecessor block ids, positionally aligned
+   with the operand array (operand [k] is the incoming value when
+   control arrived from block [payload.(k)]).  Straight-line and
+   if-converted code never needs one. *)
 
 type binop = Add | Sub | Mul | Div
 
@@ -34,7 +37,13 @@ type opcode =
          of [v1] and [v2], LLVM-style. *)
   | Icmp of cmp
   | Fcmp of cmp
-  | Select (* [| cond; if-true; if-false |] *)
+  | Select (* [| cond; if-true; if-false |]*)
+  | Phi of int array
+      (* Join point, block-head only.  [Phi preds] has one operand per
+         predecessor block id in [preds]; the instruction evaluates to
+         the operand whose predecessor the executing edge came from.
+         Payload arrays are never mutated in place (clones share them);
+         passes that retarget a phi assign a fresh [Phi [|...|]]. *)
 
 type value =
   | Const of { ty : Ty.t; lit : Lit.t }

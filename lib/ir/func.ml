@@ -162,36 +162,45 @@ let clone (fn : t) : t =
       let b' = { bid = b.bid; bname = b.bname; instrs = []; term = Unterminated } in
       Hashtbl.add block_map b.bid b')
     fn.blocks;
-  let map_value v =
-    match v with
-    | Instr i -> Instr (Hashtbl.find instr_map i.iid)
-    | Const _ | Undef _ | Arg _ -> v
-  in
+  (* Pass 1: clone every instruction shell with its operands left
+     empty.  Phis may reference instructions defined in later blocks
+     (the loop latch's increment), so operand resolution must wait
+     until every clone exists. *)
   List.iter
     (fun b ->
       let b' = Hashtbl.find block_map b.bid in
-      (* Left-to-right so operand instructions (defined earlier) are
-         already in [instr_map]. *)
-      let cloned =
-        List.fold_left
-          (fun acc i ->
+      b'.instrs <-
+        List.map
+          (fun i ->
             let i' =
               {
                 iid = i.iid;
                 op = i.op;
                 ty = i.ty;
-                ops = Array.map map_value i.ops;
+                ops = [||];
                 iname = i.iname;
                 iblock = Some b';
                 iuses = [];
               }
             in
-            Use.register_all i';
             Hashtbl.add instr_map i.iid i';
-            i' :: acc)
-          [] b.instrs
-      in
-      b'.instrs <- List.rev cloned;
+            i')
+          b.instrs)
+    fn.blocks;
+  let map_value v =
+    match v with
+    | Instr i -> Instr (Hashtbl.find instr_map i.iid)
+    | Const _ | Undef _ | Arg _ -> v
+  in
+  (* Pass 2: fill operands and terminators through the maps. *)
+  List.iter
+    (fun b ->
+      let b' = Hashtbl.find block_map b.bid in
+      List.iter2
+        (fun (i : instr) (i' : instr) ->
+          i'.ops <- Array.map map_value i.ops;
+          Use.register_all i')
+        b.instrs b'.instrs;
       b'.term <-
         (match b.term with
         | Ret -> Ret

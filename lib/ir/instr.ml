@@ -31,6 +31,7 @@ let binop_kind (i : t) = match i.op with Binop b -> Some b | _ -> None
 
 let is_load (i : t) = match i.op with Load -> true | _ -> false
 let is_store (i : t) = match i.op with Store -> true | _ -> false
+let is_phi (i : t) = match i.op with Phi _ -> true | _ -> false
 
 let is_memory (i : t) = match i.op with Load | Store -> true | _ -> false
 
@@ -48,12 +49,20 @@ let same_opcode (a : t) (b : t) =
   | Shuffle x, Shuffle y -> x = y
   | Icmp x, Icmp y | Fcmp x, Fcmp y -> x = y
   | Select, Select -> true
+  | Phi x, Phi y -> x = y
   | ( ( Binop _ | Alt_binop _ | Load | Store | Gep | Insert | Extract | Shuffle _
-      | Icmp _ | Fcmp _ | Select ),
+      | Icmp _ | Fcmp _ | Select | Phi _ ),
       _ ) ->
       false
 
-let opcode_mnemonic (i : t) =
+(* Phi mnemonics name their predecessor blocks ("phi.entry.latch"), so
+   rendering needs a block-id-to-name map; the context-free fallback
+   ("phi.b0.b3") keeps debug output working when no function is at
+   hand.  {!Printer.pp_func} supplies the real names, and the textual
+   round-trip relies on block names never containing '.'. *)
+let fallback_pred_name bid = "b" ^ string_of_int bid
+
+let opcode_mnemonic ?(pred_name = fallback_pred_name) (i : t) =
   match i.op with
   | Binop b -> (if Ty.is_float i.ty || (Ty.is_vector i.ty && Ty.scalar_is_float (Ty.elem i.ty)) then "f" else "") ^ binop_to_string b
   | Alt_binop ops ->
@@ -69,13 +78,16 @@ let opcode_mnemonic (i : t) =
   | Icmp c -> "icmp." ^ cmp_to_string c
   | Fcmp c -> "fcmp." ^ cmp_to_string c
   | Select -> "select"
+  | Phi preds ->
+      "phi." ^ String.concat "." (Array.to_list (Array.map pred_name preds))
 
 (* Structural description used by tests and debugging output, e.g.
    "%5 = fadd %1, %2". *)
-let to_string (i : t) =
+let to_string ?pred_name (i : t) =
   let ops = i.ops |> Array.to_list |> List.map Value.name |> String.concat ", " in
   if has_result i then
-    Printf.sprintf "%%%s = %s %s %s" i.iname (opcode_mnemonic i) (Ty.to_string i.ty) ops
-  else Printf.sprintf "%s %s" (opcode_mnemonic i) ops
+    Printf.sprintf "%%%s = %s %s %s" i.iname (opcode_mnemonic ?pred_name i)
+      (Ty.to_string i.ty) ops
+  else Printf.sprintf "%s %s" (opcode_mnemonic ?pred_name i) ops
 
 let pp ppf i = Fmt.string ppf (to_string i)

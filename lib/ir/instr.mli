@@ -27,6 +27,7 @@ val is_binop : t -> bool
 val binop_kind : t -> Defs.binop option
 val is_load : t -> bool
 val is_store : t -> bool
+val is_phi : t -> bool
 val is_memory : t -> bool
 
 val writes_memory : t -> bool
@@ -39,6 +40,13 @@ val has_result : t -> bool
 val same_opcode : t -> t -> bool
 (** Exact opcode equality, including binop kind, masks, predicates. *)
 
-val opcode_mnemonic : t -> string
-val to_string : t -> string
+val fallback_pred_name : int -> string
+(** Context-free rendering of a phi predecessor block id ("b3"), used
+    when no block-name map is available. *)
+
+val opcode_mnemonic : ?pred_name:(int -> string) -> t -> string
+(** [pred_name] maps a phi predecessor block id to the block's name;
+    defaults to {!fallback_pred_name}. *)
+
+val to_string : ?pred_name:(int -> string) -> t -> string
 val pp : t Fmt.t

@@ -83,6 +83,11 @@ let take_ty ~line (s : string) : Ty.t * string =
 type env = {
   values : (string, value) Hashtbl.t; (* "%name" -> value *)
   blocks : (string, block) Hashtbl.t;
+  mutable pending : (int * string) list;
+      (* phi operands referencing values not yet defined (the back-edge
+         increment is printed after the header): (operand index, token),
+         collected per instruction line and patched once the whole body
+         has been parsed. *)
 }
 
 (* [parse_operand ~expect] parses one operand token.  Constants adopt
@@ -216,6 +221,32 @@ let parse_rhs ~line (env : env) (rhs : string) : opcode * Ty.t * value array =
   | "select" ->
       expect_nops 3;
       (Select, ty, [| operand ~expect:Ty.i64 0; operand ~expect:ty 1; operand ~expect:ty 2 |])
+  | "phi" ->
+      let preds =
+        String.split_on_char '.' tail
+        |> List.filter (( <> ) "")
+        |> List.map (fun nm ->
+               match Hashtbl.find_opt env.blocks nm with
+               | Some b -> b.bid
+               | None -> error ~line "phi names unknown predecessor block %S" nm)
+        |> Array.of_list
+      in
+      if Array.length preds = 0 then error ~line "phi without predecessors";
+      expect_nops (Array.length preds);
+      let ops =
+        Array.init (Array.length preds) (fun k ->
+            let tok = List.nth toks k in
+            if String.length tok > 0 && tok.[0] = '%'
+               && not (Hashtbl.mem env.values tok)
+            then begin
+              (* Forward reference (loop-carried value): record a fixup
+                 and hold the slot with a typed placeholder. *)
+              env.pending <- (k, tok) :: env.pending;
+              Undef ty
+            end
+            else parse_operand ~line env ~expect:(Some ty) tok)
+      in
+      (Phi preds, ty, ops)
   | "alt" ->
       expect_nops 2;
       let kinds =
@@ -272,7 +303,8 @@ let parse_func (src : string) : func =
   let fname, params = parse_header ~line:header_line lines.(!cur) in
   incr cur;
   let f = Func.create ~name:fname ~args:params in
-  let env = { values = Hashtbl.create 64; blocks = Hashtbl.create 8 } in
+  let env = { values = Hashtbl.create 64; blocks = Hashtbl.create 8; pending = [] } in
+  let fixups : (instr * int * string * int) list ref = ref [] in
   Array.iter (fun a -> Hashtbl.replace env.values ("%" ^ a.arg_name) (Arg a)) (Func.args f);
   (* First pass over the body: create the blocks so branches can refer
      forward. *)
@@ -344,16 +376,26 @@ let parse_func (src : string) : func =
          | Some eq when String.length l > 1 && l.[0] = '%' ->
              let nm = strip (String.sub l 0 eq) in
              let rhs = String.sub l (eq + 1) (String.length l - eq - 1) in
+             env.pending <- [];
              let op, ty, ops = parse_rhs ~line env rhs in
              if Hashtbl.mem env.values nm then error ~line "duplicate definition of %s" nm;
              let iname = String.sub nm 1 (String.length nm - 1) in
              let i = Func.fresh_instr f ~name:iname op ty ops in
+             List.iter (fun (k, tok) -> fixups := (i, k, tok, line) :: !fixups) env.pending;
+             env.pending <- [];
              Block.append blk i;
              Hashtbl.replace env.values nm (Instr i)
          | _ -> error ~line "unparsable line %S" l
        end);
     incr cur
   done;
+  (* Patch phi forward references now every definition exists. *)
+  List.iter
+    (fun (i, k, tok, line) ->
+      match Hashtbl.find_opt env.values tok with
+      | Some v -> Instr.set_operand i k v
+      | None -> error ~line "unknown value %s" tok)
+    !fixups;
   f
 
 (* [parse src] parses a printed function and verifies it. *)

@@ -20,16 +20,31 @@ let pp_terminator ppf = function
       Fmt.pf ppf "br %s, %%%s, %%%s" (Value.name c) b1.bname b2.bname
   | Unterminated -> Fmt.string ppf "<unterminated>"
 
-let pp_block ppf (b : block) =
+let pp_block_in ?pred_name ppf (b : block) =
   Fmt.pf ppf "%s:@." b.bname;
-  List.iter (fun i -> Fmt.pf ppf "  %s@." (Instr.to_string i)) b.instrs;
+  List.iter (fun i -> Fmt.pf ppf "  %s@." (Instr.to_string ?pred_name i)) b.instrs;
   Fmt.pf ppf "  %a@." pp_terminator b.term
 
+(* A standalone block cannot resolve its phis' predecessor names (they
+   live elsewhere in the function), so it prints the "b<id>" fallback;
+   {!pp_func} supplies the real names, which is what makes the printed
+   function round-trippable through {!Ir_parser}. *)
+let pp_block ppf (b : block) = pp_block_in ppf b
+
+let pred_name_of (f : func) =
+  let names = Hashtbl.create 7 in
+  List.iter (fun b -> Hashtbl.replace names b.bid b.bname) f.blocks;
+  fun bid ->
+    match Hashtbl.find_opt names bid with
+    | Some n -> n
+    | None -> Instr.fallback_pred_name bid
+
 let pp_func ppf (f : func) =
+  let pred_name = pred_name_of f in
   Fmt.pf ppf "func @%s(%a) {@." f.fname
     Fmt.(array ~sep:(any ", ") pp_arg)
     f.fargs;
-  List.iter (pp_block ppf) f.blocks;
+  List.iter (pp_block_in ~pred_name ppf) f.blocks;
   Fmt.pf ppf "}@."
 
 let func_to_string f = Fmt.str "%a" pp_func f

@@ -128,6 +128,30 @@ let check_instr (errors : error list ref) (i : instr) =
         if not (Ty.equal (op_ty 1) (op_ty 2) && Ty.equal i.ty (op_ty 1)) then
           fail "select arm type mismatch"
       end
+  | Phi preds ->
+      if Array.length preds = 0 then fail "phi has no predecessors";
+      if Array.length i.ops <> Array.length preds then
+        fail "phi has %d operands for %d predecessors" (Array.length i.ops)
+          (Array.length preds);
+      let seen_pred = Hashtbl.create 4 in
+      Array.iter
+        (fun p ->
+          if Hashtbl.mem seen_pred p then fail "phi lists predecessor block %d twice" p;
+          Hashtbl.replace seen_pred p ())
+        preds;
+      if Ty.is_vector i.ty then fail "vector phi";
+      Array.iteri
+        (fun k _ ->
+          if not (Ty.equal (op_ty k) i.ty) then
+            fail "phi operand %d type mismatch" k)
+        i.ops
+
+(* Like {!instr_where} for terminators: the error locates the bad
+   branch by its full rendered form ("latch: br %header"), not just
+   the block name. *)
+let term_where (b : block) =
+  try Fmt.str "%s: %a" b.bname Printer.pp_terminator b.term
+  with _ -> b.bname
 
 let verify (f : func) : error list =
   let errors = ref [] in
@@ -135,6 +159,21 @@ let verify (f : func) : error list =
     Printf.ksprintf (fun what -> errors := { where; what } :: !errors) fmt
   in
   if f.blocks = [] then fail f.fname "function has no blocks";
+  (* Blocks reachable from the entry: an [Unterminated] block is only
+     an error when control can actually fall off its end; transforms
+     may leave disconnected blocks behind before cleanup, and those
+     never execute. *)
+  let reachable = Hashtbl.create 7 in
+  (match f.blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let rec visit (b : block) =
+        if not (Hashtbl.mem reachable b.bid) then begin
+          Hashtbl.replace reachable b.bid ();
+          List.iter visit (Block.successors b)
+        end
+      in
+      visit entry);
   (* Unique instruction ids and consistent block back-pointers. *)
   let seen = Hashtbl.create 64 in
   List.iter
@@ -149,19 +188,68 @@ let verify (f : func) : error list =
           check_instr errors i)
         b.instrs;
       (match b.term with
-      | Unterminated -> fail b.bname "block is unterminated"
+      | Unterminated ->
+          if Hashtbl.mem reachable b.bid then
+            fail (term_where b) "block is reachable from entry but unterminated"
       | Ret -> ()
       | Br t ->
           if not (List.exists (Block.equal t) f.blocks) then
-            fail b.bname "branch target not in function"
+            fail (term_where b) "branch target %%%s not in function" t.bname
       | Cond_br (c, t1, t2) ->
-          if not (Ty.is_int (Value.ty c)) then fail b.bname "branch condition is not an integer";
-          if
-            not
-              (List.exists (Block.equal t1) f.blocks
-              && List.exists (Block.equal t2) f.blocks)
-          then fail b.bname "branch target not in function"))
+          if not (Ty.is_int (Value.ty c)) then
+            fail (term_where b) "branch condition is not an integer";
+          List.iter
+            (fun (t : block) ->
+              if not (List.exists (Block.equal t) f.blocks) then
+                fail (term_where b) "branch target %%%s not in function" t.bname)
+            [ t1; t2 ]))
     f.blocks;
+  (* Phi placement and incoming-edge structure.  The payload must name
+     exactly the block's predecessors; phis sit at the block head; the
+     entry block has no predecessors, so no phis; and a phi never reads
+     another phi of its own block (the engines evaluate a block's phis
+     sequentially, not as a parallel copy). *)
+  if f.blocks <> [] then begin
+    let preds = Dominance.predecessors f in
+    List.iter
+      (fun b ->
+        let pred_bids =
+          match Hashtbl.find_opt preds b.bid with
+          | Some ps -> List.map (fun (p : block) -> p.bid) ps
+          | None -> []
+        in
+        let entry = Block.equal b (Func.entry f) in
+        let non_phi_seen = ref false in
+        List.iter
+          (fun (i : instr) ->
+            match i.op with
+            | Phi payload ->
+                if entry then fail (instr_where i) "phi in entry block";
+                if !non_phi_seen then
+                  fail (instr_where i) "phi is not at the head of its block";
+                let names = Array.to_list payload in
+                if
+                  List.length names <> List.length pred_bids
+                  || not (List.for_all (fun p -> List.mem p pred_bids) names)
+                then
+                  fail (instr_where i)
+                    "phi predecessors [%s] do not match the block's actual \
+                     predecessors [%s]"
+                    (String.concat "," (List.map string_of_int names))
+                    (String.concat "," (List.map string_of_int pred_bids));
+                Array.iter
+                  (fun o ->
+                    match o with
+                    | Instr d when Instr.is_phi d && d.iblock <> None
+                                   && Block.equal (Option.get d.iblock) b ->
+                        fail (instr_where i) "phi reads phi %%%s of the same block"
+                          d.iname
+                    | _ -> ())
+                  i.ops
+            | _ -> non_phi_seen := true)
+          b.instrs)
+      f.blocks
+  end;
   (* Defs dominate uses.  Positions are precomputed so the check is
      O(uses), not O(uses × block length). *)
   if f.blocks <> [] then begin
@@ -177,16 +265,48 @@ let verify (f : func) : error list =
           if Block.equal db ub then dk < uk else Dominance.dominates dom db ub
       | _ -> false
     in
+    let blocks_by_id = Hashtbl.create 7 in
+    List.iter (fun b -> Hashtbl.replace blocks_by_id b.bid b) f.blocks;
     Func.iter_instrs
       (fun user ->
-        Array.iter
-          (fun o ->
-            match o with
-            | Instr def ->
-                if not (def_dominates_use ~def ~user) then
-                  fail (instr_where user) "operand %%%s does not dominate this use" def.iname
-            | Const _ | Undef _ | Arg _ -> ())
-          user.ops)
+        match user.op with
+        | Phi payload ->
+            (* A phi's operand is used on the incoming edge, so its
+               definition must dominate the *end of the predecessor
+               block*, not the phi itself (the back-edge value is
+               defined after the header). *)
+            Array.iteri
+              (fun k o ->
+                match o with
+                | Instr def when k < Array.length payload -> (
+                    match
+                      (Hashtbl.find_opt blocks_by_id payload.(k),
+                       Hashtbl.find_opt positions def.iid)
+                    with
+                    | Some pb, Some (db, _) ->
+                        if not (Block.equal db pb || Dominance.dominates dom db pb) then
+                          fail (instr_where user)
+                            "incoming %%%s does not dominate the end of predecessor \
+                             %%%s"
+                            def.iname pb.bname
+                    | _, None ->
+                        (* A dangling incoming value: its definition was
+                           deleted without rewriting this phi. *)
+                        fail (instr_where user) "incoming %%%s is not in the function"
+                          def.iname
+                    | None, Some _ -> () (* bad payload: reported structurally *))
+                | _ -> ())
+              user.ops
+        | _ ->
+            Array.iter
+              (fun o ->
+                match o with
+                | Instr def ->
+                    if not (def_dominates_use ~def ~user) then
+                      fail (instr_where user) "operand %%%s does not dominate this use"
+                        def.iname
+                | Const _ | Undef _ | Arg _ -> ())
+              user.ops)
       f
   end;
   List.rev !errors

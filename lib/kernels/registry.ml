@@ -290,6 +290,278 @@ kernel calculix_blend(float o[], float a[], float b[], long i) {
 |};
   }
 
+(* Loop-form kernels (docs/LOOPS.md): the same expression shapes as
+   their straight-line twins above, but written with the KernelC [for]
+   statement the way the SPEC sources actually spell them.  Each pair
+   (X_loop, X_twin) must reach bit-identical interpreter results: the
+   pipeline fully unrolls the counted loop (the trip count and body
+   size fit the unroll budget), unroll-and-jam collapses the straight
+   line, and SN-SLP then sees exactly the seed stores the twin exposes
+   directly.  The twins are what the loop kernels become after
+   unrolling — they exist so tests and benches can compare against a
+   loop-free baseline compiled through the identical pipeline. *)
+
+let motiv_leaf_loop =
+  {
+    name = "motiv_leaf_loop";
+    provenance = "paper §III-B, Fig. 2 — loop form";
+    description =
+      "the motivating leaf-reordering pair inside a counted loop (trip 4, step 2); full \
+       unroll + jam must reproduce motiv_leaf_x4";
+    istride = 8;
+    extent = 1;
+    default_iters = 1024;
+    source =
+      {|
+kernel motiv_leaf_loop(long A[], long B[], long C[], long D[], long i) {
+  for (long k = 0; k < 8; k = k + 2) {
+    A[i+k+0] = B[i+k+0] - C[i+k+0] + D[i+k+0];
+    A[i+k+1] = D[i+k+1] - C[i+k+1] + B[i+k+1];
+  }
+}
+|};
+  }
+
+let motiv_leaf_x4 =
+  {
+    name = "motiv_leaf_x4";
+    provenance = "paper §III-B, Fig. 2 — 4x unrolled twin of motiv_leaf_loop";
+    description = "straight-line unrolling of motiv_leaf_loop (8 stores)";
+    istride = 8;
+    extent = 1;
+    default_iters = 1024;
+    source =
+      {|
+kernel motiv_leaf_x4(long A[], long B[], long C[], long D[], long i) {
+  A[i+0] = B[i+0] - C[i+0] + D[i+0];
+  A[i+1] = D[i+1] - C[i+1] + B[i+1];
+  A[i+2] = B[i+2] - C[i+2] + D[i+2];
+  A[i+3] = D[i+3] - C[i+3] + B[i+3];
+  A[i+4] = B[i+4] - C[i+4] + D[i+4];
+  A[i+5] = D[i+5] - C[i+5] + B[i+5];
+  A[i+6] = B[i+6] - C[i+6] + D[i+6];
+  A[i+7] = D[i+7] - C[i+7] + B[i+7];
+}
+|};
+  }
+
+let lbm_stream_loop =
+  {
+    name = "lbm_stream_loop";
+    provenance = "470.lbm: streaming collide update — loop form (trip 2, step 3)";
+    description =
+      "lbm_stream's off-grid store triple inside a counted loop; exercises a non-unit \
+       step through full unroll into lbm_stream_x2";
+    istride = 6;
+    extent = 1;
+    default_iters = 2048;
+    source =
+      {|
+kernel lbm_stream_loop(double o[], double a[], double b[], long i) {
+  for (long k = 0; k < 6; k = k + 3) {
+    o[i+k+0] = a[i+k+4] * b[i+k+6];
+    o[i+k+1] = a[i+k+0] + b[i+k+0];
+    o[i+k+2] = a[i+k+1] + b[i+k+1];
+  }
+}
+|};
+  }
+
+let lbm_stream_x2 =
+  {
+    name = "lbm_stream_x2";
+    provenance = "470.lbm: streaming collide update — 2x unrolled twin of lbm_stream_loop";
+    description = "straight-line unrolling of lbm_stream_loop (6 stores)";
+    istride = 6;
+    extent = 1;
+    default_iters = 2048;
+    source =
+      {|
+kernel lbm_stream_x2(double o[], double a[], double b[], long i) {
+  o[i+0] = a[i+4] * b[i+6];
+  o[i+1] = a[i+0] + b[i+0];
+  o[i+2] = a[i+1] + b[i+1];
+  o[i+3] = a[i+7] * b[i+9];
+  o[i+4] = a[i+3] + b[i+3];
+  o[i+5] = a[i+4] + b[i+4];
+}
+|};
+  }
+
+let milc_su3_loop =
+  {
+    name = "milc_su3_loop";
+    provenance = "433.milc: complex multiply-accumulate — site loop form (trip 2)";
+    description =
+      "milc_su3's re/im Super-Node pair inside a counted loop over two sites; full \
+       unroll + jam must reproduce milc_su3_x2";
+    istride = 2;
+    extent = 2;
+    default_iters = 2048;
+    source =
+      {|
+kernel milc_su3_loop(double a[], double b[], double c[], long i) {
+  for (long k = 0; k < 2; k = k + 1) {
+    c[2*i+2*k+0] = c[2*i+2*k+0] + a[2*i+2*k+0]*b[2*i+2*k+0] - a[2*i+2*k+1]*b[2*i+2*k+1];
+    c[2*i+2*k+1] = a[2*i+2*k+0]*b[2*i+2*k+1] + a[2*i+2*k+1]*b[2*i+2*k+0] + c[2*i+2*k+1];
+  }
+}
+|};
+  }
+
+let milc_su3_x2 =
+  {
+    name = "milc_su3_x2";
+    provenance = "433.milc: complex multiply-accumulate — 2-site unrolled twin of milc_su3_loop";
+    description = "straight-line unrolling of milc_su3_loop (4 stores)";
+    istride = 2;
+    extent = 2;
+    default_iters = 2048;
+    source =
+      {|
+kernel milc_su3_x2(double a[], double b[], double c[], long i) {
+  c[2*i+0] = c[2*i+0] + a[2*i+0]*b[2*i+0] - a[2*i+1]*b[2*i+1];
+  c[2*i+1] = a[2*i+0]*b[2*i+1] + a[2*i+1]*b[2*i+0] + c[2*i+1];
+  c[2*i+2] = c[2*i+2] + a[2*i+2]*b[2*i+2] - a[2*i+3]*b[2*i+3];
+  c[2*i+3] = a[2*i+2]*b[2*i+3] + a[2*i+3]*b[2*i+2] + c[2*i+3];
+}
+|};
+  }
+
+(* soplex_update's lanes are identical, so the loop form is the rare
+   case where one rolled iteration IS the lane expression: unrolling
+   by the vector width manufactures the seed pair from nothing. *)
+let soplex_update_loop =
+  {
+    name = "soplex_update_loop";
+    provenance = "450.soplex: sparse vector update — loop form (trip 2)";
+    description =
+      "soplex_update's uniform lane inside a counted loop; full unroll + jam must \
+       reproduce soplex_update";
+    istride = 2;
+    extent = 1;
+    default_iters = 4096;
+    source =
+      {|
+kernel soplex_update_loop(double p[], double a[], double b[], double c[], long i) {
+  for (long k = 0; k < 2; k = k + 1) {
+    p[i+k] = a[i+k]*b[i+k] + c[i+k] + b[i+k];
+  }
+}
+|};
+  }
+
+(* A uniform-sign sphinx row: every lane spells the distance terms in
+   the same order, which is the rolled form the sources actually have
+   before anyone hand-unrolls them (sphinx_gau_f32 above models the
+   hand-unrolled copy with one lane flipped).  Four f32 lanes, so the
+   unroll path feeds a full-width SSE pack. *)
+let sphinx_row_loop =
+  {
+    name = "sphinx_row_loop";
+    provenance = "482.sphinx3: Gaussian distance row, float32 — loop form (trip 4)";
+    description =
+      "uniform-sign distance row inside a counted loop; full unroll + jam must \
+       reproduce sphinx_row_x4 (4 f32 lanes)";
+    istride = 4;
+    extent = 1;
+    default_iters = 2048;
+    source =
+      {|
+kernel sphinx_row_loop(float d[], float x[], float m[], float v[], long i) {
+  for (long k = 0; k < 4; k = k + 1) {
+    d[i+k] = x[i+k]*v[i+k] - x[i+k]*m[i+k] - m[i+k]*v[i+k];
+  }
+}
+|};
+  }
+
+let sphinx_row_x4 =
+  {
+    name = "sphinx_row_x4";
+    provenance = "482.sphinx3: Gaussian distance row, float32 — unrolled twin of sphinx_row_loop";
+    description = "straight-line unrolling of sphinx_row_loop (4 uniform f32 lanes)";
+    istride = 4;
+    extent = 1;
+    default_iters = 2048;
+    source =
+      {|
+kernel sphinx_row_x4(float d[], float x[], float m[], float v[], long i) {
+  d[i+0] = x[i+0]*v[i+0] - x[i+0]*m[i+0] - m[i+0]*v[i+0];
+  d[i+1] = x[i+1]*v[i+1] - x[i+1]*m[i+1] - m[i+1]*v[i+1];
+  d[i+2] = x[i+2]*v[i+2] - x[i+2]*m[i+2] - m[i+2]*v[i+2];
+  d[i+3] = x[i+3]*v[i+3] - x[i+3]*m[i+3] - m[i+3]*v[i+3];
+}
+|};
+  }
+
+(* One lattice site of mult_su3_mat_vec with the row loop left rolled:
+   c[r] = sum_k A[r][k] * b[k] over complex entries, rotation 0.  The
+   real lane alternates + and -, the imaginary lane is all + — the
+   milc_su3 Super-Node pattern — and the row index [r] feeds every
+   address, so vectorization is only reachable through the unroll
+   path.  Three rows of ~60 post-CSE instructions sit inside the
+   256-instruction full-unroll budget; the 8-site milc_mat_vec above
+   deliberately does not (its straight line is ~1.1k instructions), so
+   the loop subsystem is exercised at both scales. *)
+let milc_mat_vec_loop =
+  {
+    name = "milc_mat_vec_loop";
+    provenance = "433.milc: mult_su3_mat_vec, one site, row loop rolled";
+    description =
+      "complex 3x3 matrix-vector multiply with the row loop left as a KernelC for; full \
+       unroll (trip 3) + jam must reproduce milc_mat_vec_site";
+    istride = 1;
+    extent = 144;
+    default_iters = 1024;
+    source =
+      {|
+kernel milc_mat_vec_loop(double a[], double b[], double c[], long i) {
+  for (long r = 0; r < 3; r = r + 1) {
+    c[48*i+2*r+0] = a[144*i+6*r+0]*b[48*i+0] - a[144*i+6*r+1]*b[48*i+1]
+                  + a[144*i+6*r+2]*b[48*i+2] - a[144*i+6*r+3]*b[48*i+3]
+                  + a[144*i+6*r+4]*b[48*i+4] - a[144*i+6*r+5]*b[48*i+5];
+    c[48*i+2*r+1] = a[144*i+6*r+0]*b[48*i+1] + a[144*i+6*r+1]*b[48*i+0]
+                  + a[144*i+6*r+2]*b[48*i+3] + a[144*i+6*r+3]*b[48*i+2]
+                  + a[144*i+6*r+4]*b[48*i+5] + a[144*i+6*r+5]*b[48*i+4];
+  }
+}
+|};
+  }
+
+let milc_mat_vec_site =
+  {
+    name = "milc_mat_vec_site";
+    provenance = "433.milc: mult_su3_mat_vec, one site — unrolled twin of milc_mat_vec_loop";
+    description = "straight-line unrolling of milc_mat_vec_loop's row loop (6 stores)";
+    istride = 1;
+    extent = 144;
+    default_iters = 1024;
+    source =
+      {|
+kernel milc_mat_vec_site(double a[], double b[], double c[], long i) {
+  c[48*i+0] = a[144*i+0]*b[48*i+0] - a[144*i+1]*b[48*i+1]
+            + a[144*i+2]*b[48*i+2] - a[144*i+3]*b[48*i+3]
+            + a[144*i+4]*b[48*i+4] - a[144*i+5]*b[48*i+5];
+  c[48*i+1] = a[144*i+0]*b[48*i+1] + a[144*i+1]*b[48*i+0]
+            + a[144*i+2]*b[48*i+3] + a[144*i+3]*b[48*i+2]
+            + a[144*i+4]*b[48*i+5] + a[144*i+5]*b[48*i+4];
+  c[48*i+2] = a[144*i+6]*b[48*i+0] - a[144*i+7]*b[48*i+1]
+            + a[144*i+8]*b[48*i+2] - a[144*i+9]*b[48*i+3]
+            + a[144*i+10]*b[48*i+4] - a[144*i+11]*b[48*i+5];
+  c[48*i+3] = a[144*i+6]*b[48*i+1] + a[144*i+7]*b[48*i+0]
+            + a[144*i+8]*b[48*i+3] + a[144*i+9]*b[48*i+2]
+            + a[144*i+10]*b[48*i+5] + a[144*i+11]*b[48*i+4];
+  c[48*i+4] = a[144*i+12]*b[48*i+0] - a[144*i+13]*b[48*i+1]
+            + a[144*i+14]*b[48*i+2] - a[144*i+15]*b[48*i+3]
+            + a[144*i+16]*b[48*i+4] - a[144*i+17]*b[48*i+5];
+  c[48*i+5] = a[144*i+12]*b[48*i+1] + a[144*i+13]*b[48*i+0]
+            + a[144*i+14]*b[48*i+3] + a[144*i+15]*b[48*i+2]
+            + a[144*i+16]*b[48*i+5] + a[144*i+17]*b[48*i+4];
+}
+|};
+  }
+
 (* 433.milc's hot function, mult_su3_mat_vec, fully unrolled: a 3x3
    complex matrix times a complex 3-vector per lattice site, over
    [sites] sites per loop iteration (milc's own site loops unroll the
@@ -388,7 +660,32 @@ let all =
     lbm_stream;
     leslie_flux;
     calculix_blend;
+    milc_su3_loop;
+    milc_su3_x2;
+    motiv_leaf_loop;
+    motiv_leaf_x4;
+    lbm_stream_loop;
+    lbm_stream_x2;
+    soplex_update_loop;
+    sphinx_row_loop;
+    sphinx_row_x4;
+    milc_mat_vec_loop;
+    milc_mat_vec_site;
     milc_mat_vec;
+  ]
+
+(* Loop-form kernels paired with their straight-line twins.  The
+   contract (tested in test_loops, benched in the loops experiment):
+   compiling the loop form through the full pipeline and interpreting
+   it gives bit-identical memory to the twin's compiled form. *)
+let loop_pairs =
+  [
+    (milc_su3_loop, milc_su3_x2);
+    (motiv_leaf_loop, motiv_leaf_x4);
+    (lbm_stream_loop, lbm_stream_x2);
+    (soplex_update_loop, soplex_update);
+    (sphinx_row_loop, sphinx_row_x4);
+    (milc_mat_vec_loop, milc_mat_vec_site);
   ]
 
 let find name = List.find_opt (fun k -> String.equal k.name name) all

@@ -28,5 +28,10 @@ val motiv_trunk : t
 val all : t list
 (** In the order the figures report them. *)
 
+val loop_pairs : (t * t) list
+(** Loop-form kernels paired with their straight-line twins: the loop
+    form, compiled through unroll → unroll-and-jam → SN-SLP, must give
+    bit-identical interpreter results to its twin. *)
+
 val find : string -> t option
 val pp : t Fmt.t

@@ -222,6 +222,13 @@ let exec_instr (st : state) (i : Defs.instr) : unit =
         in
         let t = lanes_of st i.Defs.ops.(1) ~lanes and e = lanes_of st i.Defs.ops.(2) ~lanes in
         set (Vec (Array.init lanes (fun k -> Normal.select ~cond:conds.(k) t.(k) e.(k))))
+  | Defs.Phi _ ->
+      (* A loop-carried value takes a different incoming operand per
+         trip; the symbolic single-pass executor has no iteration
+         notion, so the region is outside the validator's normal
+         form.  (Fully unrolled loops have no phis left, which is why
+         unrolled kernels still validate to [Valid].) *)
+      give_up "loop-carried phi"
 
 (* --- Control flow --------------------------------------------------------- *)
 

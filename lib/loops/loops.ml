@@ -1,0 +1,367 @@
+(* Natural-loop analysis over the block CFG.
+
+   A back edge is a CFG edge b -> h where h dominates b; its natural
+   loop is h plus every block that reaches b without passing through h.
+   Loops with the same header merge (one loop, several latches), and
+   containment of headers induces the loop-nest forest.
+
+   On top of the CFG-level forest sits the recognizer for *counted*
+   loops — the canonical rotated form the KernelC frontend emits:
+
+     preheader:  ...                ; init/bound computed here
+                 br header
+     header:     %iv  = phi [init from preheader, %next from latch]
+                 %c   = icmp cmp %iv, bound
+                 cond_br %c, body, exit
+     body..latch: ...
+                 %next = add %iv, step   ; step a non-zero constant
+                 br header
+
+   with one phi in the whole loop, the header as the only exiting
+   block, and no value defined inside the loop used outside it.  This
+   is the shape the unroll pass transforms; everything else is left
+   alone (conservative, never wrong). *)
+
+open Snslp_ir
+
+module Int_set = Set.Make (Int)
+
+type loop = {
+  header : Defs.block;
+  latches : Defs.block list; (* sources of back edges to [header] *)
+  blocks : Defs.block list; (* the natural loop, in function block order *)
+  block_ids : Int_set.t;
+  mutable parent : loop option;
+  mutable children : loop list;
+  mutable depth : int; (* 1 = top-level *)
+}
+
+type forest = {
+  loops : loop list; (* every loop, outermost first within a nest *)
+  roots : loop list; (* top-level loops *)
+}
+
+let mem (l : loop) (b : Defs.block) = Int_set.mem b.Defs.bid l.block_ids
+
+let num_blocks (l : loop) = List.length l.blocks
+
+let num_instrs (l : loop) =
+  List.fold_left (fun n b -> n + List.length b.Defs.instrs) 0 l.blocks
+
+(* --- Detection. ---------------------------------------------------- *)
+
+let analyze (f : Defs.func) : forest =
+  let dom = Dominance.compute f in
+  let preds = Dominance.predecessors f in
+  (* Back edges, grouped by header. *)
+  let latches_of : (int, Defs.block list) Hashtbl.t = Hashtbl.create 4 in
+  let headers = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if Dominance.dominates dom s b then begin
+            if not (Hashtbl.mem latches_of s.Defs.bid) then headers := s :: !headers;
+            Hashtbl.replace latches_of s.Defs.bid
+              (b :: (try Hashtbl.find latches_of s.Defs.bid with Not_found -> []))
+          end)
+        (Block.successors b))
+    f.Defs.blocks;
+  (* Natural loop of a header: reverse reachability from the latches,
+     stopping at the header. *)
+  let body_of (header : Defs.block) (latches : Defs.block list) =
+    let ids = ref (Int_set.singleton header.Defs.bid) in
+    let rec pull (b : Defs.block) =
+      if not (Int_set.mem b.Defs.bid !ids) then begin
+        ids := Int_set.add b.Defs.bid !ids;
+        List.iter pull (try Hashtbl.find preds b.Defs.bid with Not_found -> [])
+      end
+    in
+    List.iter pull latches;
+    !ids
+  in
+  let loops =
+    List.rev_map
+      (fun (header : Defs.block) ->
+        let latches = Hashtbl.find latches_of header.Defs.bid in
+        let block_ids = body_of header latches in
+        let blocks =
+          List.filter (fun b -> Int_set.mem b.Defs.bid block_ids) f.Defs.blocks
+        in
+        { header; latches; blocks; block_ids; parent = None; children = []; depth = 1 })
+      !headers
+  in
+  (* Nesting: the parent of [l] is the smallest other loop containing
+     l's header.  Natural loops either nest or are disjoint, so block
+     count orders candidates correctly. *)
+  List.iter
+    (fun l ->
+      let candidates =
+        List.filter (fun o -> o != l && mem o l.header) loops
+        |> List.sort (fun a b -> compare (num_blocks a) (num_blocks b))
+      in
+      match candidates with
+      | p :: _ ->
+          l.parent <- Some p;
+          p.children <- l :: p.children
+      | [] -> ())
+    loops;
+  let rec set_depth d l =
+    l.depth <- d;
+    List.iter (set_depth (d + 1)) l.children
+  in
+  let roots = List.filter (fun l -> l.parent = None) loops in
+  List.iter (set_depth 1) roots;
+  { loops; roots }
+
+(* --- Counted-loop recognition. ------------------------------------- *)
+
+type counted = {
+  loop : loop;
+  preheader : Defs.block; (* unique outside predecessor; ends in [Br header] *)
+  latch : Defs.block; (* the single back-edge source *)
+  body_entry : Defs.block; (* taken target of the header's cond_br *)
+  exit : Defs.block; (* fall-through target, outside the loop *)
+  iv : Defs.instr; (* the induction-variable phi *)
+  init : Defs.value; (* incoming from the preheader *)
+  next : Defs.instr; (* add/sub of [iv] by [step], incoming from the latch *)
+  step : int64; (* signed; never 0 *)
+  cmp : Defs.cmp; (* continue while [iv cmp bound] *)
+  cond : Defs.instr; (* the header icmp *)
+  bound : Defs.value; (* loop-invariant right-hand side *)
+}
+
+let value_invariant (l : loop) (v : Defs.value) =
+  match v with
+  | Defs.Const _ | Defs.Arg _ | Defs.Undef _ -> true
+  | Defs.Instr i -> (
+      match i.Defs.iblock with Some b -> not (mem l b) | None -> false)
+
+(* Every use of every instruction defined in the loop must stay inside
+   the loop: full unroll deletes the original blocks wholesale and
+   partial unroll renumbers iterations, so an escaping value would
+   dangle. *)
+let no_outside_uses (l : loop) =
+  List.for_all
+    (fun (b : Defs.block) ->
+      List.for_all
+        (fun (i : Defs.instr) ->
+          List.for_all
+            (fun ((user : Defs.instr), _) ->
+              match user.Defs.iblock with Some ub -> mem l ub | None -> true)
+            i.Defs.iuses)
+        b.Defs.instrs)
+    l.blocks
+
+let as_counted (f : Defs.func) (l : loop) : counted option =
+  let ( let* ) o k = match o with Some v -> k v | None -> None in
+  let* () = if l.children = [] then Some () else None in
+  let* latch = match l.latches with [ x ] -> Some x | _ -> None in
+  let* () = if Block.equal l.header latch then None else Some () in
+  (* Header predecessors: exactly the preheader (outside) and the
+     latch. *)
+  let preds = Dominance.predecessors f in
+  let hpreds = try Hashtbl.find preds l.header.Defs.bid with Not_found -> [] in
+  let* preheader =
+    match List.filter (fun b -> not (mem l b)) hpreds with
+    | [ p ] when List.length hpreds = 2 -> Some p
+    | _ -> None
+  in
+  (* The preheader must branch unconditionally: unroll retargets that
+     edge. *)
+  let* () =
+    match preheader.Defs.term with
+    | Defs.Br b when Block.equal b l.header -> Some ()
+    | _ -> None
+  in
+  (* Header shape: [iv-phi; icmp] and a conditional branch into the
+     body (taken) or out of the loop (fall-through).  Anything else in
+     the header would execute once more than the body — unrolling
+     would drop that execution. *)
+  let* iv, cond =
+    match l.header.Defs.instrs with
+    | [ p; c ] when Instr.is_phi p -> Some (p, c)
+    | _ -> None
+  in
+  let* cmp =
+    match cond.Defs.op with Defs.Icmp cmp -> Some cmp | _ -> None
+  in
+  let* () =
+    match cond.Defs.ops with
+    | [| Defs.Instr i; _ |] when Instr.equal i iv -> Some ()
+    | _ -> None
+  in
+  let bound = cond.Defs.ops.(1) in
+  let* () = if value_invariant l bound then Some () else None in
+  (* The icmp feeds the branch and nothing else. *)
+  let* () =
+    if List.for_all (fun ((u : Defs.instr), _) -> u.Defs.iblock = None) cond.Defs.iuses
+    then Some ()
+    else None
+  in
+  let* body_entry, exit =
+    match l.header.Defs.term with
+    | Defs.Cond_br (Defs.Instr c, t, e)
+      when Instr.equal c cond && mem l t && not (mem l e) && not (Block.equal t l.header)
+      -> Some (t, e)
+    | _ -> None
+  in
+  (* One phi in the whole loop (the iv), and the header is the only
+     exiting block. *)
+  let* () =
+    let ok =
+      List.for_all
+        (fun (b : Defs.block) ->
+          List.for_all
+            (fun (i : Defs.instr) -> Instr.equal i iv || not (Instr.is_phi i))
+            b.Defs.instrs
+          && (Block.equal b l.header || List.for_all (mem l) (Block.successors b)))
+        l.blocks
+    in
+    if ok then Some () else None
+  in
+  (* The iv recurrence: init from the preheader, iv +/- constant from
+     the latch. *)
+  let* init, next_v =
+    match iv.Defs.op with
+    | Defs.Phi payload when Array.length payload = 2 ->
+        if payload.(0) = preheader.Defs.bid && payload.(1) = latch.Defs.bid then
+          Some (iv.Defs.ops.(0), iv.Defs.ops.(1))
+        else if payload.(0) = latch.Defs.bid && payload.(1) = preheader.Defs.bid then
+          Some (iv.Defs.ops.(1), iv.Defs.ops.(0))
+        else None
+    | _ -> None
+  in
+  let* next = Value.as_instr next_v in
+  let* () = if Ty.scalar_is_int (Ty.elem iv.Defs.ty) then Some () else None in
+  let* step =
+    match (next.Defs.op, next.Defs.ops) with
+    | Defs.Binop Defs.Add, [| Defs.Instr i; Defs.Const { lit = Lit.Int s; _ } |]
+      when Instr.equal i iv -> Some s
+    | Defs.Binop Defs.Sub, [| Defs.Instr i; Defs.Const { lit = Lit.Int s; _ } |]
+      when Instr.equal i iv -> Some (Int64.neg s)
+    | _ -> None
+  in
+  let* () = if step <> 0L then Some () else None in
+  (* No phis in the exit block (none exist outside loop headers in this
+     IR, but a later pass could be running on hand-written input). *)
+  let* () =
+    if List.exists Instr.is_phi exit.Defs.instrs then None else Some ()
+  in
+  let* () = if no_outside_uses l then Some () else None in
+  Some { loop = l; preheader; latch; body_entry; exit; iv; init; next; step; cmp; cond; bound }
+
+(* --- Trip counts. -------------------------------------------------- *)
+
+let eval_cmp (c : Defs.cmp) (a : int64) (b : int64) =
+  match c with
+  | Defs.Eq -> Int64.equal a b
+  | Defs.Ne -> not (Int64.equal a b)
+  | Defs.Lt -> Int64.compare a b < 0
+  | Defs.Le -> Int64.compare a b <= 0
+  | Defs.Gt -> Int64.compare a b > 0
+  | Defs.Ge -> Int64.compare a b >= 0
+
+let trip_count_cap = 1 lsl 20
+
+(* [trip_count c] — the number of body executions, when init and bound
+   are integer constants.  Computed by stepping the recurrence with
+   the interpreter's wraparound semantics, so it is exact even across
+   Int64 overflow; loops that do not settle within [trip_count_cap]
+   iterations (runaway or effectively infinite) return [None]. *)
+let trip_count (c : counted) : int option =
+  match (c.init, c.bound) with
+  | Defs.Const { lit = Lit.Int init; _ }, Defs.Const { lit = Lit.Int bound; _ } ->
+      let rec go iv n =
+        if n > trip_count_cap then None
+        else if eval_cmp c.cmp iv bound then go (Int64.add iv c.step) (n + 1)
+        else Some n
+      in
+      go init 0
+  | _ -> None
+
+(* [monotone c] — the step strictly approaches the bound's failure
+   side: Lt/Le with a positive step or Gt/Ge with a negative one.
+   This is what partial unroll needs for its adjusted-bound guard
+   [iv cmp (bound - (F-1)*step)] to dominate iterations iv..iv+(F-1)*step. *)
+let monotone (c : counted) =
+  match c.cmp with
+  | Defs.Lt | Defs.Le -> Int64.compare c.step 0L > 0
+  | Defs.Gt | Defs.Ge -> Int64.compare c.step 0L < 0
+  | Defs.Eq | Defs.Ne -> false
+
+(* --- Region cloning. ----------------------------------------------- *)
+
+(* [clone_region f blocks ~suffix ~map_value] clones an ordered subset
+   of [f]'s blocks into fresh blocks appended to [f].
+
+   Operands resolving to instructions of the region map to their
+   clones; every other operand goes through [map_value] (identity by
+   default) — the substitution hook unrolling uses to replace the iv.
+   Branch targets inside the region are redirected to the clones,
+   targets outside are kept; phi payloads are remapped the same way.
+   Two passes, because a phi's back-edge operand references an
+   instruction cloned later.
+
+   Returns the (old bid -> clone) block map and the (old iid -> clone)
+   instruction map. *)
+let clone_region (f : Defs.func) (blocks : Defs.block list) ~(suffix : string)
+    ?(map_value : Defs.value -> Defs.value = fun v -> v) () :
+    (int, Defs.block) Hashtbl.t * (int, Defs.instr) Hashtbl.t =
+  let bmap : (int, Defs.block) Hashtbl.t = Hashtbl.create 8 in
+  let imap : (int, Defs.instr) Hashtbl.t = Hashtbl.create 32 in
+  (* Pass 1: block and instruction shells (operands come in pass 2,
+     once every clone exists). *)
+  List.iter
+    (fun (b : Defs.block) ->
+      let b' = Func.add_block f (b.Defs.bname ^ suffix) in
+      Hashtbl.replace bmap b.Defs.bid b';
+      List.iter
+        (fun (i : Defs.instr) ->
+          let i' =
+            Func.fresh_instr f ~name:(i.Defs.iname ^ suffix) i.Defs.op i.Defs.ty [||]
+          in
+          Hashtbl.replace imap i.Defs.iid i';
+          Block.append b' i')
+        b.Defs.instrs)
+    blocks;
+  let map_block (b : Defs.block) =
+    match Hashtbl.find_opt bmap b.Defs.bid with Some b' -> b' | None -> b
+  in
+  let map_op (v : Defs.value) =
+    match v with
+    | Defs.Instr i -> (
+        match Hashtbl.find_opt imap i.Defs.iid with
+        | Some i' -> Defs.Instr i'
+        | None -> map_value v)
+    | v -> map_value v
+  in
+  (* Pass 2: operands, phi payloads, terminators. *)
+  List.iter
+    (fun (b : Defs.block) ->
+      let b' = Hashtbl.find bmap b.Defs.bid in
+      List.iter
+        (fun (i : Defs.instr) ->
+          let i' = Hashtbl.find imap i.Defs.iid in
+          (match i.Defs.op with
+          | Defs.Phi payload ->
+              i'.Defs.op <-
+                Defs.Phi
+                  (Array.map
+                     (fun bid ->
+                       match Hashtbl.find_opt bmap bid with
+                       | Some nb -> nb.Defs.bid
+                       | None -> bid)
+                     payload)
+          | _ -> ());
+          i'.Defs.ops <- Array.map map_op i.Defs.ops;
+          Use.register_all i')
+        b.Defs.instrs;
+      b'.Defs.term <-
+        (match b.Defs.term with
+        | Defs.Ret -> Defs.Ret
+        | Defs.Unterminated -> Defs.Unterminated
+        | Defs.Br t -> Defs.Br (map_block t)
+        | Defs.Cond_br (c, t, e) -> Defs.Cond_br (map_op c, map_block t, map_block e)))
+    blocks;
+  (bmap, imap)

@@ -43,6 +43,9 @@ let pure_key (i : Defs.instr) : string option =
            (String.concat "." (Array.to_list (Array.map string_of_int m)))
            (ops ()))
   | Defs.Load | Defs.Store | Defs.Alt_binop _ -> None
+  (* Two phis with equal operands still differ per incoming edge
+     ordering and block position; never CSE them. *)
+  | Defs.Phi _ -> None
 
 let run (func : Defs.func) : int =
   (* Per-block value tables, reset on block entry (block-local CSE). *)

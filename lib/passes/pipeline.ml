@@ -24,9 +24,20 @@ type validation = {
   validate_seconds : float;
 }
 
+(* Loop-pass counters of one pipeline run, surfaced by the CLIs'
+   --stats views and aggregated by the compile service. *)
+type loop_stats = {
+  loops : int; (* natural loops in the input *)
+  counted : int; (* of which the recognizer accepted *)
+  unrolled_full : int; (* fully unrolled: loop gone, no phi left *)
+  unrolled_partial : int; (* partially unrolled: epilogue loop remains *)
+  blocks_merged : int; (* straight-line blocks fused by the jam pass *)
+}
+
 type result = {
   func : Defs.func;
   vect_report : Vectorize.report option; (* None under -O3 (no vectorizer) *)
+  loop_stats : loop_stats option; (* None when the unroll policy is off *)
   timings : timing list;
   total_seconds : float;
   validation : validation option; (* Some iff [~validate:true] *)
@@ -134,11 +145,59 @@ let run ?scratch ?(setting : setting = Some Config.snslp) ?verify_each
   record ~changed:(n > 0) t;
   let t, n = timed "cse" (fun () -> Cse.run f) in
   record ~changed:(n > 0) t;
+  (* Loop passes: unroll counted loops, flatten any diamonds the
+     copies contain (ifconv), then jam the resulting straight-line
+     chains into single blocks so the iterations' stores sit side by
+     side as SLP seed windows.  The unroll policy comes from the
+     setting; -O3 keeps its loops (the differential oracle's scalar
+     reference executes them as written). *)
+  let unroll_policy =
+    match setting with
+    | None -> Unroll.Off
+    | Some c -> (
+        match c.Config.unroll with
+        | Config.No_unroll -> Unroll.Off
+        | Config.Unroll_by n -> Unroll.Factor n
+        | Config.Unroll_auto -> Unroll.Auto)
+  in
+  let unroll_report =
+    if unroll_policy = Unroll.Off then None
+    else begin
+      let t, r = timed "unroll" (fun () -> Unroll.run ~policy:unroll_policy f) in
+      record ~changed:(r.Unroll.full + r.Unroll.partial > 0) t;
+      Some r
+    end
+  in
   let t, converted = timed "ifconv" (fun () -> Ifconv.run f) in
   record ~changed:(converted > 0) t;
-  (* Flattening branches exposes duplicates CSE could not see across
-     blocks. *)
-  if converted > 0 then begin
+  let merged =
+    match unroll_report with
+    | None -> 0
+    | Some _ ->
+        let t, m = timed "jam" (fun () -> Unroll_and_jam.run f) in
+        record ~changed:(m > 0) t;
+        m
+  in
+  (* Unrolling substitutes constants for induction-variable uses, so
+     the copies carry address arithmetic the first fold never saw
+     (iv*stride, iv+offset with iv now literal).  Re-fold and
+     re-simplify so the unrolled body reaches the same canonical form
+     as hand-unrolled source before CSE and the vectorizer price
+     it. *)
+  let unrolled_any =
+    match unroll_report with
+    | Some r -> r.Unroll.full + r.Unroll.partial > 0
+    | None -> false
+  in
+  if unrolled_any then begin
+    let t, n = timed "fold2" (fun () -> Fold.run f) in
+    record ~changed:(n > 0) t;
+    let t, n = timed "simplify2" (fun () -> Simplify.run f) in
+    record ~changed:(n > 0) t
+  end;
+  (* Flattening branches (and folding unrolled addresses) exposes
+     duplicates CSE could not see across blocks. *)
+  if converted > 0 || merged > 0 || unrolled_any then begin
     let t, n = timed "cse2" (fun () -> Cse.run f) in
     record ~changed:(n > 0) t
   end;
@@ -185,4 +244,23 @@ let run ?scratch ?(setting : setting = Some Config.snslp) ?verify_each
         }
     end
   in
-  { func = f; vect_report; timings = List.rev !timings; total_seconds; validation }
+  let loop_stats =
+    Option.map
+      (fun (r : Unroll.report) ->
+        {
+          loops = r.Unroll.loops;
+          counted = r.Unroll.counted;
+          unrolled_full = r.Unroll.full;
+          unrolled_partial = r.Unroll.partial;
+          blocks_merged = merged;
+        })
+      unroll_report
+  in
+  {
+    func = f;
+    vect_report;
+    loop_stats;
+    timings = List.rev !timings;
+    total_seconds;
+    validation;
+  }

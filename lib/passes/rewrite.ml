@@ -38,7 +38,13 @@ let replace (ctx : ctx) (i : Defs.instr) (v : Defs.value) =
 (* [run func step] sweeps every block forward: operands are rewritten
    first, then [step] may decide to replace the instruction.  Replaced
    instructions are dropped from their blocks; terminator conditions
-   are rewritten too.  Returns the number of replacements. *)
+   are rewritten too.  Returns the number of replacements.
+
+   The single sweep reaches every use that textually follows its
+   definition, but not uses that precede it — a phi's back-edge
+   operand, or any use in a block listed before the defining block.
+   A closing pass resolves those through the final replacement map, so
+   no dropped instruction stays referenced. *)
 let run (func : Defs.func) (step : ctx -> Defs.block -> Defs.instr -> Defs.value option) :
     int =
   let ctx = create () in
@@ -57,4 +63,12 @@ let run (func : Defs.func) (step : ctx -> Defs.block -> Defs.instr -> Defs.value
       | Defs.Cond_br (c, t1, t2) -> b.Defs.term <- Defs.Cond_br (resolve ctx c, t1, t2)
       | Defs.Ret | Defs.Br _ | Defs.Unterminated -> ())
     (Func.blocks func);
+  if Hashtbl.length ctx.repl > 0 then
+    List.iter
+      (fun (b : Defs.block) ->
+        List.iter (rewrite_operands ctx) (Block.instrs b);
+        match b.Defs.term with
+        | Defs.Cond_br (c, t1, t2) -> b.Defs.term <- Defs.Cond_br (resolve ctx c, t1, t2)
+        | Defs.Ret | Defs.Br _ | Defs.Unterminated -> ())
+      (Func.blocks func);
   ctx.count

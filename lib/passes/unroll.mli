@@ -1,0 +1,39 @@
+(** Loop unrolling over counted loops: full unroll (loop deleted, iv
+    constant-folded per iteration) under a size budget, partial unroll
+    by a factor with an epilogue loop otherwise.  Only loops
+    {!Snslp_loops.Loops.as_counted} recognizes are touched; every
+    rewrite preserves the exact scalar semantics (iteration order,
+    float rounding, trap behaviour). *)
+
+open Snslp_ir
+
+type policy =
+  | Off
+  | Auto  (** full when the trip count is known and fits the budget,
+              else partial by {!default_partial_factor} *)
+  | Factor of int
+      (** full when the trip count is known and at most the factor
+          (still budget-capped), else partial by the factor *)
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+(** ["none"]/["off"]/["0"]/["1"] are {!Off}, ["auto"] is {!Auto},
+    [n >= 2] is [Factor n]. *)
+
+type report = {
+  loops : int;  (** natural loops in the function *)
+  counted : int;  (** of which recognized as counted *)
+  full : int;  (** fully unrolled (loop deleted, no phi survives) *)
+  partial : int;  (** partially unrolled (epilogue loop remains) *)
+}
+
+val empty_report : report
+val default_full_budget : int
+val default_partial_factor : int
+
+val run : ?policy:policy -> ?full_budget:int -> Defs.func -> report
+(** Analyze and unroll every counted loop of [f] in place per
+    [policy].  [full_budget] caps the instruction count a full unroll
+    may expand to (and the code growth of speculative partial
+    unrolling under [Auto]). *)

@@ -1,0 +1,72 @@
+(* The "jam" half of unroll-and-jam: merge unconditional straight-line
+   block chains.
+
+   After unrolling (and if-conversion of any diamonds inside the
+   copies), the unrolled iterations are a chain of blocks linked by
+   unconditional branches.  SLP seeds are runs of adjacent stores
+   *within one block*, so the chain must be flattened for the
+   vectorizer to see the iterations' stores side by side — that fusion
+   is what turns an unrolled loop into contiguous vectorizable
+   windows.
+
+   A pair (b, s) merges when b ends in [br s], s is not b, s is not
+   the entry block, b is s's only predecessor and s has no phis; b
+   absorbs s's instructions and terminator, phi payloads in s's
+   successors are retargeted from s to b, and s is deleted.  Repeated
+   to fixpoint, a fully unrolled loop collapses into its preheader's
+   block. *)
+
+open Snslp_ir
+
+let merge_one (f : Defs.func) : bool =
+  let preds = Dominance.predecessors f in
+  let entry = Func.entry f in
+  let candidate (b : Defs.block) =
+    match b.Defs.term with
+    | Defs.Br s
+      when (not (Block.equal s b))
+           && (not (Block.equal s entry))
+           && (not (List.exists Instr.is_phi s.Defs.instrs))
+           && (match Hashtbl.find_opt preds s.Defs.bid with
+              | Some [ p ] -> Block.equal p b
+              | _ -> false) -> Some s
+    | _ -> None
+  in
+  let rec find = function
+    | [] -> None
+    | b :: rest -> (
+        match candidate b with Some s -> Some (b, s) | None -> find rest)
+  in
+  match find f.Defs.blocks with
+  | None -> false
+  | Some (b, s) ->
+      List.iter (fun (i : Defs.instr) -> i.Defs.iblock <- Some b) s.Defs.instrs;
+      b.Defs.instrs <- b.Defs.instrs @ s.Defs.instrs;
+      b.Defs.term <- s.Defs.term;
+      s.Defs.instrs <- [];
+      (* Successors that distinguished the edge from s now see it from
+         b: retarget their phi payloads (fresh arrays — payloads are
+         never mutated in place). *)
+      List.iter
+        (fun (t : Defs.block) ->
+          List.iter
+            (fun (i : Defs.instr) ->
+              match i.Defs.op with
+              | Defs.Phi payload when Array.exists (Int.equal s.Defs.bid) payload ->
+                  i.Defs.op <-
+                    Defs.Phi
+                      (Array.map
+                         (fun bid -> if bid = s.Defs.bid then b.Defs.bid else bid)
+                         payload)
+              | _ -> ())
+            t.Defs.instrs)
+        (Block.successors b);
+      f.Defs.blocks <- List.filter (fun x -> not (Block.equal x s)) f.Defs.blocks;
+      true
+
+let run (f : Defs.func) : int =
+  let n = ref 0 in
+  while merge_one f do
+    incr n
+  done;
+  !n

@@ -1,0 +1,7 @@
+(** The "jam" half of unroll-and-jam: merge unconditional straight-line
+    block chains to fixpoint, fusing unrolled iterations' stores into
+    one block so they form contiguous SLP seed windows.  Phi payloads
+    in downstream blocks are retargeted across each merge. *)
+
+val run : Snslp_ir.Defs.func -> int
+(** Returns the number of blocks merged away. *)

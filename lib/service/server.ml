@@ -64,7 +64,26 @@ type t = {
          these measure the work the cache did NOT absorb.  The pack_*
          counters expose the global pack selector's search effort
          (candidates / expansions / pruned / replayed plans). *)
+  mutable lstats : Pipeline.loop_stats;
+      (* loop-subsystem counters, accumulated the same way: natural
+         loops seen in compiled misses, how many the counted-loop
+         recognizer accepted, full/partial unrolls, blocks the jam
+         pass fused *)
 }
+
+let zero_loop_stats : Pipeline.loop_stats =
+  { Pipeline.loops = 0; counted = 0; unrolled_full = 0; unrolled_partial = 0;
+    blocks_merged = 0 }
+
+let add_loop_stats (a : Pipeline.loop_stats) (b : Pipeline.loop_stats) :
+    Pipeline.loop_stats =
+  {
+    Pipeline.loops = a.Pipeline.loops + b.Pipeline.loops;
+    counted = a.Pipeline.counted + b.Pipeline.counted;
+    unrolled_full = a.Pipeline.unrolled_full + b.Pipeline.unrolled_full;
+    unrolled_partial = a.Pipeline.unrolled_partial + b.Pipeline.unrolled_partial;
+    blocks_merged = a.Pipeline.blocks_merged + b.Pipeline.blocks_merged;
+  }
 
 let create ?capacity () =
   let cache = Cache.create ?capacity () in
@@ -76,6 +95,7 @@ let create ?capacity () =
     latencies_s = [];
     served = 0;
     vstats = Stats.create ();
+    lstats = zero_loop_stats;
   }
 
 let cache t = t.cache
@@ -83,30 +103,53 @@ let cache t = t.cache
 let now_s () = Unix.gettimeofday ()
 
 (* A mode string is the vectorizer mode, optionally followed by
-   "+PACKING" — e.g. "sn-slp+global", "sn-slp+global:8:1024",
-   "lslp+greedy".  The packing choice lands in the config and hence in
+   "+PACKING" and/or "/urPOLICY" — e.g. "sn-slp+global",
+   "sn-slp+global:8:1024", "lslp+greedy", "sn-slp/urnone",
+   "sn-slp/ur4".  Both choices land in the config and hence in
    [Config.fingerprint], so cached entries never cross packing modes
-   ("sn-slp" and "sn-slp+greedy" do share: same config). *)
+   or unroll policies ("sn-slp" and "sn-slp+greedy" do share: same
+   config; "sn-slp" and "sn-slp/urauto" likewise). *)
 let setting_of_mode (m : string) : (Pipeline.setting, string) result =
+  let m, unroll =
+    match String.index_opt m '/' with
+    | Some k ->
+        let suffix = String.sub m (k + 1) (String.length m - k - 1) in
+        let policy =
+          if String.length suffix >= 2 && String.equal (String.sub suffix 0 2) "ur"
+          then String.sub suffix 2 (String.length suffix - 2)
+          else suffix (* fails unroll_of_string below with the raw text *)
+        in
+        (String.sub m 0 k, Some policy)
+    | None -> (m, None)
+  in
   let base, packing =
     match String.index_opt m '+' with
     | Some k ->
         (String.sub m 0 k, Some (String.sub m (k + 1) (String.length m - k - 1)))
     | None -> (m, None)
   in
+  let with_unroll (c : Config.t) =
+    match unroll with
+    | None -> Ok (Some c)
+    | Some u -> (
+        match Config.unroll_of_string u with
+        | Some unroll -> Ok (Some { c with Config.unroll })
+        | None -> Error ("unknown unroll policy " ^ u))
+  in
   let with_packing (c : Config.t) =
     match packing with
-    | None -> Ok (Some c)
+    | None -> with_unroll c
     | Some p -> (
         match Config.packing_of_string p with
-        | Some packing -> Ok (Some { c with Config.packing })
+        | Some packing -> with_unroll { c with Config.packing }
         | None -> Error ("unknown packing " ^ p))
   in
   match base with
   | "o3" -> (
-      match packing with
-      | None -> Ok None
-      | Some _ -> Error "mode o3 takes no packing suffix")
+      match (packing, unroll) with
+      | None, None -> Ok None
+      | Some _, _ -> Error "mode o3 takes no packing suffix"
+      | _, Some _ -> Error "mode o3 takes no unroll suffix")
   | "slp" -> with_packing Config.vanilla
   | "lslp" -> with_packing Config.lslp
   | "sn-slp" -> with_packing Config.snslp
@@ -261,6 +304,9 @@ let handle_batch t (requests : (string * string, string) result list) :
           (match r.Pipeline.vect_report with
           | Some rep -> t.vstats <- Stats.merge t.vstats rep.Vectorize.stats
           | None -> ());
+          (match r.Pipeline.loop_stats with
+          | Some ls -> t.lstats <- add_loop_stats t.lstats ls
+          | None -> ());
           let c =
             {
               cfunc = r.Pipeline.func;
@@ -347,6 +393,14 @@ let stats_reply t : Protocol.response =
       ("pack_expansions", string_of_int t.vstats.Stats.pack_expansions);
       ("pack_pruned", string_of_int t.vstats.Stats.pack_pruned);
       ("pack_plans", string_of_int t.vstats.Stats.pack_plans);
+      (* Loop-subsystem work on the same misses: loops seen, accepted
+         by the counted-loop recognizer, unrolled fully/partially, and
+         straight-line blocks the jam pass fused. *)
+      ("loops_found", string_of_int t.lstats.Pipeline.loops);
+      ("loops_counted", string_of_int t.lstats.Pipeline.counted);
+      ("loops_unrolled_full", string_of_int t.lstats.Pipeline.unrolled_full);
+      ("loops_unrolled_partial", string_of_int t.lstats.Pipeline.unrolled_partial);
+      ("loop_blocks_jammed", string_of_int t.lstats.Pipeline.blocks_merged);
     ]
 
 let record t dt n =

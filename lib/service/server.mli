@@ -26,8 +26,10 @@ val handle_batch :
     source)] yields a [Compiled] response in order, each [Error msg]
     an [Err].  A mode is "o3", "slp", "lslp" or "sn-slp", optionally
     suffixed "+greedy" or "+global[:BEAM[:BUDGET]]" to pick the
-    statement-packing strategy; the choice is part of the config
-    fingerprint, so cache entries never cross packing modes.  Cache
+    statement-packing strategy, and/or "/urPOLICY" (POLICY = "none",
+    "auto", or a factor >= 2) to pick the loop-unroll policy; both
+    choices are part of the config fingerprint, so cache entries
+    never cross packing modes or unroll policies.  Cache
     lookups happen per function; the misses of the whole batch compile
     together (one adaptive pool fan-out per distinct mode, identical
     misses deduplicated by cache key).  Exposed for in-process use;
@@ -35,10 +37,12 @@ val handle_batch :
 
 val stats_reply : t -> Protocol.response
 (** The counters snapshot [serve] answers [stats] with: cache
-    counters, hit rate, latency mean/p50/p99, and the global
+    counters, hit rate, latency mean/p50/p99, the global
     pack-selection search counters (pack_candidates / pack_expansions
-    / pack_pruned / pack_plans) accumulated over every miss the server
-    compiled. *)
+    / pack_pruned / pack_plans), and the loop-subsystem counters
+    (loops_found / loops_counted / loops_unrolled_full /
+    loops_unrolled_partial / loop_blocks_jammed), all accumulated over
+    every miss the server compiled. *)
 
 val latencies_s : t -> float list
 (** Recorded per-request wall latencies, newest first.  Requests in a

@@ -206,7 +206,7 @@ and emit_vec (ctx : ctx) (n : Graph.node) : Defs.value =
           set_rank ctx op (max_rank ctx n.Graph.scalars);
           Instr.value op
       | Defs.Alt_binop _ | Defs.Load | Defs.Store | Defs.Gep | Defs.Insert
-      | Defs.Extract | Defs.Shuffle _ ->
+      | Defs.Extract | Defs.Shuffle _ | Defs.Phi _ ->
           (* No other opcode becomes K_vec. *)
           codegen_error n.Graph.scalars.(0))
   | (Defs.Const _ | Defs.Undef _ | Defs.Arg _) as v -> codegen_error v

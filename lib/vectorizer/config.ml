@@ -77,6 +77,30 @@ let packing_of_string s =
       | _ -> None)
   | _ -> None
 
+(* Loop-unroll policy, consumed by the pipeline's unroll pass (the
+   pass itself lives in Snslp_passes, which depends on this module, so
+   the policy is declared here and translated there).  [Unroll_auto]
+   fully unrolls counted loops with known trip counts under the size
+   budget and partially unrolls the rest; it is the default because it
+   is a no-op on loop-free functions, keeping every legacy output
+   bit-identical.  Changes the emitted IR, so it is part of
+   {!fingerprint} — compile-cache entries never cross unroll
+   policies. *)
+type unroll = No_unroll | Unroll_by of int | Unroll_auto
+
+let unroll_to_string = function
+  | No_unroll -> "none"
+  | Unroll_by n -> string_of_int n
+  | Unroll_auto -> "auto"
+
+let unroll_of_string = function
+  | "none" | "off" | "0" | "1" -> Some No_unroll
+  | "auto" -> Some Unroll_auto
+  | s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 2 -> Some (Unroll_by n)
+      | _ -> None)
+
 (* The Auto crossover, calibrated from BENCH_compile_time.json: every
    registry kernel at or below 104 instructions sits inside the noise
    band (0.69x–1.27x, the one clear loss being milc_su3), while the
@@ -93,6 +117,9 @@ type t = {
   max_chain : int; (* cap on trunk length, bounds compile time *)
   threshold : float; (* vectorize when cost < threshold *)
   reductions : bool; (* seed from reduction trees (-slp-vectorize-hor) *)
+  unroll : unroll;
+      (* loop-unroll policy run ahead of vectorization; changes the
+         emitted IR, so it is part of {!fingerprint}. *)
   packing : packing;
       (* statement-packing strategy: the greedy root-first builder, or
          the global beam/branch-and-bound pack selector.  Changes the
@@ -124,6 +151,7 @@ let default =
     max_chain = 16;
     threshold = 0.0;
     reductions = true;
+    unroll = Unroll_auto;
     packing = Greedy;
     memoize = Auto;
     jobs = 1;
@@ -155,17 +183,17 @@ let memo_on (t : t) = match t.memoize with On | Auto -> true | Off -> false
    optimized IR for the same input.  Audited against every field of
    [t]: [mode], [target] (by name — names are unique in [Target]),
    [model] (likewise), [lookahead_depth], [max_chain], [threshold]
-   (hex-exact), [reductions] and [packing] all steer what the
-   pipeline emits and are all included.  [memoize], [jobs] and
+   (hex-exact), [reductions], [packing] and [unroll] all steer what
+   the pipeline emits and are all included.  [memoize], [jobs] and
    [verify_each] are deliberately excluded — they change how fast the
    pipeline runs, never what it emits — so cache entries are shared
    across memoization policies and parallelism settings.
    (test_packing.ml holds the qcheck property backing this: equal
    fingerprints imply identical optimized IR on a fuzz corpus.) *)
 let fingerprint (t : t) =
-  Printf.sprintf "%s/%s/%s/la%d/ch%d/th%h/red%b/pk%s" (mode_to_string t.mode)
+  Printf.sprintf "%s/%s/%s/la%d/ch%d/th%h/red%b/pk%s/ur%s" (mode_to_string t.mode)
     t.target.Target.name t.model.Model.name t.lookahead_depth t.max_chain t.threshold
-    t.reductions (packing_to_string t.packing)
+    t.reductions (packing_to_string t.packing) (unroll_to_string t.unroll)
 
 let pp ppf (t : t) =
   Fmt.pf ppf "%s(target=%s, model=%s, la=%d)" (mode_to_string t.mode) t.target.Target.name

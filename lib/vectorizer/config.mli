@@ -41,6 +41,19 @@ type packing = Greedy | Global of { beam : int; node_budget : int }
 val default_beam : int
 val default_node_budget : int
 
+type unroll = No_unroll | Unroll_by of int | Unroll_auto
+(** Loop-unroll policy run ahead of vectorization (declared here,
+    executed by the pipeline's unroll pass).  [Unroll_auto] — the
+    default, a no-op on loop-free functions — fully unrolls counted
+    loops with known trip counts under the size budget and partially
+    unrolls the rest; [Unroll_by n] forces factor [n].
+    Output-affecting, so part of {!fingerprint}. *)
+
+val unroll_to_string : unroll -> string
+
+val unroll_of_string : string -> unroll option
+(** ["none"]/["off"]/["0"]/["1"], ["auto"], or a factor [n >= 2]. *)
+
 val packing_to_string : packing -> string
 
 val packing_of_string : string -> packing option
@@ -55,6 +68,9 @@ type t = {
   max_chain : int; (** cap on trunk length, bounds compile time *)
   threshold : float; (** vectorize when cost < threshold *)
   reductions : bool; (** seed from reduction trees (-slp-vectorize-hor) *)
+  unroll : unroll;
+      (** loop-unroll policy run ahead of vectorization;
+          output-affecting, so part of {!fingerprint} *)
   packing : packing;
       (** statement-packing strategy; output-affecting, so part of
           {!fingerprint} *)
@@ -96,7 +112,8 @@ val fingerprint : t -> string
     compile caching: equal fingerprints guarantee bit-identical
     optimized IR for equal inputs.  Covers every output-affecting
     field — mode, target, model, look-ahead depth, chain cap,
-    threshold, reductions and packing; excludes [memoize], [jobs] and
+    threshold, reductions, packing and unroll; excludes [memoize],
+    [jobs] and
     [verify_each], which affect compile speed only. *)
 
 val pp : t Fmt.t

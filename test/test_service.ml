@@ -21,6 +21,11 @@ module Server = Snslp_service.Server
 
 let check = Alcotest.(check bool)
 let check_str = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
 let check_int = Alcotest.(check int)
 
 let compile_one = Snslp_frontend.Frontend.compile_one
@@ -339,6 +344,50 @@ let test_server_packing_modes () =
       check "plans replayed" true (int_of_string (List.assoc "pack_plans" kvs) > 0)
   | rs -> Alcotest.fail (Printf.sprintf "expected 5 responses, got %d" (List.length rs))
 
+let test_server_unroll_modes_do_not_share () =
+  (* "/ur" is part of the config fingerprint: an auto-unrolled entry
+     must never answer a no-unroll request — on a loopy kernel the two
+     compile to genuinely different code (straight line vs. a live
+     back-edge), so sharing would be a miscompile.  "sn-slp" and
+     "sn-slp/urauto" spell the same config and DO share.  The stats
+     reply carries the loop counters that only the unrolling compiles
+     advance. *)
+  let server = Server.create () in
+  let src =
+    (Option.get (Snslp_kernels.Registry.find "milc_su3_loop"))
+      .Snslp_kernels.Registry.source
+  in
+  let lines =
+    compile_frame "sn-slp" src
+    @ compile_frame "sn-slp/urnone" src
+    @ compile_frame "sn-slp/urauto" src
+    @ compile_frame "sn-slp/ur2" src
+    @ compile_frame "sn-slp/urnone" src
+    @ [ "stats"; "quit" ]
+  in
+  match converse server lines with
+  | [ auto; off; auto_alias; by2; off_again; Protocol.Stats_reply kvs ] ->
+      check_str "auto compiles" "miss" (statuses_of auto);
+      check_str "no-unroll misses after auto" "miss" (statuses_of off);
+      check_str "/urauto shares the plain entry" "hit-textual" (statuses_of auto_alias);
+      check_str "a factor is a different config" "miss" (statuses_of by2);
+      check_str "no-unroll warm within its own config" "hit-textual"
+        (statuses_of off_again);
+      check "unrolled code differs from the kept loop" true
+        (not (String.equal (ir_of auto) (ir_of off)));
+      check "loops found counted" true
+        (int_of_string (List.assoc "loops_found" kvs) > 0);
+      check "full unrolls counted" true
+        (int_of_string (List.assoc "loops_unrolled_full" kvs) > 0)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 6 responses, got %d" (List.length rs))
+
+let test_server_bad_unroll_mode () =
+  let server = Server.create () in
+  let lines = compile_frame "sn-slp/urx" "kernel f(double a[], long i) { a[i] = a[i]; }" @ [ "quit" ] in
+  match converse server lines with
+  | [ Protocol.Err e ] -> check "names the policy" true (contains e "unroll")
+  | _ -> Alcotest.fail "expected an error response"
+
 let test_server_bad_requests () =
   let server = Server.create () in
   let lines =
@@ -391,6 +440,9 @@ let suite =
         Alcotest.test_case "server batch + dedup + stats" `Quick test_server_batch_and_stats;
         Alcotest.test_case "server packing modes and counters" `Quick
           test_server_packing_modes;
+        Alcotest.test_case "server unroll modes do not share" `Quick
+          test_server_unroll_modes_do_not_share;
+        Alcotest.test_case "server bad unroll mode" `Quick test_server_bad_unroll_mode;
         Alcotest.test_case "server bad requests" `Quick test_server_bad_requests;
         Alcotest.test_case "server eviction end to end" `Quick test_server_eviction_end_to_end;
       ] );
