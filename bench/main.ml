@@ -1791,6 +1791,316 @@ let loops_report ~(pairs : (Registry.t * Registry.t) list) ~iters ~min_wins () =
 
 let loops () = loops_report ~pairs:Registry.loop_pairs ~iters:1024 ~min_wins:3 ()
 
+(* --- Multi-target sweep and revec: BENCH_targets.json ------------------------ *)
+
+(* Every registry kernel compiled for every backend flavour, with and
+   without the revec re-widening pass.  Per variant: machine-model
+   static cost (the common x86 simulator model, issue-width scaled by
+   the variant's target, so numbers compare across backends),
+   interpreted-memory bit-identity against the sse baseline compile
+   (lane width and revec must never change what gets computed;
+   scalar-vs-vectorized equivalence is the differential oracle's and
+   the validator's job, with the float tolerance that reassociating
+   super-nodes need), and a translation-validator run with zero
+   Mismatch verdicts tolerated.
+   A rejuvenation section replays Revec's headline scenario — IR
+   vectorized for sse re-fed through the pipeline at avx512, where
+   scalar SLP finds nothing and revec does the widening.  Criteria:
+   - every (kernel, target, revec) variant is bit-identical under the
+     interpreter, rejuvenated variants included;
+   - the validator reports zero Mismatch verdicts anywhere;
+   - revec is never worse: per (kernel, target), revec-on static cost
+     <= revec-off, and every rejuvenated compile <= its narrow input;
+   - the best variant of the sweep never loses to the sse baseline;
+   - >= [min_wins] kernels where avx512+revec strictly beats the sse
+     baseline, with >= [speedup_threshold] on at least one;
+   - rejuvenation actually fires (pairs > 0 somewhere). *)
+let sweep_targets = [ Target.sse; Target.avx2; Target.avx512; Target.neon ]
+
+let target_config (tgt : Target.t) revec =
+  {
+    Config.snslp with
+    Config.target = tgt;
+    model = Model.for_target tgt;
+    revec;
+  }
+
+let mismatches_of (result : Pipeline.result) =
+  match result.Pipeline.validation with
+  | None -> 0
+  | Some v ->
+      let bad = function
+        | Snslp_lint.Validate.Mismatch _ -> true
+        | Snslp_lint.Validate.Valid | Snslp_lint.Validate.Unknown _ -> false
+      in
+      List.length (List.filter (fun (_, verdict) -> bad verdict) v.Pipeline.pass_verdicts)
+      + (if bad v.Pipeline.end_verdict then 1 else 0)
+      + List.length v.Pipeline.graph_findings
+
+let max_lanes_of (f : Snslp_ir.Defs.func) =
+  Snslp_ir.Func.fold_instrs
+    (fun acc (i : Snslp_ir.Defs.instr) -> max acc (Snslp_ir.Ty.lanes i.Snslp_ir.Defs.ty))
+    1 f
+
+let targets_report ~(kernels : Registry.t list) ~min_wins ~speedup_threshold () =
+  pr "%s"
+    (Table.section
+       (Printf.sprintf "Multi-target sweep + revec (%d kernels x %d targets x 2)"
+          (List.length kernels) (List.length sweep_targets)));
+  let eps = 1e-6 in
+  let mismatches = ref 0 in
+  (* One variant: full pipeline at [tgt] on [func], validated, priced
+     and interpreted against [reference]. *)
+  let variant ~wl ~reference ~(tgt : Target.t) ~revec func =
+    let cfg = target_config tgt revec in
+    let result = Pipeline.run ~setting:(Some cfg) ~validate:true func in
+    mismatches := !mismatches + mismatches_of result;
+    let opt = result.Pipeline.func in
+    let stats =
+      match result.Pipeline.vect_report with
+      | Some rep -> rep.Vectorize.stats
+      | None -> Stats.create ()
+    in
+    let identical = IMemory.equal reference (Workload.run_interp wl opt) in
+    ( tgt,
+      revec,
+      Packing.static_cost cfg opt,
+      opt,
+      identical,
+      stats.Stats.revec_pairs,
+      stats.Stats.revec_widened )
+  in
+  let measured =
+    List.map
+      (fun (k : Registry.t) ->
+        let wl = Workload.prepare k in
+        (* The identity reference: what the sse baseline computes.
+           The sweep's own sse variant recompiles deterministically to
+           the same IR, so it trivially matches — the assertion bites
+           on every *other* width and on revec. *)
+        let reference =
+          Workload.run_interp wl
+            (compile (Some (target_config Target.sse false)) wl.Workload.func)
+        in
+        let variants =
+          List.concat_map
+            (fun tgt ->
+              List.map
+                (fun revec -> variant ~wl ~reference ~tgt ~revec wl.Workload.func)
+                [ false; true ])
+            sweep_targets
+        in
+        (k, variants))
+      kernels
+  in
+  let cost_of variants (tgt : Target.t) revec =
+    let _, _, c, _, _, _, _ =
+      List.find (fun (t, r, _, _, _, _, _) -> t == tgt && r = revec) variants
+    in
+    c
+  in
+  let best_of variants =
+    List.fold_left
+      (fun (bt, br, bc) (t, r, c, _, _, _, _) ->
+        if c < bc -. eps then ((t : Target.t), r, c) else (bt, br, bc))
+      (Target.sse, false, cost_of variants Target.sse false)
+      variants
+  in
+  let rows =
+    List.map
+      (fun ((k : Registry.t), variants) ->
+        let sse = cost_of variants Target.sse false in
+        let bt, br, bc = best_of variants in
+        [
+          k.Registry.name;
+          Printf.sprintf "%.1f" sse;
+          Printf.sprintf "%.1f" (cost_of variants Target.avx2 false);
+          Printf.sprintf "%.1f" (cost_of variants Target.avx512 false);
+          Printf.sprintf "%.1f" (cost_of variants Target.neon false);
+          Printf.sprintf "%.1f" (cost_of variants Target.avx512 true);
+          Printf.sprintf "%s%s" bt.Target.name (if br then "+revec" else "");
+          Printf.sprintf "%.2fx" (sse /. Float.max bc eps);
+        ])
+      measured
+  in
+  emit ~name:"targets"
+    ~headers:
+      [ "kernel"; "sse"; "avx2"; "avx512"; "neon"; "avx512+rv"; "best"; "vs sse" ]
+    rows;
+  (* Rejuvenation: the sse-vectorized IR re-fed through the pipeline
+     at avx512 with revec.  Scalar SLP sees vector stores, not seeds;
+     only revec can reach the wide registers. *)
+  let rejuvenated =
+    List.map
+      (fun ((k : Registry.t), _) ->
+        let wl = Workload.prepare k in
+        let narrow =
+          (Pipeline.run ~setting:(Some (target_config Target.sse false)) wl.Workload.func)
+            .Pipeline.func
+        in
+        let reference = Workload.run_interp wl narrow in
+        let tgt, _, cost_wide, wide, identical, pairs, widened =
+          variant ~wl ~reference ~tgt:Target.avx512 ~revec:true narrow
+        in
+        ignore tgt;
+        let cost_narrow = Packing.static_cost (target_config Target.avx512 true) narrow in
+        (k, pairs, widened, cost_narrow, cost_wide, max_lanes_of wide, identical))
+      measured
+  in
+  let rejuv_rows =
+    List.map
+      (fun ((k : Registry.t), pairs, widened, cn, cw, lanes, identical) ->
+        [
+          k.Registry.name;
+          string_of_int pairs;
+          string_of_int widened;
+          Printf.sprintf "%.1f" cn;
+          Printf.sprintf "%.1f" cw;
+          string_of_int lanes;
+          (if identical then "yes" else "NO");
+        ])
+      rejuvenated
+  in
+  emit ~name:"targets_rejuvenation"
+    ~headers:[ "kernel"; "pairs"; "widened"; "cost before"; "after"; "lanes"; "bit-identical" ]
+    rejuv_rows;
+  (* Headline criteria. *)
+  let all_identical =
+    List.for_all
+      (fun (_, variants) -> List.for_all (fun (_, _, _, _, ok, _, _) -> ok) variants)
+      measured
+    && List.for_all (fun (_, _, _, _, _, _, ok) -> ok) rejuvenated
+  in
+  let revec_never_worse =
+    List.for_all
+      (fun (_, variants) ->
+        List.for_all
+          (fun tgt -> cost_of variants tgt true <= cost_of variants tgt false +. eps)
+          sweep_targets)
+      measured
+    && List.for_all (fun (_, _, _, cn, cw, _, _) -> cw <= cn +. eps) rejuvenated
+  in
+  let best_never_worse =
+    List.for_all
+      (fun (_, variants) ->
+        let _, _, bc = best_of variants in
+        bc <= cost_of variants Target.sse false +. eps)
+      measured
+  in
+  let wins =
+    List.filter
+      (fun (_, variants) ->
+        cost_of variants Target.avx512 true < cost_of variants Target.sse false -. eps)
+      measured
+  in
+  let max_speedup =
+    List.fold_left
+      (fun acc (_, variants) ->
+        Float.max acc
+          (cost_of variants Target.sse false
+          /. Float.max (cost_of variants Target.avx512 true) eps))
+      1.0 wins
+  in
+  let rejuv_fires = List.exists (fun (_, pairs, _, _, _, _, _) -> pairs > 0) rejuvenated in
+  let pass =
+    all_identical && !mismatches = 0 && revec_never_worse && best_never_worse
+    && List.length wins >= min_wins
+    && max_speedup >= speedup_threshold && rejuv_fires
+  in
+  pr
+    "  bit-identical: %s; validator mismatches: %d; revec never worse: %s; best \
+     never worse than sse: %s@."
+    (if all_identical then "all" else "NO") !mismatches
+    (if revec_never_worse then "yes" else "NO")
+    (if best_never_worse then "yes" else "NO");
+  pr "  avx512+revec wins vs sse: %d (need >= %d), max speedup %.2fx (need >= %.1fx); \
+      rejuvenation fires: %s@."
+    (List.length wins) min_wins max_speedup speedup_threshold
+    (if rejuv_fires then "yes" else "NO");
+  let variant_json (tgt : Target.t) revec cost opt identical pairs widened =
+    Json.Obj
+      [
+        ("target", Json.String tgt.Target.name);
+        ("revec", Json.Bool revec);
+        ("cost", Json.Float cost);
+        ("instrs", Json.Int (Snslp_ir.Func.num_instrs opt));
+        ("max_lanes", Json.Int (max_lanes_of opt));
+        ("bit_identical", Json.Bool identical);
+        ("revec_pairs", Json.Int pairs);
+        ("revec_widened", Json.Int widened);
+      ]
+  in
+  let kernel_json ((k : Registry.t), variants) =
+    let sse = cost_of variants Target.sse false in
+    let bt, br, bc = best_of variants in
+    Json.Obj
+      [
+        ("name", Json.String k.Registry.name);
+        ( "variants",
+          Json.List
+            (List.map
+               (fun (t, r, c, opt, ok, p, w) -> variant_json t r c opt ok p w)
+               variants) );
+        ( "best",
+          Json.Obj
+            [
+              ("target", Json.String bt.Target.name);
+              ("revec", Json.Bool br);
+              ("cost", Json.Float bc);
+              ("speedup_vs_sse", Json.Float (sse /. Float.max bc eps));
+            ] );
+      ]
+  in
+  let rejuv_json ((k : Registry.t), pairs, widened, cn, cw, lanes, identical) =
+    Json.Obj
+      [
+        ("name", Json.String k.Registry.name);
+        ("narrow_target", Json.String "sse");
+        ("wide_target", Json.String "avx512");
+        ("revec_pairs", Json.Int pairs);
+        ("revec_widened", Json.Int widened);
+        ("cost_narrow", Json.Float cn);
+        ("cost_rejuvenated", Json.Float cw);
+        ("max_lanes", Json.Int lanes);
+        ("bit_identical", Json.Bool identical);
+      ]
+  in
+  Json.write "BENCH_targets.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "snslp-targets/1");
+         ( "targets",
+           Json.List
+             (List.map (fun (t : Target.t) -> Json.String t.Target.name) sweep_targets) );
+         ("kernels", Json.List (List.map kernel_json measured));
+         ("rejuvenation", Json.List (List.map rejuv_json rejuvenated));
+         ( "criteria",
+           Json.Obj
+             [
+               ("all_bit_identical", Json.Bool all_identical);
+               ("validator_mismatches", Json.Int !mismatches);
+               ("revec_never_worse", Json.Bool revec_never_worse);
+               ("best_never_worse_than_sse", Json.Bool best_never_worse);
+               ("avx512_revec_wins", Json.Int (List.length wins));
+               ("min_wins", Json.Int min_wins);
+               ("max_speedup", Json.Float max_speedup);
+               ("speedup_threshold", Json.Float speedup_threshold);
+               ("rejuvenation_fires", Json.Bool rejuv_fires);
+               ( "criterion",
+                 Json.String
+                   "all variants bit-identical to the sse baseline, zero validator \
+                    mismatches, revec and best-of-sweep never worse, avx512+revec \
+                    beats sse on >= min_wins kernels with >= threshold once, \
+                    rejuvenation pairs > 0" );
+               ("pass", Json.Bool pass);
+             ] );
+       ]);
+  pr "  wrote BENCH_targets.json@.";
+  if not pass then exit 1
+
+let targets () =
+  targets_report ~kernels:Registry.all ~min_wins:3 ~speedup_threshold:1.5 ()
+
 let smoke () =
   let kernels =
     List.filter_map Registry.find [ "milc_su3"; "sphinx_gau_f32"; "milc_mat_vec" ]
@@ -1814,6 +2124,14 @@ let smoke () =
      simulator is deterministic, so the >= 2x wins survive the
      reduction). *)
   loops_report ~pairs:Registry.loop_pairs ~iters:64 ~min_wins:3 ();
+  (* Target smoke: a reduced width/backend sweep (wide-store kernels
+     included so the avx512+revec win and the rejuvenation path stay
+     exercised) keeps the BENCH_targets.json plumbing, the
+     bit-identity and the zero-Mismatch criteria on every test run. *)
+  targets_report
+    ~kernels:
+      (List.filter_map Registry.find [ "motiv_leaf_x4"; "milc_su3"; "sphinx_gau_f32" ])
+    ~min_wins:1 ~speedup_threshold:1.5 ();
   (* Bounded fuzz smoke: fixed seed, a couple hundred cases, the
      parallel determinism axis included; writes BENCH_fuzz.json. *)
   fuzz_report ~seed:42 ~cases:200 ~jobs:2 ();
@@ -2040,6 +2358,7 @@ let experiments =
     ("compile-time", compile_time);
     ("packing", packing);
     ("loops", loops);
+    ("targets", targets);
     ("parallel", parallel);
     ("fuzz", fuzz);
     ("lint", lint);

@@ -38,16 +38,16 @@ let load_source file kernel =
       Fmt.epr "nothing to compile: give a file or --kernel NAME@.";
       exit 2
 
-let target_of_string = function
-  | "sse" -> Target.sse
-  | "avx2" -> Target.avx2
-  | "sse-noaddsub" -> Target.sse_no_addsub
-  | s ->
-      Fmt.epr "unknown target %S (sse, avx2, sse-noaddsub)@." s;
+let target_of_string s =
+  match Target.by_name s with
+  | Some t -> t
+  | None ->
+      Fmt.epr "unknown target %S (%s)@." s
+        (String.concat ", " (List.map Target.to_string Target.all));
       exit 2
 
-let run verbose file kernel mode model target packing unroll dump_before dump_after
-    dump_graph stats simulate lookahead jobs verify_each lint validate =
+let run verbose file kernel mode model target revec packing unroll dump_before
+    dump_after dump_graph stats simulate lookahead jobs verify_each lint validate =
   setup_logs verbose;
   if jobs < 1 then begin
     Fmt.epr "-j must be at least 1@.";
@@ -93,6 +93,7 @@ let run verbose file kernel mode model target packing unroll dump_before dump_af
                 Config.mode;
                 model;
                 target = target_of_string target;
+                revec;
                 packing;
                 unroll;
                 lookahead_depth = lookahead;
@@ -155,7 +156,14 @@ let run verbose file kernel mode model target packing unroll dump_before dump_af
                 (if tr.Vectorize.vectorized then "VECTORIZED" else "rejected");
               if dump_graph then Fmt.pr "%s" tr.Vectorize.graph_dump)
             rep.Vectorize.trees;
-          if stats then Fmt.pr "; stats: %a@." Stats.pp rep.Vectorize.stats
+          if stats then begin
+            let cfg = rep.Vectorize.config in
+            Fmt.pr "; target: %s (%d-bit%s), model: %s, revec: %b@."
+              cfg.Config.target.Target.name cfg.Config.target.Target.vector_bits
+              (if cfg.Config.target.Target.has_addsub then ", addsub" else "")
+              cfg.Config.model.Model.name cfg.Config.revec;
+            Fmt.pr "; stats: %a@." Stats.pp rep.Vectorize.stats
+          end
       | None -> ());
       (match result.Pipeline.loop_stats with
       | Some ls when stats ->
@@ -222,7 +230,22 @@ let () =
   in
   let target =
     Arg.(
-      value & opt string "sse" & info [ "target" ] ~doc:"Target: sse, avx2, sse-noaddsub.")
+      value & opt string "sse"
+      & info [ "target" ]
+          ~doc:
+            "Target: sse, avx2, avx512, neon or sse-noaddsub.  Seed-window \
+             sizes, bundle widths and profitability all derive from the \
+             target's register width and cost flavour.")
+  in
+  let revec =
+    Arg.(
+      value & flag
+      & info [ "revec" ]
+          ~doc:
+            "Run the Revec-style re-widening pass after the vectorizer: \
+             adjacent same-shape vector bundles re-pack into wider registers \
+             when the target has spare lanes.  Pair/widen counters appear \
+             under --stats.")
   in
   let packing =
     Arg.(
@@ -291,9 +314,9 @@ let () =
   in
   let term =
     Term.(
-      const run $ verbose $ file $ kernel $ mode $ model $ target $ packing $ unroll
-      $ dump_before $ dump_after $ dump_graph $ stats $ simulate $ lookahead $ jobs
-      $ verify_each $ lint $ validate)
+      const run $ verbose $ file $ kernel $ mode $ model $ target $ revec $ packing
+      $ unroll $ dump_before $ dump_after $ dump_graph $ stats $ simulate $ lookahead
+      $ jobs $ verify_each $ lint $ validate)
   in
   let info =
     Cmd.info "snslpc" ~doc:"Super-Node SLP vectorizing compiler for KernelC"

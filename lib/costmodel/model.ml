@@ -141,6 +141,78 @@ let x86 =
     extract = 1.8;
   }
 
+(* --- AVX-512-flavoured model. -------------------------------------- *)
+
+(* An EVEX-class core: arithmetic keeps its reciprocal throughput at
+   any width (that is the whole point of going wide), divides still
+   scale with lanes, and everything that crosses lanes or register
+   domains is pricier than on the 128-bit unit — 512-bit permutes are
+   lane-crossing by construction. *)
+let avx512 =
+  {
+    name = "avx512";
+    scalar = x86_scalar;
+    vector =
+      (fun c ~lanes ->
+        match c with
+        | C_fp_div -> 4.0 *. float_of_int lanes
+        | C_int_mul -> 3.5
+        | C_gep -> 0.0
+        | C_shuffle -> 1.5
+        | c -> x86_scalar c);
+    alt =
+      (fun (tgt : Target.t) ~lanes ~fam_mul ->
+        if fam_mul then (4.0 *. float_of_int lanes) +. 2.0
+        else if tgt.Target.has_addsub then 1.0
+        else (* add, sub and a mask-blend *) 3.0);
+    gather_lane = 2.0;
+    splat = 1.0;
+    extract = 2.0;
+  }
+
+(* --- NEON-flavoured model. ----------------------------------------- *)
+
+(* An ARM-class core: moves between the integer and vector files are
+   cheap (same register bank distance), fp multiplies a little slower,
+   divides much slower, no addsub instruction at all. *)
+let neon_scalar = function
+  | C_fp_mul -> 2.0
+  | C_fp_div -> 10.0
+  | C_int_mul -> 2.0
+  | C_insert -> 1.2
+  | C_extract -> 1.2
+  | c -> x86_scalar c
+
+let neon =
+  {
+    name = "neon";
+    scalar = neon_scalar;
+    vector =
+      (fun c ~lanes ->
+        match c with
+        | C_fp_div -> 5.0 *. float_of_int lanes
+        | C_gep -> 0.0
+        | c -> neon_scalar c);
+    alt =
+      (fun (tgt : Target.t) ~lanes:_ ~fam_mul ->
+        if fam_mul then 6.0
+        else if tgt.Target.has_addsub then 1.0
+        else (* fadd, fsub and a bit-select *) 3.0);
+    gather_lane = 1.2;
+    splat = 1.0;
+    extract = 1.2;
+  }
+
+(* The machine model that matches a target's flavour: the x86 table
+   covers every 128/256-bit x86-shaped target; avx512 and neon get
+   their own tables.  The bench sweep and the service's [@target]
+   modes price each target with this. *)
+let for_target (tgt : Target.t) : t =
+  match tgt.Target.name with
+  | "avx512" -> avx512
+  | "neon" -> neon
+  | _ -> x86
+
 (* [instr_cost model target i] — cost in abstract cycles of one
    execution of [i].  This is the single pricing function shared by
    the performance simulator (per dynamic instruction) and the global
@@ -179,6 +251,8 @@ let instr_cost (model : t) (target : Target.t) (i : Defs.instr) : float =
 let by_name = function
   | "paper" -> Some paper
   | "x86" -> Some x86
+  | "avx512" -> Some avx512
+  | "neon" -> Some neon
   | _ -> None
 
 let pp ppf (t : t) = Fmt.string ppf t.name

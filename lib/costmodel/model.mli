@@ -49,5 +49,17 @@ val instr_cost : t -> Target.t -> Defs.instr -> float
 
 val paper : t
 val x86 : t
+
+val avx512 : t
+(** EVEX-class: full-throughput wide arithmetic, pricier lane-crossing
+    shuffles and domain moves. *)
+
+val neon : t
+(** ARM-class: cheap domain moves, slower multiplies and divides. *)
+
+val for_target : Target.t -> t
+(** The model matching a target's flavour: {!avx512} and {!neon} for
+    those targets, {!x86} for every x86-shaped one. *)
+
 val by_name : string -> t option
 val pp : t Fmt.t

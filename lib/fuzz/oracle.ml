@@ -21,6 +21,7 @@
 open Snslp_ir
 open Snslp_interp
 open Snslp_vectorizer
+open Snslp_costmodel
 module Pipeline = Snslp_passes.Pipeline
 module Driver = Snslp_driver.Driver
 module Workload = Snslp_kernels.Workload
@@ -107,11 +108,31 @@ let default_configs : (string * Pipeline.setting) list =
           packing = Config.Global { beam; node_budget };
         } )
   in
+  (* The target axis rides on sn-slp too: one config per backend
+     flavour (its own register width, addsub availability and machine
+     model), the widest one also with the revec re-widening pass so
+     the wide-target legality and profitability paths stay under
+     differential test. *)
+  let on_target name (tgt : Target.t) revec =
+    ( name,
+      Some
+        {
+          Config.snslp with
+          Config.verify_each = true;
+          target = tgt;
+          model = Model.for_target tgt;
+          revec;
+        } )
+  in
   (("o3", None) :: both "slp" Config.vanilla)
   @ both "lslp" Config.lslp @ both "snslp" Config.snslp
   @ [
       global "snslp-global" Config.default_beam Config.default_node_budget;
       global "snslp-global-b2" 2 64;
+      on_target "snslp-avx2" Target.avx2 false;
+      on_target "snslp-avx512" Target.avx512 false;
+      on_target "snslp-avx512-revec" Target.avx512 true;
+      on_target "snslp-neon" Target.neon false;
     ]
 
 (* --- Execution harness ---------------------------------------------------- *)

@@ -214,6 +214,19 @@ let run ?scratch ?(setting : setting = Some Config.snslp) ?verify_each
           ~changed:
             (List.exists (fun tr -> tr.Vectorize.vectorized) rep.Vectorize.trees)
           t;
+        (* Revec re-widening: re-pack the bundles the vectorizer (or
+           an earlier, narrower compile) committed toward the target's
+           full register width.  Runs before DCE so the dead narrow
+           chains it strands are swept by the pass that follows. *)
+        if config.Config.revec then begin
+          let t, rr =
+            timed "revec" (fun () ->
+                Revec.run ~model:config.Config.model ~target:config.Config.target f)
+          in
+          record ~changed:(rr.Revec.pairs > 0) t;
+          rep.Vectorize.stats.Snslp_vectorizer.Stats.revec_pairs <- rr.Revec.pairs;
+          rep.Vectorize.stats.Snslp_vectorizer.Stats.revec_widened <- rr.Revec.widened
+        end;
         Some rep
   in
   let t, n = timed "dce" (fun () -> Dce.run f) in

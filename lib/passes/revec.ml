@@ -1,0 +1,401 @@
+(* Revec-style re-vectorization: vector-to-vector re-widening.
+
+   The SLP vectorizer emits bundles at whatever width it could prove
+   profitable — which is the width of the target it compiled *for*,
+   not necessarily the width of the target the code will *run on*
+   ("Revec: Program Rejuvenation through Revectorization", PAPERS.md).
+   Greedy packing has the same gap at a smaller scale: a wide seed
+   window can be rejected on cost (a non-isomorphic leaf layer prices
+   as a giant gather) while its halves vectorize cleanly, leaving the
+   block full of narrow bundles on a machine with spare lanes.
+
+   This pass closes the gap on straight-line IR.  It finds pairs of
+   adjacent same-shape vector stores (the roots the vectorizer
+   anchors on), re-packs each pair into one double-width store, and
+   widens the defining computation structurally:
+
+   - adjacent vector loads pair into one double-width load;
+   - same-opcode vector binops pair into a double-width binop;
+   - same-family binop/alt-binop pairs widen into an alt-binop whose
+     per-lane opcode mask is the concatenation of the halves' masks;
+   - shuffles of the same two sources widen by concatenating masks;
+   - anything else falls back to a widening concat — one shuffle
+     whose mask [0 .. 2L-1] glues the two narrow registers together.
+
+   Legality is re-checked per pair with the same primitive the
+   vectorizer uses ({!Snslp_analysis.Deps.bundle_placement}), and
+   profitability with the target's machine model: a pair commits only
+   when the narrow instructions that die cost strictly more than the
+   wide instructions that replace them.  Committed rounds iterate, so
+   128-bit bundles reach 512-bit targets in two doublings.  The dead
+   narrow chains are left for DCE, which runs right after this pass
+   in the pipeline. *)
+
+open Snslp_ir
+open Snslp_analysis
+open Snslp_costmodel
+module Family = Snslp_vectorizer.Family
+
+type report = { pairs : int; widened : int; rounds : int }
+
+let empty = { pairs = 0; widened = 0; rounds = 0 }
+
+(* Two doublings reach 512-bit from 128-bit; one spare round for
+   mixed-width blocks. *)
+let max_rounds = 3
+
+(* --- The widening plan. -------------------------------------------- *)
+
+(* A plan is a DAG mirroring the paired narrow DAGs; nodes are created
+   child-first, so the creation list is a topological order and
+   emission can walk it directly.  [claimed] collects the narrow
+   instructions the plan replaces — they only actually die (and only
+   actually count as savings) if every use is inside the dying set. *)
+type shape =
+  | P_load of { left : Defs.instr; right : Defs.instr; placement : Deps.placement }
+  | P_bin of { kind : Defs.binop; a : node; b : node }
+  | P_alt of { kinds : Defs.binop array; a : node; b : node }
+  | P_shuf of { a : Defs.value; b : Defs.value; mask : int array }
+  | P_concat of { a : Defs.value; b : Defs.value }
+
+and node = { nid : int; lanes : int; (* result (wide) lanes *) elem : Ty.scalar; shape : shape }
+
+type ctx = {
+  block : Defs.block;
+  deps : Deps.t;
+  mutable next_nid : int;
+  memo : (string, node) Hashtbl.t; (* (key v0, key v1) -> plan node *)
+  mutable created : node list; (* reverse creation order *)
+  claimed : (int, Defs.instr) Hashtbl.t;
+}
+
+let mk ctx ~lanes ~elem shape =
+  let n = { nid = ctx.next_nid; lanes; elem; shape } in
+  ctx.next_nid <- ctx.next_nid + 1;
+  ctx.created <- n :: ctx.created;
+  n
+
+let claim ctx (i : Defs.instr) = Hashtbl.replace ctx.claimed i.Defs.iid i
+
+(* The universal fallback: glue the two narrow registers with one
+   concat shuffle, mask = identity over the doubled lanes. *)
+let concat_mask lanes = Array.init (2 * lanes) Fun.id
+
+let concat ctx v0 v1 =
+  let t = Value.ty v0 in
+  mk ctx ~lanes:(2 * Ty.lanes t) ~elem:(Ty.elem t) (P_concat { a = v0; b = v1 })
+
+let kinds_of (i : Defs.instr) lanes =
+  match i.Defs.op with
+  | Defs.Binop k -> Array.make lanes k
+  | Defs.Alt_binop ks -> ks
+  | _ -> invalid_arg "Revec.kinds_of"
+
+(* [pair ctx v0 v1] plans the wide value whose low lanes are [v0] and
+   high lanes [v1].  Memoized on the value pair so shared narrow
+   subtrees plan (and later emit) one wide node. *)
+let rec pair ctx (v0 : Defs.value) (v1 : Defs.value) : node =
+  let key = Value.key v0 ^ "|" ^ Value.key v1 in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some n -> n
+  | None ->
+      let n = pair_fresh ctx v0 v1 in
+      Hashtbl.add ctx.memo key n;
+      n
+
+and pair_fresh ctx v0 v1 =
+  let in_block i =
+    match Instr.block i with Some b -> Block.equal b ctx.block | None -> false
+  in
+  match (v0, v1) with
+  | Defs.Instr i0, Defs.Instr i1
+    when i0.Defs.iid <> i1.Defs.iid
+         && in_block i0 && in_block i1
+         && Ty.is_vector i0.Defs.ty
+         && Ty.equal i0.Defs.ty i1.Defs.ty -> (
+      let lanes = Ty.lanes i0.Defs.ty in
+      let elem = Ty.elem i0.Defs.ty in
+      let wide = 2 * lanes in
+      match (i0.Defs.op, i1.Defs.op) with
+      | Defs.Load, Defs.Load -> (
+          match (Address.of_instr i0, Address.of_instr i1) with
+          | Some a0, Some a1 when Address.delta a0 a1 = Some lanes -> (
+              (* The double-width load reads exactly the union of the
+                 two narrow ranges, so sliding legality of the pair is
+                 sliding legality of the wide load. *)
+              match Deps.bundle_placement ctx.deps [ i0; i1 ] with
+              | Some placement ->
+                  claim ctx i0;
+                  claim ctx i1;
+                  mk ctx ~lanes:wide ~elem (P_load { left = i0; right = i1; placement })
+              | None -> concat ctx v0 v1)
+          | _ -> concat ctx v0 v1)
+      | Defs.Binop k0, Defs.Binop k1 when k0 = k1 ->
+          claim ctx i0;
+          claim ctx i1;
+          let a = pair ctx i0.Defs.ops.(0) i1.Defs.ops.(0) in
+          let b = pair ctx i0.Defs.ops.(1) i1.Defs.ops.(1) in
+          mk ctx ~lanes:wide ~elem (P_bin { kind = k0; a; b })
+      | (Defs.Binop _ | Defs.Alt_binop _), (Defs.Binop _ | Defs.Alt_binop _) -> (
+          (* Same family across every lane of both halves widens into
+             one alt-binop whose opcode mask is the concatenation —
+             [addsub ++ addsub] at 4 lanes is the AVX vaddsubpd
+             pattern. *)
+          let kinds = Array.append (kinds_of i0 lanes) (kinds_of i1 lanes) in
+          let fam = Family.of_binop kinds.(0) in
+          if
+            Array.for_all (fun k -> Family.same_family kinds.(0) k) kinds
+            && Family.allowed_on fam elem
+          then begin
+            claim ctx i0;
+            claim ctx i1;
+            let a = pair ctx i0.Defs.ops.(0) i1.Defs.ops.(0) in
+            let b = pair ctx i0.Defs.ops.(1) i1.Defs.ops.(1) in
+            mk ctx ~lanes:wide ~elem (P_alt { kinds; a; b })
+          end
+          else concat ctx v0 v1)
+      | Defs.Shuffle m0, Defs.Shuffle m1
+        when Value.equal i0.Defs.ops.(0) i1.Defs.ops.(0)
+             && Value.equal i0.Defs.ops.(1) i1.Defs.ops.(1) ->
+          (* Same two sources: the wide permute is the mask
+             concatenation (indices already address the shared
+             source concatenation, so they transfer unchanged). *)
+          claim ctx i0;
+          claim ctx i1;
+          mk ctx ~lanes:wide ~elem
+            (P_shuf { a = i0.Defs.ops.(0); b = i0.Defs.ops.(1); mask = Array.append m0 m1 })
+      | _ -> concat ctx v0 v1)
+  | _ -> concat ctx v0 v1
+
+(* --- Pricing. ------------------------------------------------------ *)
+
+let node_cost (model : Model.t) (target : Target.t) (n : node) =
+  match n.shape with
+  | P_load _ -> model.Model.vector Model.C_load ~lanes:n.lanes
+  | P_bin { kind; _ } ->
+      let cls = Model.class_of_binop kind (Ty.vector ~lanes:n.lanes n.elem) in
+      model.Model.vector cls ~lanes:n.lanes
+  | P_alt { kinds; _ } ->
+      let fam_mul = Array.exists (fun k -> k = Defs.Mul || k = Defs.Div) kinds in
+      model.Model.alt target ~lanes:n.lanes ~fam_mul
+  | P_shuf _ | P_concat _ -> model.Model.vector Model.C_shuffle ~lanes:n.lanes
+
+(* The claimed narrow instructions that actually die: a claimed
+   instruction survives if any use lies outside the dying set (the
+   pass never touches existing uses, DCE only erases the unused).
+   Greatest fixpoint: start from everything claimed, evict while an
+   outside use exists.  The pair's two stores have no uses and are
+   erased unconditionally. *)
+let dying_savings model target func (ctx : ctx) ~(erased : Defs.instr list) =
+  let erased_ids = List.map (fun i -> i.Defs.iid) erased in
+  let users : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  Func.iter_instrs
+    (fun u ->
+      Array.iter
+        (fun v ->
+          match v with
+          | Defs.Instr d when Hashtbl.mem ctx.claimed d.Defs.iid ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt users d.Defs.iid) in
+              Hashtbl.replace users d.Defs.iid (u.Defs.iid :: prev)
+          | _ -> ())
+        u.Defs.ops)
+    func;
+  let dying = Hashtbl.copy ctx.claimed in
+  List.iter (fun id -> Hashtbl.remove dying id) erased_ids;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun id _ ->
+        let us = Option.value ~default:[] (Hashtbl.find_opt users id) in
+        let kept u = not (Hashtbl.mem dying u || List.mem u erased_ids) in
+        if List.exists kept us then begin
+          Hashtbl.remove dying id;
+          changed := true
+        end)
+      (Hashtbl.copy dying)
+  done;
+  let sum = ref 0.0 in
+  Hashtbl.iter (fun _ i -> sum := !sum +. Model.instr_cost model target i) dying;
+  List.iter (fun i -> sum := !sum +. Model.instr_cost model target i) erased;
+  !sum
+
+(* --- Commit. ------------------------------------------------------- *)
+
+(* Emit the plan into the block.  Everything lands immediately before
+   [anchor] (the later of the two stores in program order) in
+   creation (= topological) order, except wide loads, which must read
+   memory at their own bundle-legal position: loads are operands of
+   the stores, so both legal load positions precede the store
+   anchor and dominance is preserved either way. *)
+let emit func block (ctx : ctx) ~(anchor : Defs.instr) root s_left s_right =
+  let b = Builder.create func ~at:block in
+  let emitted : (int, Defs.value) Hashtbl.t = Hashtbl.create 16 in
+  let value_of n = Hashtbl.find emitted n.nid in
+  let place_before anchor (i : Defs.instr) =
+    Block.remove block i;
+    Block.insert_before block ~anchor i
+  in
+  let count = ref 0 in
+  List.iter
+    (fun n ->
+      incr count;
+      let i =
+        match n.shape with
+        | P_load { left; right; placement } ->
+            let wi = Builder.vload b ~lanes:n.lanes left.Defs.ops.(0) in
+            let pos i = Deps.position ctx.deps i in
+            let load_anchor =
+              match placement with
+              | Deps.At_last -> if pos left > pos right then left else right
+              | Deps.At_first -> if pos left < pos right then left else right
+            in
+            place_before load_anchor wi;
+            wi
+        | P_bin { kind; a; b = b' } ->
+            let wi = Builder.binop b kind (value_of a) (value_of b') in
+            place_before anchor wi;
+            wi
+        | P_alt { kinds; a; b = b' } ->
+            let wi = Builder.alt_binop b kinds (value_of a) (value_of b') in
+            place_before anchor wi;
+            wi
+        | P_shuf { a; b = b'; mask } ->
+            let wi = Builder.shuffle b a b' mask in
+            place_before anchor wi;
+            wi
+        | P_concat { a; b = b' } ->
+            let wi = Builder.shuffle b a b' (concat_mask (Ty.lanes (Value.ty a))) in
+            place_before anchor wi;
+            wi
+      in
+      Hashtbl.replace emitted n.nid (Instr.value i))
+    (List.rev ctx.created);
+  let ws = Builder.store b (value_of root) s_left.Defs.ops.(1) in
+  place_before anchor ws;
+  incr count;
+  Func.erase_instr func s_left;
+  Func.erase_instr func s_right;
+  !count
+
+(* --- Store-pair discovery. ----------------------------------------- *)
+
+(* Adjacent same-shape vector store pairs of one block: group stores
+   by base/symbolic-index (delta defined), sort each group by element
+   offset, pair left-to-right where the offset step equals the lane
+   count.  Left-to-right keeps pairs aligned to the run start, so the
+   next round can pair the pairs. *)
+let store_pairs deps block ~lanes_for =
+  let stores =
+    Block.fold
+      (fun acc (i : Defs.instr) ->
+        match i.Defs.op with
+        | Defs.Store when Ty.is_vector (Value.ty i.Defs.ops.(0)) -> (
+            match Address.of_instr i with
+            | Some a ->
+                let lanes = Ty.lanes (Value.ty i.Defs.ops.(0)) in
+                if 2 * lanes <= lanes_for a.Address.elem then (a, lanes, i) :: acc
+                else acc
+            | None -> acc)
+        | _ -> acc)
+      [] block
+    |> List.rev
+  in
+  let _ = deps in
+  (* Partition into delta-comparable groups (same base, same symbolic
+     index, same width). *)
+  let groups : (Address.t * int * (int * Defs.instr) list ref) list ref = ref [] in
+  List.iter
+    (fun (a, lanes, i) ->
+      let rec find = function
+        | [] ->
+            groups := !groups @ [ (a, lanes, ref [ (0, i) ]) ]
+        | (rep, l, members) :: rest -> (
+            if l <> lanes then find rest
+            else
+              match Address.delta rep a with
+              | Some d -> members := (d, i) :: !members
+              | None -> find rest)
+      in
+      find !groups)
+    stores;
+  List.concat_map
+    (fun (_, lanes, members) ->
+      let sorted =
+        List.sort (fun (d0, _) (d1, _) -> compare d0 d1) (List.rev !members)
+      in
+      let rec pair_up = function
+        | (d0, s0) :: (d1, s1) :: rest when d1 - d0 = lanes ->
+            (s0, s1, lanes) :: pair_up rest
+        | _ :: rest -> pair_up rest
+        | [] -> []
+      in
+      pair_up sorted)
+    !groups
+
+(* --- Driver. ------------------------------------------------------- *)
+
+let try_pair func block deps model target (s_left, s_right, _lanes) =
+  match Deps.bundle_placement deps [ s_left; s_right ] with
+  | Some Deps.At_last ->
+      let anchor =
+        if Deps.position deps s_left > Deps.position deps s_right then s_left
+        else s_right
+      in
+      let ctx =
+        {
+          block;
+          deps;
+          next_nid = 0;
+          memo = Hashtbl.create 32;
+          created = [];
+          claimed = Hashtbl.create 32;
+        }
+      in
+      let root = pair ctx s_left.Defs.ops.(0) s_right.Defs.ops.(0) in
+      let wide_cost =
+        List.fold_left (fun acc n -> acc +. node_cost model target n) 0.0 ctx.created
+        +. model.Model.vector Model.C_store ~lanes:root.lanes
+      in
+      let savings =
+        dying_savings model target func ctx ~erased:[ s_left; s_right ]
+      in
+      if savings > wide_cost then
+        Some (emit func block ctx ~anchor root s_left s_right)
+      else None
+  | Some Deps.At_first | None -> None
+
+let run_block func model target (block : Defs.block) =
+  let lanes_for = Target.lanes_for target in
+  let pairs = ref 0 in
+  let widened = ref 0 in
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress && !rounds < max_rounds do
+    progress := false;
+    let deps = Deps.of_block block in
+    let dirty = ref false in
+    List.iter
+      (fun cand ->
+        if !dirty then begin
+          Deps.refresh deps block;
+          dirty := false
+        end;
+        match try_pair func block deps model target cand with
+        | Some emitted ->
+            incr pairs;
+            widened := !widened + emitted;
+            progress := true;
+            dirty := true
+        | None -> ())
+      (store_pairs deps block ~lanes_for);
+    if !progress then incr rounds
+  done;
+  (!pairs, !widened, !rounds)
+
+let run ?(model = Model.x86) ~(target : Target.t) (func : Defs.func) : report =
+  List.fold_left
+    (fun acc block ->
+      let p, w, r = run_block func model target block in
+      { pairs = acc.pairs + p; widened = acc.widened + w; rounds = max acc.rounds r })
+    empty (Func.blocks func)

@@ -103,13 +103,44 @@ let cache t = t.cache
 let now_s () = Unix.gettimeofday ()
 
 (* A mode string is the vectorizer mode, optionally followed by
-   "+PACKING" and/or "/urPOLICY" — e.g. "sn-slp+global",
-   "sn-slp+global:8:1024", "lslp+greedy", "sn-slp/urnone",
-   "sn-slp/ur4".  Both choices land in the config and hence in
-   [Config.fingerprint], so cached entries never cross packing modes
-   or unroll policies ("sn-slp" and "sn-slp+greedy" do share: same
-   config; "sn-slp" and "sn-slp/urauto" likewise). *)
+   "+PACKING" and/or "/urPOLICY" and/or "@TARGET[+revec]" — e.g.
+   "sn-slp+global", "sn-slp+global:8:1024", "lslp+greedy",
+   "sn-slp/urnone", "sn-slp/ur4", "sn-slp@avx512",
+   "sn-slp+global@avx512+revec".  Every choice lands in the config
+   and hence in [Config.fingerprint], so cached entries never cross
+   packing modes, unroll policies or targets ("sn-slp" and
+   "sn-slp+greedy" do share: same config; "sn-slp" and
+   "sn-slp/urauto" likewise).  "@TARGET" also selects the target's
+   machine-model flavour ([Model.for_target]), so "sn-slp@sse" prices
+   with the x86 table where bare "sn-slp" keeps the paper's didactic
+   model — the two deliberately never share cache entries. *)
 let setting_of_mode (m : string) : (Pipeline.setting, string) result =
+  (* The '@' suffix is stripped first: its payload may itself contain
+     '+' ("@avx512+revec"), which must not reach the packing split. *)
+  let m, tgt =
+    match String.rindex_opt m '@' with
+    | Some k ->
+        (String.sub m 0 k, Some (String.sub m (k + 1) (String.length m - k - 1)))
+    | None -> (m, None)
+  in
+  let tgt =
+    match tgt with
+    | None -> Ok None
+    | Some s ->
+        let name, revec =
+          match String.index_opt s '+' with
+          | Some k ->
+              let flag = String.sub s (k + 1) (String.length s - k - 1) in
+              (String.sub s 0 k, Some flag)
+          | None -> (s, None)
+        in
+        let target = Snslp_costmodel.Target.by_name name in
+        (match (target, revec) with
+        | None, _ -> Error ("unknown target " ^ name)
+        | Some t, None -> Ok (Some (t, false))
+        | Some t, Some "revec" -> Ok (Some (t, true))
+        | Some _, Some flag -> Error ("unknown target flag " ^ flag))
+  in
   let m, unroll =
     match String.index_opt m '/' with
     | Some k ->
@@ -128,12 +159,26 @@ let setting_of_mode (m : string) : (Pipeline.setting, string) result =
         (String.sub m 0 k, Some (String.sub m (k + 1) (String.length m - k - 1)))
     | None -> (m, None)
   in
+  let with_target (c : Config.t) =
+    match tgt with
+    | Error e -> Error e
+    | Ok None -> Ok (Some c)
+    | Ok (Some (target, revec)) ->
+        Ok
+          (Some
+             {
+               c with
+               Config.target;
+               model = Snslp_costmodel.Model.for_target target;
+               revec;
+             })
+  in
   let with_unroll (c : Config.t) =
     match unroll with
-    | None -> Ok (Some c)
+    | None -> with_target c
     | Some u -> (
         match Config.unroll_of_string u with
-        | Some unroll -> Ok (Some { c with Config.unroll })
+        | Some unroll -> with_target { c with Config.unroll }
         | None -> Error ("unknown unroll policy " ^ u))
   in
   let with_packing (c : Config.t) =
@@ -146,10 +191,11 @@ let setting_of_mode (m : string) : (Pipeline.setting, string) result =
   in
   match base with
   | "o3" -> (
-      match (packing, unroll) with
-      | None, None -> Ok None
-      | Some _, _ -> Error "mode o3 takes no packing suffix"
-      | _, Some _ -> Error "mode o3 takes no unroll suffix")
+      match (packing, unroll, tgt) with
+      | None, None, Ok None -> Ok None
+      | _, _, (Error _ | Ok (Some _)) -> Error "mode o3 takes no target suffix"
+      | Some _, _, _ -> Error "mode o3 takes no packing suffix"
+      | _, Some _, _ -> Error "mode o3 takes no unroll suffix")
   | "slp" -> with_packing Config.vanilla
   | "lslp" -> with_packing Config.lslp
   | "sn-slp" -> with_packing Config.snslp
@@ -393,6 +439,11 @@ let stats_reply t : Protocol.response =
       ("pack_expansions", string_of_int t.vstats.Stats.pack_expansions);
       ("pack_pruned", string_of_int t.vstats.Stats.pack_pruned);
       ("pack_plans", string_of_int t.vstats.Stats.pack_plans);
+      (* Revec re-widening on the same misses: adjacent bundle pairs
+         re-packed into wider registers, and the wide instructions
+         that replaced them (@TARGET+revec modes only; 0 otherwise). *)
+      ("revec_pairs", string_of_int t.vstats.Stats.revec_pairs);
+      ("revec_widened", string_of_int t.vstats.Stats.revec_widened);
       (* Loop-subsystem work on the same misses: loops seen, accepted
          by the counted-loop recognizer, unrolled fully/partially, and
          straight-line blocks the jam pass fused. *)

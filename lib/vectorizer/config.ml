@@ -124,6 +124,12 @@ type t = {
       (* statement-packing strategy: the greedy root-first builder, or
          the global beam/branch-and-bound pack selector.  Changes the
          emitted IR, so it is part of {!fingerprint}. *)
+  revec : bool;
+      (* run the Revec-style re-widening pass after the vectorizer:
+         adjacent same-shape vector bundles re-pack into wider
+         registers when [target] has spare lanes.  Changes the emitted
+         IR, so it is part of {!fingerprint}.  Default off — legacy
+         outputs stay bit-identical. *)
   memoize : memo;
       (* look-ahead memoization, incremental dependence refresh,
          use-list-backed queries.  [Off] reproduces the legacy
@@ -153,6 +159,7 @@ let default =
     reductions = true;
     unroll = Unroll_auto;
     packing = Greedy;
+    revec = false;
     memoize = Auto;
     jobs = 1;
     verify_each = false;
@@ -181,19 +188,22 @@ let memo_on (t : t) = match t.memoize with On | Auto -> true | Off -> false
 (* The output-relevant fingerprint, for content-addressed compile
    caching: two configs with equal fingerprints produce bit-identical
    optimized IR for the same input.  Audited against every field of
-   [t]: [mode], [target] (by name — names are unique in [Target]),
-   [model] (likewise), [lookahead_depth], [max_chain], [threshold]
-   (hex-exact), [reductions], [packing] and [unroll] all steer what
-   the pipeline emits and are all included.  [memoize], [jobs] and
+   [t]: [mode], [target] (the [/tg] component — names are unique in
+   [Target], and bundle widths derive from [Target.lanes_for], so no
+   two targets may ever share a cache entry), [model] (likewise),
+   [lookahead_depth], [max_chain], [threshold] (hex-exact),
+   [reductions], [packing], [unroll] and [revec] all steer what the
+   pipeline emits and are all included.  [memoize], [jobs] and
    [verify_each] are deliberately excluded — they change how fast the
    pipeline runs, never what it emits — so cache entries are shared
    across memoization policies and parallelism settings.
    (test_packing.ml holds the qcheck property backing this: equal
    fingerprints imply identical optimized IR on a fuzz corpus.) *)
 let fingerprint (t : t) =
-  Printf.sprintf "%s/%s/%s/la%d/ch%d/th%h/red%b/pk%s/ur%s" (mode_to_string t.mode)
-    t.target.Target.name t.model.Model.name t.lookahead_depth t.max_chain t.threshold
-    t.reductions (packing_to_string t.packing) (unroll_to_string t.unroll)
+  Printf.sprintf "%s/tg%s/%s/la%d/ch%d/th%h/red%b/pk%s/ur%s/rv%b"
+    (mode_to_string t.mode) t.target.Target.name t.model.Model.name
+    t.lookahead_depth t.max_chain t.threshold t.reductions
+    (packing_to_string t.packing) (unroll_to_string t.unroll) t.revec
 
 let pp ppf (t : t) =
   Fmt.pf ppf "%s(target=%s, model=%s, la=%d)" (mode_to_string t.mode) t.target.Target.name

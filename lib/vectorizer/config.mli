@@ -74,6 +74,12 @@ type t = {
   packing : packing;
       (** statement-packing strategy; output-affecting, so part of
           {!fingerprint} *)
+  revec : bool;
+      (** run the Revec-style re-widening pass ({!Snslp_passes.Revec})
+          after the vectorizer, re-packing adjacent same-shape vector
+          bundles into wider registers when the target has spare
+          lanes; output-affecting, so part of {!fingerprint}.
+          Default off. *)
   memoize : memo;
       (** look-ahead memoization, incremental dependence refresh and
           use-list-backed queries; [Off] reproduces the legacy
@@ -111,9 +117,10 @@ val fingerprint : t -> string
 (** Output-relevant configuration fingerprint for content-addressed
     compile caching: equal fingerprints guarantee bit-identical
     optimized IR for equal inputs.  Covers every output-affecting
-    field — mode, target, model, look-ahead depth, chain cap,
-    threshold, reductions, packing and unroll; excludes [memoize],
-    [jobs] and
-    [verify_each], which affect compile speed only. *)
+    field — mode, target (the [/tg] component, so the compile cache
+    never shares entries across targets), model, look-ahead depth,
+    chain cap, threshold, reductions, packing, unroll and revec;
+    excludes [memoize], [jobs] and [verify_each], which affect
+    compile speed only. *)
 
 val pp : t Fmt.t

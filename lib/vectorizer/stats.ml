@@ -33,6 +33,10 @@ type t = {
   mutable pack_expansions : int; (* beam states expanded by the solver *)
   mutable pack_pruned : int; (* states cut by the admissible bound or the beam *)
   mutable pack_plans : int; (* plans replayed (empty plan included) *)
+  (* Revec re-widening pass (Config.revec): committed bundle pairs and
+     the wide instructions they produced. *)
+  mutable revec_pairs : int; (* adjacent bundle pairs re-packed wider *)
+  mutable revec_widened : int; (* wide instructions emitted by revec *)
   phases : (string, float) Hashtbl.t; (* cumulative seconds per phase *)
 }
 
@@ -56,6 +60,8 @@ let create () =
     pack_expansions = 0;
     pack_pruned = 0;
     pack_plans = 0;
+    revec_pairs = 0;
+    revec_widened = 0;
     phases = Hashtbl.create 8;
   }
 
@@ -140,6 +146,8 @@ let merge (a : t) (b : t) =
     pack_expansions = a.pack_expansions + b.pack_expansions;
     pack_pruned = a.pack_pruned + b.pack_pruned;
     pack_plans = a.pack_plans + b.pack_plans;
+    revec_pairs = a.revec_pairs + b.revec_pairs;
+    revec_widened = a.revec_widened + b.revec_widened;
     phases;
   }
 
@@ -164,12 +172,14 @@ let equal_counters (a : t) (b : t) =
   && a.pack_expansions = b.pack_expansions
   && a.pack_pruned = b.pack_pruned
   && a.pack_plans = b.pack_plans
+  && a.revec_pairs = b.revec_pairs
+  && a.revec_widened = b.revec_widened
 
 let pp ppf (t : t) =
   Fmt.pf ppf
     "graphs=%d vectorized=%d nodes=%d gathers=%d supernodes=%d aggregate=%d avg=%.2f \
      reductions=%d lookahead=%d/%d reach=%d/%d deps=%d+%dr \
-     pack=%dc/%de/%dp/%dr"
+     pack=%dc/%de/%dp/%dr revec=%dp/%dw"
     t.graphs_built t.graphs_vectorized t.nodes_formed t.gathers (num_supernodes t)
     (aggregate_supernode_size t) (average_supernode_size t) t.reductions
     t.lookahead_hits
@@ -177,7 +187,7 @@ let pp ppf (t : t) =
     t.reach_hits
     (t.reach_hits + t.reach_misses)
     t.deps_builds t.deps_refreshes t.pack_candidates t.pack_expansions t.pack_pruned
-    t.pack_plans
+    t.pack_plans t.revec_pairs t.revec_widened
 
 let pp_phases ppf (t : t) =
   Fmt.pf ppf "%a"

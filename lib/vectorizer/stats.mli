@@ -30,6 +30,10 @@ type t = {
       (** global packing: states cut by the bound or the beam *)
   mutable pack_plans : int;
       (** global packing: plans replayed (empty plan included) *)
+  mutable revec_pairs : int;
+      (** revec: adjacent bundle pairs re-packed into wider registers *)
+  mutable revec_widened : int;
+      (** revec: wide instructions emitted *)
   phases : (string, float) Hashtbl.t;
       (** cumulative monotonic-clock seconds per vectorizer phase *)
 }

@@ -8,14 +8,82 @@ let check_int = Alcotest.(check int)
 let check_f = Alcotest.(check (float 1e-9))
 
 let test_target_lanes () =
+  (* Every selectable target against every scalar type: lanes must be
+     width/bits exactly, with no target-specific carve-outs. *)
+  let expected (t : Target.t) s = t.Target.vector_bits / Ty.scalar_bits s in
+  List.iter
+    (fun (t : Target.t) ->
+      List.iter
+        (fun s ->
+          check_int
+            (Printf.sprintf "%s %s" t.Target.name (Ty.scalar_to_string s))
+            (expected t s) (Target.lanes_for t s))
+        [ Ty.I32; Ty.I64; Ty.F32; Ty.F64 ])
+    Target.all;
   check_int "sse f64" 2 (Target.lanes_for Target.sse Ty.F64);
   check_int "sse f32" 4 (Target.lanes_for Target.sse Ty.F32);
   check_int "sse i64" 2 (Target.lanes_for Target.sse Ty.I64);
   check_int "avx2 f64" 4 (Target.lanes_for Target.avx2 Ty.F64);
   check_int "avx2 f32" 8 (Target.lanes_for Target.avx2 Ty.F32);
+  check_int "avx512 f64" 8 (Target.lanes_for Target.avx512 Ty.F64);
+  check_int "avx512 f32" 16 (Target.lanes_for Target.avx512 Ty.F32);
+  check_int "avx512 i32" 16 (Target.lanes_for Target.avx512 Ty.I32);
+  check_int "neon f64" 2 (Target.lanes_for Target.neon Ty.F64);
+  check_int "neon f32" 4 (Target.lanes_for Target.neon Ty.F32);
   check "noaddsub differs only in the flag" true
     (Target.sse_no_addsub.Target.vector_bits = Target.sse.Target.vector_bits
-    && not Target.sse_no_addsub.Target.has_addsub)
+    && not Target.sse_no_addsub.Target.has_addsub);
+  check "no 512-bit addsub exists" true (not Target.avx512.Target.has_addsub);
+  check "neon: narrow issue, no addsub" true
+    (Target.neon.Target.issue_width = 2 && not Target.neon.Target.has_addsub)
+
+let test_target_by_name () =
+  List.iter
+    (fun (t : Target.t) ->
+      match Target.by_name t.Target.name with
+      | Some t' -> check (t.Target.name ^ " resolves") true (t' == t)
+      | None -> Alcotest.failf "Target.by_name %s = None" t.Target.name)
+    Target.all;
+  check "unknown target" true (Target.by_name "mmx" = None);
+  check "names unique" true
+    (let names = List.map (fun (t : Target.t) -> t.Target.name) Target.all in
+     List.length names = List.length (List.sort_uniq compare names))
+
+let test_for_target () =
+  check "sse -> x86" true (Model.for_target Target.sse == Model.x86);
+  check "avx2 -> x86" true (Model.for_target Target.avx2 == Model.x86);
+  check "noaddsub -> x86" true (Model.for_target Target.sse_no_addsub == Model.x86);
+  check "avx512 -> avx512" true (Model.for_target Target.avx512 == Model.avx512);
+  check "neon -> neon" true (Model.for_target Target.neon == Model.neon)
+
+let test_wide_model_shape () =
+  (* avx512: arithmetic holds its throughput at full width; what gets
+     pricier is everything lane-crossing (shuffles, domain moves). *)
+  check "avx512 wide fp add = narrow" true
+    (Model.avx512.Model.vector Model.C_fp_addsub ~lanes:8
+    = Model.avx512.Model.vector Model.C_fp_addsub ~lanes:2);
+  check "avx512 div scales with lanes" true
+    (Model.avx512.Model.vector Model.C_fp_div ~lanes:8
+    > Model.avx512.Model.vector Model.C_fp_div ~lanes:2);
+  check "avx512 shuffle pricier than x86" true
+    (Model.avx512.Model.vector Model.C_shuffle ~lanes:8
+    > Model.x86.Model.vector Model.C_shuffle ~lanes:8);
+  check "avx512 alt pays the blend (no addsub)" true
+    (Model.avx512.Model.alt Target.avx512 ~lanes:8 ~fam_mul:false = 3.0);
+  (* neon: cheap domain crossing, expensive divides. *)
+  check "neon gather lane cheaper than x86" true
+    (Model.neon.Model.gather_lane < Model.x86.Model.gather_lane);
+  check "neon div slower than x86" true
+    (Model.neon.Model.scalar Model.C_fp_div > Model.x86.Model.scalar Model.C_fp_div);
+  check "neon alt pays the blend" true
+    (Model.neon.Model.alt Target.neon ~lanes:4 ~fam_mul:false = 3.0);
+  (* by_name covers the new tables (physical equality: models hold
+     closures, so structural compare would raise). *)
+  let resolves name m =
+    Option.fold ~none:false ~some:(fun m' -> m' == m) (Model.by_name name)
+  in
+  check "by_name avx512" true (resolves "avx512" Model.avx512);
+  check "by_name neon" true (resolves "neon" Model.neon)
 
 let test_class_of_binop () =
   check "int add" true (Model.class_of_binop Defs.Add Ty.i64 = Model.C_int_addsub);
@@ -70,6 +138,9 @@ let suite =
     ( "costmodel",
       [
         Alcotest.test_case "target lanes" `Quick test_target_lanes;
+        Alcotest.test_case "target by name" `Quick test_target_by_name;
+        Alcotest.test_case "model for target" `Quick test_for_target;
+        Alcotest.test_case "wide model shapes" `Quick test_wide_model_shape;
         Alcotest.test_case "binop classes" `Quick test_class_of_binop;
         Alcotest.test_case "paper model invariants" `Quick test_paper_model_invariants;
         Alcotest.test_case "x86 model shape" `Quick test_x86_model_shape;

@@ -113,6 +113,49 @@ let test_campaign_packing () =
     result.Campaign.reports;
   check "clean" true (Campaign.clean result)
 
+(* The target-axis campaign: the same function compiled for every
+   backend flavour — each with its own register width, cost tables and
+   addsub availability — plus the revec re-widening pass on the widest
+   one, all against the scalar reference.  Lane count must never leak
+   into semantics: wider targets pack more, they must not compute
+   differently. *)
+let target_configs : (string * Pipeline.setting) list =
+  let open Snslp_costmodel in
+  let on_target name (tgt : Target.t) revec =
+    ( name,
+      Some
+        {
+          Config.snslp with
+          Config.verify_each = true;
+          target = tgt;
+          model = Model.for_target tgt;
+          revec;
+        } )
+  in
+  [
+    on_target "snslp-sse" Target.sse false;
+    on_target "snslp-avx2" Target.avx2 false;
+    on_target "snslp-avx512" Target.avx512 false;
+    on_target "snslp-neon" Target.neon false;
+    on_target "snslp-avx512-revec" Target.avx512 true;
+    on_target "snslp-avx2-revec" Target.avx2 true;
+  ]
+
+let test_campaign_targets () =
+  let result =
+    Campaign.run ~configs:target_configs ~reduce:true ~seed:19 ~cases:1000 ()
+  in
+  check_int "cases" 1000 result.Campaign.cases;
+  List.iter
+    (fun (r : Campaign.case_report) ->
+      List.iter
+        (fun f ->
+          Alcotest.failf "case seed %d: %s" r.Campaign.case_seed
+            (Oracle.finding_to_string f))
+        r.Campaign.findings)
+    result.Campaign.reports;
+  check "clean" true (Campaign.clean result)
+
 (* Flip the first float add into a sub — a miscompile the size of one
    bit, applied through the test-only hook to the *optimized* function
    only, so the reference stays intact. *)
@@ -223,6 +266,8 @@ let suite =
         Alcotest.test_case "campaign smoke (200 cases, all configs)" `Slow test_campaign_smoke;
         Alcotest.test_case "campaign packing axis (2000 cases)" `Slow
           test_campaign_packing;
+        Alcotest.test_case "campaign target axis (1000 cases)" `Slow
+          test_campaign_targets;
         Alcotest.test_case "injected bug is caught and reduced" `Quick
           test_injected_bug_reduces;
         Alcotest.test_case "reducer rejects non-failing input" `Quick

@@ -4,4 +4,4 @@ let () =
   Alcotest.run "snslp"
     (Test_ir.suite @ Test_frontend.suite @ Test_analysis.suite @ Test_interp.suite
    @ Test_passes.suite @ Test_vectorizer.suite @ Test_simperf.suite
-   @ Test_differential.suite @ Test_properties.suite @ Test_reduction.suite @ Test_supernode.suite @ Test_ir_parser.suite @ Test_ifconv.suite @ Test_costmodel.suite @ Test_report.suite @ Test_edge_cases.suite @ Test_parallel.suite @ Test_fuzz.suite @ Test_engines.suite @ Test_lint.suite @ Test_service.suite @ Test_packing.suite @ Test_loops.suite)
+   @ Test_differential.suite @ Test_properties.suite @ Test_reduction.suite @ Test_supernode.suite @ Test_ir_parser.suite @ Test_ifconv.suite @ Test_costmodel.suite @ Test_report.suite @ Test_edge_cases.suite @ Test_parallel.suite @ Test_fuzz.suite @ Test_engines.suite @ Test_lint.suite @ Test_service.suite @ Test_packing.suite @ Test_loops.suite @ Test_revec.suite)

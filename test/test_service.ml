@@ -381,6 +381,55 @@ let test_server_unroll_modes_do_not_share () =
         (int_of_string (List.assoc "loops_unrolled_full" kvs) > 0)
   | rs -> Alcotest.fail (Printf.sprintf "expected 6 responses, got %d" (List.length rs))
 
+let test_server_targets_do_not_share () =
+  (* "@TARGET" is part of the config fingerprint: IR vectorized for
+     one register width must never answer a request for another —
+     motiv_leaf_x4 compiles to 2-wide bundles at sse and 8-wide at
+     avx512, so sharing across targets would hand out wrong-width
+     code.  "@TARGET" also selects the target's machine model, so
+     "sn-slp@sse" (x86 model) deliberately does not alias bare
+     "sn-slp" (paper model).  The stats reply carries the revec
+     counters. *)
+  let server = Server.create () in
+  let src =
+    (Option.get (Snslp_kernels.Registry.find "motiv_leaf_x4"))
+      .Snslp_kernels.Registry.source
+  in
+  let lines =
+    compile_frame "sn-slp@sse" src
+    @ compile_frame "sn-slp@avx512" src
+    @ compile_frame "sn-slp@avx512+revec" src
+    @ compile_frame "sn-slp@sse" src
+    @ compile_frame "sn-slp@neon" src
+    @ [ "stats"; "quit" ]
+  in
+  match converse server lines with
+  | [ sse; avx512; revec; sse_again; neon; Protocol.Stats_reply kvs ] ->
+      check_str "sse compiles" "miss" (statuses_of sse);
+      check_str "avx512 misses after sse" "miss" (statuses_of avx512);
+      check_str "revec is a different config" "miss" (statuses_of revec);
+      check_str "sse warm within its own config" "hit-textual" (statuses_of sse_again);
+      check_str "neon misses" "miss" (statuses_of neon);
+      check "widths compile different code" true
+        (not (String.equal (ir_of sse) (ir_of avx512)));
+      check "revec counters surfaced" true
+        (int_of_string (List.assoc "revec_pairs" kvs) >= 0
+        && int_of_string (List.assoc "revec_widened" kvs) >= 0)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 6 responses, got %d" (List.length rs))
+
+let test_server_bad_target_mode () =
+  let server = Server.create () in
+  let lines =
+    compile_frame "sn-slp@mmx" "kernel f(double a[], long i) { a[i] = a[i]; }"
+    @ compile_frame "o3@sse" "kernel f(double a[], long i) { a[i] = a[i]; }"
+    @ [ "quit" ]
+  in
+  match converse server lines with
+  | [ Protocol.Err e; Protocol.Err e' ] ->
+      check "names the target" true (contains e "target");
+      check "o3 takes no target" true (contains e' "target")
+  | _ -> Alcotest.fail "expected two error responses"
+
 let test_server_bad_unroll_mode () =
   let server = Server.create () in
   let lines = compile_frame "sn-slp/urx" "kernel f(double a[], long i) { a[i] = a[i]; }" @ [ "quit" ] in
@@ -442,6 +491,9 @@ let suite =
           test_server_packing_modes;
         Alcotest.test_case "server unroll modes do not share" `Quick
           test_server_unroll_modes_do_not_share;
+        Alcotest.test_case "server targets do not share" `Quick
+          test_server_targets_do_not_share;
+        Alcotest.test_case "server bad target mode" `Quick test_server_bad_target_mode;
         Alcotest.test_case "server bad unroll mode" `Quick test_server_bad_unroll_mode;
         Alcotest.test_case "server bad requests" `Quick test_server_bad_requests;
         Alcotest.test_case "server eviction end to end" `Quick test_server_eviction_end_to_end;
