@@ -7,7 +7,8 @@
    errors.
 
      snslp-lint file.ir
-     snslp-lint --bound 512 --invariants kernel.kc *)
+     snslp-lint --bound 512 --invariants kernel.kc
+     snslp-lint --loops loopy.kc *)
 
 open Cmdliner
 open Snslp_ir
@@ -27,7 +28,7 @@ let load file =
       exit 2)
   else Snslp_frontend.Frontend.compile src
 
-let run bound invariants mode files =
+let run bound invariants loops mode files =
   if files = [] then begin
     Fmt.epr "nothing to lint: give one or more .ir or .kc files@.";
     exit 2
@@ -44,6 +45,7 @@ let run bound invariants mode files =
     (fun file ->
       List.iter
         (fun func ->
+          if loops then Loopdep.report Format.std_formatter func;
           let findings =
             Lint.run ?bound func
             @ (if invariants then Lint.vector_invariants config func else [])
@@ -76,13 +78,21 @@ let () =
             "Also vectorize a clone of each function and re-derive the \
              structural invariants of every SLP graph built.")
   in
+  let loops =
+    Arg.(
+      value & flag
+      & info [ "loops" ]
+          ~doc:
+            "Print each function's loop forest with its counted/trip summary \
+             and cross-iteration dependences before the findings.")
+  in
   let mode =
     Arg.(
       value & opt string "sn-slp"
       & info [ "mode" ] ~doc:"Vectorizer mode for --invariants: slp, lslp or sn-slp.")
   in
   let files = Arg.(value & pos_all string [] & info [] ~docv:"FILE") in
-  let term = Term.(const run $ bound $ invariants $ mode $ files) in
+  let term = Term.(const run $ bound $ invariants $ loops $ mode $ files) in
   let info =
     Cmd.info "snslp-lint" ~doc:"Dataflow-based static analyzer for SN-SLP IR"
   in

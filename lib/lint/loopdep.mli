@@ -1,0 +1,45 @@
+(** Cross-iteration dependence analysis over affine subscripts — the
+    interface loop-carried vectorization needs: for each innermost
+    counted loop, the flow/anti/output dependences with their
+    iteration distances, and a [parallel] verdict when provably
+    none exist. *)
+
+open Snslp_ir
+open Snslp_loops
+
+type kind = Flow | Anti | Output
+
+val kind_to_string : kind -> string
+
+type dep = {
+  kind : kind;
+  src : Defs.instr;  (** the earlier iteration's access *)
+  dst : Defs.instr;  (** the later iteration's access *)
+  distance : int;  (** iterations, >= 1 *)
+}
+
+val dep_to_string : dep -> string
+
+type loop_info = {
+  loop : Loops.loop;
+  counted : (Loops.counted * bool, string) result;
+  trip : int option;  (** constant trip count, when counted *)
+  deps : dep list;  (** loop-carried dependences (innermost loops only) *)
+  analyzed : bool;
+      (** innermost, counted, and every memory access had an argument
+          base, an affine index and an invariant residual *)
+  parallel : bool;  (** analyzed with no loop-carried dependence *)
+}
+
+type t = { forest : Loops.forest; infos : loop_info list }
+
+val analyze : Defs.func -> t
+
+val deps_of : Defs.func -> Loops.loop -> Loops.counted -> dep list * bool
+(** The loop-carried dependences of an innermost counted loop, and
+    whether every memory access was analyzable.  Distances are
+    filtered against the constant trip count when one exists. *)
+
+val report : Format.formatter -> Defs.func -> unit
+(** The [--loops] forest report: one line per loop with its
+    counted/trip summary and carried dependences (or [parallel]). *)

@@ -3,18 +3,41 @@
    Both sides of a transformation are executed symbolically: every
    value is normalised ({!Normal}), memory is a map from symbolic
    locations (argument base + canonical index sum) to normalised
-   stored values with store-to-load forwarding, and control flow is
-   limited to straight lines plus the acyclic diamonds/triangles
-   if-conversion handles — a conditional's arms run on copies of the
-   memory and locations that differ merge into the same [select]
-   normal form if-conversion emits.  The final memories are then
-   compared store-by-store.
+   stored values with store-to-load forwarding, and control flow
+   covers straight lines, the acyclic diamonds/triangles
+   if-conversion handles, and counted loops ({!Snslp_loops}) — a
+   conditional's arms run on copies of the memory, and a loop either
+   runs trip-by-trip when its count is a compile-time constant or is
+   folded into a per-iteration *summary* when the trip is symbolic.
+   The final memories (plus the loop summaries) are then compared
+   store-by-store.
 
    Three-valued outcome: [Valid] (same stored locations, same normal
    forms, possibly within coefficient tolerance), [Unknown] (one side
-   fell outside the supported fragment: loops, vector arguments,
-   unresolvable addresses, distribution blow-up), [Mismatch] (a
-   location differs — pinpointed by the pretty-printed store).
+   fell outside the supported fragment: irregular loops, vector
+   arguments, unresolvable addresses, distribution blow-up, or the
+   two sides' loop summaries diverge — inductively inconclusive, not
+   disproved), [Mismatch] (a location differs — pinpointed by the
+   pretty-printed store).
+
+   Loops.  A counted loop with constant init and bound is executed
+   concretely: the induction variable is bound to each constant in
+   turn and the body re-executed, so full/partial unrolls,
+   unroll-and-jam and rotated forms reach the exact same final memory
+   as their source loop.  A *symbolic*-trip loop in the strict
+   counted form is summarised instead: one abstract iteration runs
+   with the iv bound to a canonical atom and fresh memory, producing
+   a parametric per-iteration store footprint; two sides whose
+   summaries (init, bound, cmp, step, and the footprint) coincide
+   perform identical state transformations at every iteration, so by
+   induction their loops are equivalent — the summary participates in
+   the comparison and the semantic digest.  Inside a summary, a
+   [Cell] atom means "the content of that location *at iteration
+   entry*"; reusing such an atom for the same location at a different
+   program point would conflate two different concrete values, so
+   buffers written by a symbolic loop are *tainted* and any later
+   access to them gives up (sound: [Unknown], never a false
+   [Valid]).
 
    The memory abstraction treats distinct symbolic locations as
    disjoint.  That is applied to both sides identically, and the
@@ -24,6 +47,8 @@
    [Mismatch]. *)
 
 open Snslp_ir
+open Snslp_loops
+module Int_set = Set.Make (Int)
 
 type verdict = Valid | Unknown of string | Mismatch of { where : string; detail : string }
 
@@ -56,10 +81,15 @@ type entry = {
 type state = {
   env : (int, nv) Hashtbl.t; (* iid -> symbolic value *)
   mutable mem : (string, entry) Hashtbl.t;
-  cells : (string, Normal.t) Hashtbl.t;
+  mutable cells : (string, Normal.t) Hashtbl.t;
       (* initial-content atoms already materialised, by location key:
          pre-CSE IR re-loads the same cell many times *)
   mutable budget : int; (* executed blocks; guards against cycles *)
+  headers : (int, (Loops.counted * bool, string) result) Hashtbl.t;
+      (* loop-header bid -> recognition result (bool = strict) *)
+  cut : (int * int, unit) Hashtbl.t; (* back edges (latch bid, header bid) *)
+  mutable tainted : Int_set.t; (* arg bases written by a symbolic loop *)
+  mutable summaries : string list; (* canonical per-loop summary keys *)
 }
 
 let loc_key base (index : Normal.t) =
@@ -119,7 +149,15 @@ let lane_const (v : Defs.value) =
 
 (* --- Memory -------------------------------------------------------------- *)
 
+(* Reads and writes of a buffer a symbolic loop has written would
+   reuse [Cell] atoms across the loop (iteration-entry content vs
+   final content) — unsound, so they leave the fragment. *)
+let check_taint (st : state) base what =
+  if Int_set.mem base st.tainted then
+    give_up "%s of arg%d after a symbolic-trip loop wrote it" what base
+
 let read (st : state) knd base index =
+  check_taint st base "read";
   let key = loc_key base index in
   match Hashtbl.find_opt st.mem key with
   | Some e -> e.value
@@ -132,6 +170,7 @@ let read (st : state) knd base index =
           v)
 
 let write (st : state) (i : Defs.instr) base index value =
+  check_taint st base "store";
   Hashtbl.replace st.mem (loc_key base index)
     { base; index; value; stored = true; writer = Some i }
 
@@ -223,22 +262,24 @@ let exec_instr (st : state) (i : Defs.instr) : unit =
         let t = lanes_of st i.Defs.ops.(1) ~lanes and e = lanes_of st i.Defs.ops.(2) ~lanes in
         set (Vec (Array.init lanes (fun k -> Normal.select ~cond:conds.(k) t.(k) e.(k))))
   | Defs.Phi _ ->
-      (* A loop-carried value takes a different incoming operand per
-         trip; the symbolic single-pass executor has no iteration
-         notion, so the region is outside the validator's normal
-         form.  (Fully unrolled loops have no phis left, which is why
-         unrolled kernels still validate to [Valid].) *)
-      give_up "loop-carried phi"
+      (* Induction phis of recognized counted loops are bound by
+         [exec_loop] and never reach here; any other phi carries a
+         value around an irregular cycle the executor cannot model. *)
+      give_up "phi %%%s outside any recognized counted-loop header" i.Defs.iname
 
 (* --- Control flow --------------------------------------------------------- *)
 
-(* Blocks reachable from [b] (inclusive), by bid. *)
-let reachable (b : Defs.block) : (int, Defs.block) Hashtbl.t =
+(* Blocks reachable from [b] (inclusive), by bid, without following
+   loop back edges — join-finding must run on the acyclic CFG. *)
+let reachable (st : state) (b : Defs.block) : (int, Defs.block) Hashtbl.t =
   let seen = Hashtbl.create 8 in
   let rec go b =
     if not (Hashtbl.mem seen b.Defs.bid) then begin
       Hashtbl.replace seen b.Defs.bid b;
-      List.iter go (Block.successors b)
+      List.iter
+        (fun (s : Defs.block) ->
+          if not (Hashtbl.mem st.cut (b.Defs.bid, s.Defs.bid)) then go s)
+        (Block.successors b)
     end
   in
   go b;
@@ -247,8 +288,8 @@ let reachable (b : Defs.block) : (int, Defs.block) Hashtbl.t =
 (* The join of a conditional: the unique common reachable block from
    which every other common block is still reachable (the earliest
    common point on a DAG).  [None] when the arms never meet again. *)
-let find_join (t : Defs.block) (e : Defs.block) : Defs.block option =
-  let rt = reachable t and re = reachable e in
+let find_join (st : state) (t : Defs.block) (e : Defs.block) : Defs.block option =
+  let rt = reachable st t and re = reachable st e in
   let common =
     Hashtbl.fold (fun bid b acc -> if Hashtbl.mem re bid then (bid, b) :: acc else acc) rt []
   in
@@ -256,7 +297,7 @@ let find_join (t : Defs.block) (e : Defs.block) : Defs.block option =
   | [] -> None
   | _ -> (
       let is_join (_, j) =
-        let rj = reachable j in
+        let rj = reachable st j in
         List.for_all (fun (bid, _) -> Hashtbl.mem rj bid) common
       in
       match List.filter is_join common with
@@ -309,41 +350,179 @@ let merge_memories (st : state) cond (mem0 : (string, entry) Hashtbl.t) mt me =
 
 let max_blocks = 10_000
 
+(* Trips a *constant*-count loop is re-executed for; beyond this the
+   function leaves the fragment (sound: [Unknown]). *)
+let concrete_trip_cap = 4096
+
 let rec exec_from (st : state) (b : Defs.block) ~(stop : Defs.block option) : unit =
   match stop with
   | Some s when Block.equal s b -> ()
-  | _ ->
-      st.budget <- st.budget - 1;
-      if st.budget <= 0 then give_up "control flow too large or cyclic";
-      List.iter (exec_instr st) b.Defs.instrs;
-      (match b.Defs.term with
-      | Defs.Ret -> ()
-      | Defs.Unterminated -> give_up "unterminated block %s" b.Defs.bname
-      | Defs.Br next -> exec_from st next ~stop
-      | Defs.Cond_br (c, t, e) ->
-          let cond = scalar_of st c in
-          let join = find_join t e in
-          let mem0 = st.mem in
-          st.mem <- Hashtbl.copy mem0;
-          exec_from st t ~stop:join;
-          let mt = st.mem in
-          st.mem <- Hashtbl.copy mem0;
-          exec_from st e ~stop:join;
-          let me = st.mem in
-          merge_memories st cond mem0 mt me;
-          (match join with Some j -> exec_from st j ~stop | None -> ()))
+  | _ -> (
+      match Hashtbl.find_opt st.headers b.Defs.bid with
+      | Some (Ok (c, strict)) -> exec_loop st c ~strict ~stop
+      | Some (Error reason) -> give_up "unsupported loop at %s: %s" b.Defs.bname reason
+      | None ->
+          st.budget <- st.budget - 1;
+          if st.budget <= 0 then give_up "control flow too large or cyclic";
+          List.iter (exec_instr st) b.Defs.instrs;
+          (match b.Defs.term with
+          | Defs.Ret -> ()
+          | Defs.Unterminated -> give_up "unterminated block %s" b.Defs.bname
+          | Defs.Br next -> exec_from st next ~stop
+          | Defs.Cond_br (c, t, e) ->
+              let cond = scalar_of st c in
+              let join = find_join st t e in
+              let mem0 = st.mem in
+              st.mem <- Hashtbl.copy mem0;
+              exec_from st t ~stop:join;
+              let mt = st.mem in
+              st.mem <- Hashtbl.copy mem0;
+              exec_from st e ~stop:join;
+              let me = st.mem in
+              merge_memories st cond mem0 mt me;
+              (match join with Some j -> exec_from st j ~stop | None -> ())))
 
-let exec (f : Defs.func) : (string, entry) Hashtbl.t =
+(* A recognized counted loop.  Constant trip: execute concretely, one
+   body pass per iteration with the iv bound to its constant — the
+   final memory is exactly what any (partial/full/jammed) unrolling
+   reaches.  Symbolic trip in the strict form: summarize one abstract
+   iteration.  Symbolic trip in the relaxed form only: values escape
+   the loop, so the induction argument does not close — give up. *)
+and exec_loop (st : state) (c : Loops.counted) ~(strict : bool)
+    ~(stop : Defs.block option) : unit =
+  let header = c.Loops.loop.Loops.header in
+  let knd = Ty.elem c.Loops.iv.Defs.ty in
+  let init_n = scalar_of st c.Loops.init in
+  let bound_n = scalar_of st c.Loops.bound in
+  let set_iv n = Hashtbl.replace st.env c.Loops.iv.Defs.iid (Scalar n) in
+  (match (Normal.as_const init_n, Normal.as_const bound_n) with
+  | Some (Normal.C_int i0), Some (Normal.C_int bnd) ->
+      let rec trips iv n =
+        st.budget <- st.budget - 1;
+        if st.budget <= 0 then give_up "control flow too large or cyclic";
+        if n > concrete_trip_cap then
+          give_up "loop at %s runs beyond the validator's %d-trip cap" header.Defs.bname
+            concrete_trip_cap;
+        set_iv (Normal.of_lit knd (Lit.Int iv));
+        exec_instr st c.Loops.cond;
+        if Loops.eval_cmp c.Loops.cmp iv bnd then begin
+          exec_from st c.Loops.body_entry ~stop:(Some header);
+          trips (Int64.add iv c.Loops.step) (n + 1)
+        end
+      in
+      trips i0 0
+  | _ ->
+      if not strict then
+        give_up
+          "symbolic trip count at %s in a non-inductive loop form (values escape the loop)"
+          header.Defs.bname
+      else summarize st c ~knd ~init_n ~bound_n);
+  exec_from st c.Loops.exit ~stop
+
+(* One abstract iteration: iv bound to the canonical [$iv] atom,
+   fresh memory, body executed once.  The resulting parametric store
+   footprint — together with init, bound, cmp and step — is the
+   loop's transformer: two loops with equal summaries map equal
+   states to equal states at every iteration, so induction over the
+   identical trip sequence proves them equivalent. *)
+and summarize (st : state) (c : Loops.counted) ~knd ~init_n ~bound_n : unit =
+  let header = c.Loops.loop.Loops.header in
+  set_iv_atom st c knd;
+  let outer_mem = st.mem and outer_cells = st.cells in
+  st.mem <- Hashtbl.create 16;
+  st.cells <- Hashtbl.create 16;
+  let restore () =
+    let m = st.mem and cl = st.cells in
+    st.mem <- outer_mem;
+    st.cells <- outer_cells;
+    (m, cl)
+  in
+  (try
+     exec_instr st c.Loops.cond;
+     exec_from st c.Loops.body_entry ~stop:(Some header)
+   with e ->
+     ignore (restore ());
+     raise e);
+  let iter_mem, iter_cells = restore () in
+  let stores =
+    Hashtbl.fold
+      (fun _ (e : entry) acc ->
+        if e.stored then
+          Printf.sprintf "%d[%s]=%s" e.base (Normal.skey e.index) (Normal.skey e.value) :: acc
+        else acc)
+      iter_mem []
+    |> List.sort String.compare
+  in
+  let written =
+    Hashtbl.fold
+      (fun _ (e : entry) s -> if e.stored then Int_set.add e.base s else s)
+      iter_mem Int_set.empty
+  in
+  let base_of_key key =
+    match String.index_opt key '|' with
+    | Some i -> int_of_string (String.sub key 0 i)
+    | None -> -1
+  in
+  let touched =
+    Hashtbl.fold (fun key _ s -> Int_set.add (base_of_key key) s) iter_cells written
+  in
+  (* A base the summary touches must carry no earlier straight-line
+     stores: the iteration read iteration-entry [Cell] atoms, which
+     only denote the *initial* content when nothing was stored
+     before. *)
+  Hashtbl.iter
+    (fun _ (e : entry) ->
+      if e.stored && Int_set.mem e.base touched then
+        give_up
+          "symbolic-trip loop at %s touches arg%d, already stored to before the loop"
+          header.Defs.bname e.base)
+    st.mem;
+  st.tainted <- Int_set.union st.tainted written;
+  let summary =
+    Printf.sprintf "loop(%s;%s;%s;%s;%Ld){%s}" (Ty.scalar_to_string knd)
+      (Normal.skey init_n) (Defs.cmp_to_string c.Loops.cmp) (Normal.skey bound_n)
+      c.Loops.step
+      (String.concat ";" stores)
+  in
+  st.summaries <- summary :: st.summaries
+
+and set_iv_atom st (c : Loops.counted) knd =
+  Hashtbl.replace st.env c.Loops.iv.Defs.iid
+    (Scalar (Normal.opaque knd "$iv" []))
+
+type effects = {
+  emem : (string, entry) Hashtbl.t;
+  esummaries : string list; (* sorted canonical loop-summary keys *)
+  etainted : Int_set.t; (* bases written by symbolic-trip loops *)
+}
+
+let exec (f : Defs.func) : effects =
   let st =
     {
       env = Hashtbl.create 64;
       mem = Hashtbl.create 32;
       cells = Hashtbl.create 32;
       budget = max_blocks;
+      headers = Hashtbl.create 4;
+      cut = Hashtbl.create 4;
+      tainted = Int_set.empty;
+      summaries = [];
     }
   in
+  (match f.Defs.blocks with
+  | [] | [ _ ] -> () (* straight-line: skip the loop analysis *)
+  | _ ->
+      let forest = Loops.analyze f in
+      List.iter
+        (fun (l : Loops.loop) ->
+          List.iter
+            (fun (latch : Defs.block) ->
+              Hashtbl.replace st.cut (latch.Defs.bid, l.Loops.header.Defs.bid) ())
+            l.Loops.latches;
+          Hashtbl.replace st.headers l.Loops.header.Defs.bid (Loops.recognize f l))
+        forest.Loops.loops);
   exec_from st (Func.entry f) ~stop:None;
-  st.mem
+  { emem = st.mem; esummaries = List.sort String.compare st.summaries; etainted = st.tainted }
 
 (* --- Comparison ------------------------------------------------------------ *)
 
@@ -352,17 +531,17 @@ let truncate s = if String.length s > 160 then String.sub s 0 157 ^ "..." else s
 let where_of (e : entry) =
   match e.writer with Some i -> Instr.to_string i | None -> loc_to_string e
 
-(* A captured side of a comparison: the symbolic memory a function
-   leaves behind, or the reason it fell outside the supported
-   fragment.  Capturing once and comparing many times is what makes
-   per-pass validation affordable — the IR a pass produces is the IR
-   the next pass receives, so the pipeline chains snapshots instead of
-   re-executing both sides at every step. *)
-type snapshot = ((string, entry) Hashtbl.t, string) result
+(* A captured side of a comparison: the symbolic memory (and loop
+   summaries) a function leaves behind, or the reason it fell outside
+   the supported fragment.  Capturing once and comparing many times
+   is what makes per-pass validation affordable — the IR a pass
+   produces is the IR the next pass receives, so the pipeline chains
+   snapshots instead of re-executing both sides at every step. *)
+type snapshot = (effects, string) result
 
 let capture (f : Defs.func) : snapshot =
   match exec f with
-  | mem -> Ok mem
+  | eff -> Ok eff
   | exception Give_up reason -> Error reason
   | exception Normal.Too_big -> Error "normal form too large"
   | exception Invalid_argument reason -> Error reason
@@ -370,20 +549,24 @@ let capture (f : Defs.func) : snapshot =
 
 (* The semantic digest: one hex string per observable behaviour.  Two
    functions that store the same normal forms to the same symbolic
-   locations — however differently they compute them — fold to the
-   same line set and therefore the same digest, which is exactly the
-   equivalence [compare_snapshots] decides pairwise.  [None] when the
-   function fell outside the supported fragment: an [Unknown] snapshot
-   has no canonical form, so it must never share a digest. *)
+   locations — and whose symbolic loops have the same per-iteration
+   summaries — fold to the same line set and therefore the same
+   digest, which is exactly the equivalence [compare_snapshots]
+   decides pairwise.  A summary line contains the loop's init, bound,
+   cmp, step and full parametric footprint, so two genuinely
+   different symbolic loops never share.  [None] when the function
+   fell outside the supported fragment: an [Unknown] snapshot has no
+   canonical form, so it must never share a digest. *)
 let snapshot_digest (s : snapshot) : string option =
   match s with
   | Error _ -> None
-  | Ok mem ->
+  | Ok eff ->
       let lines =
         Hashtbl.fold
           (fun key (e : entry) acc ->
             if e.stored then (key ^ "=" ^ Normal.skey e.value) :: acc else acc)
-          mem []
+          eff.emem
+          (List.map (fun s -> "loop|" ^ s) eff.esummaries)
       in
       let buf = Buffer.create 256 in
       List.iter
@@ -394,38 +577,52 @@ let snapshot_digest (s : snapshot) : string option =
       Some (Digest.to_hex (Digest.string (Buffer.contents buf)))
 
 (* [compare_snapshots pre post] validates that [post] stores the same
-   normal forms to the same locations as [pre]. *)
+   normal forms to the same locations as [pre].  Divergent loop
+   summaries are inductively inconclusive — the per-iteration
+   footprints are an abstraction, so a difference is [Unknown], never
+   [Mismatch]; likewise any difference on a buffer a symbolic loop
+   wrote. *)
 let compare_snapshots ?(tolerance = 1e-6) (pre : snapshot) (post : snapshot) : verdict =
   match (pre, post) with
   | Error reason, _ -> Unknown (Printf.sprintf "input side: %s" reason)
   | _, Error reason -> Unknown (Printf.sprintf "output side: %s" reason)
-  | Ok mpre, Ok mpost -> (
-      let stored m = Hashtbl.fold (fun k e acc -> if e.stored then (k, e) :: acc else acc) m [] in
-      let verdict = ref Valid in
-      let fail where detail =
-        match !verdict with Mismatch _ -> () | _ -> verdict := Mismatch { where; detail }
-      in
-      List.iter
-        (fun (k, (e : entry)) ->
-          match Hashtbl.find_opt mpost k with
-          | Some e' when e'.stored ->
-              if not (Normal.equal e.value e'.value || Normal.close ~tol:tolerance e.value e'.value)
-              then
-                fail (where_of e')
-                  (Printf.sprintf "%s: stored value differs: %s vs %s" (loc_to_string e)
-                     (truncate (Normal.to_string e.value))
-                     (truncate (Normal.to_string e'.value)))
-          | _ ->
-              fail (where_of e)
-                (Printf.sprintf "%s: stored only by the input side" (loc_to_string e)))
-        (stored mpre);
-      List.iter
-        (fun (k, (e : entry)) ->
-          if not (match Hashtbl.find_opt mpre k with Some e0 -> e0.stored | None -> false) then
-            fail (where_of e)
-              (Printf.sprintf "%s: stored only by the output side" (loc_to_string e)))
-        (stored mpost);
-      !verdict)
+  | Ok epre, Ok epost ->
+      if epre.esummaries <> epost.esummaries then
+        Unknown "loop summaries differ (inductive comparison inconclusive)"
+      else (
+        let tainted = Int_set.union epre.etainted epost.etainted in
+        let mpre = epre.emem and mpost = epost.emem in
+        let stored m = Hashtbl.fold (fun k e acc -> if e.stored then (k, e) :: acc else acc) m [] in
+        let verdict = ref Valid in
+        let fail (e : entry) where detail =
+          if Int_set.mem e.base tainted then (
+            match !verdict with
+            | Valid -> verdict := Unknown (Printf.sprintf "%s (loop-written buffer)" detail)
+            | _ -> ())
+          else
+            match !verdict with Mismatch _ -> () | _ -> verdict := Mismatch { where; detail }
+        in
+        List.iter
+          (fun (k, (e : entry)) ->
+            match Hashtbl.find_opt mpost k with
+            | Some e' when e'.stored ->
+                if not (Normal.equal e.value e'.value || Normal.close ~tol:tolerance e.value e'.value)
+                then
+                  fail e' (where_of e')
+                    (Printf.sprintf "%s: stored value differs: %s vs %s" (loc_to_string e)
+                       (truncate (Normal.to_string e.value))
+                       (truncate (Normal.to_string e'.value)))
+            | _ ->
+                fail e (where_of e)
+                  (Printf.sprintf "%s: stored only by the input side" (loc_to_string e)))
+          (stored mpre);
+        List.iter
+          (fun (k, (e : entry)) ->
+            if not (match Hashtbl.find_opt mpre k with Some e0 -> e0.stored | None -> false) then
+              fail e (where_of e)
+                (Printf.sprintf "%s: stored only by the output side" (loc_to_string e)))
+          (stored mpost);
+        !verdict)
 
 let compare_funcs ?tolerance (pre : Defs.func) (post : Defs.func) : verdict =
   compare_snapshots ?tolerance (capture pre) (capture post)

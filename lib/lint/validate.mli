@@ -1,15 +1,29 @@
 (** The translation validator: symbolic execution of both sides of a
-    transformation into {!Normal} forms with store-forwarding memory
-    and ifconv-shaped conditional merging, followed by a
-    store-by-store comparison of the final memories. *)
+    transformation into {!Normal} forms with store-forwarding memory,
+    ifconv-shaped conditional merging and counted-loop execution,
+    followed by a store-by-store comparison of the final memories.
+
+    Counted loops ({!Snslp_loops.Loops.recognize}) are executed
+    trip-by-trip when init and bound are compile-time constants — so
+    full and partial unrolls, unroll-and-jam and rotated forms
+    validate [Valid] against their rolled sources — and folded into a
+    parametric per-iteration summary when the trip count is symbolic
+    but the loop is in the strict counted form: equal summaries on
+    both sides prove the loops equivalent by induction over the
+    identical iteration sequence.  Buffers written by a symbolic-trip
+    loop are tainted; later accesses to them leave the fragment
+    (sound — [Unknown], never a false [Valid]). *)
 
 open Snslp_ir
 
 type verdict =
   | Valid
   | Unknown of string
-      (** one side fell outside the supported fragment (loops, vector
-          arguments, unresolvable addresses, distribution blow-up) *)
+      (** one side fell outside the supported fragment (irregular
+          loops, symbolic trips outside the inductive form, vector
+          arguments, unresolvable addresses, distribution blow-up),
+          or the two sides' loop summaries diverge — inductively
+          inconclusive, not disproved *)
   | Mismatch of { where : string; detail : string }
       (** [where] is the pretty-printed store whose value differs *)
 
@@ -29,12 +43,15 @@ val capture : Defs.func -> snapshot
 
 val snapshot_digest : snapshot -> string option
 (** A content digest of the snapshot's observable behaviour: the
-    stored locations and their {!Normal} canonical forms, sorted and
-    hashed.  Semantically equivalent functions (equal under
+    stored locations with their {!Normal} canonical forms plus one
+    line per symbolic-loop summary (init, bound, cmp, step, and the
+    full parametric store footprint), sorted and hashed.
+    Semantically equivalent functions (equal under
     {!compare_snapshots} with zero tolerance) digest identically even
-    when their instruction sequences differ.  [None] when the capture
-    fell outside the supported fragment — an unknown behaviour has no
-    canonical form and must never share a digest. *)
+    when their instruction sequences differ, and genuinely different
+    symbolic loops never share.  [None] when the capture fell outside
+    the supported fragment — an unknown behaviour has no canonical
+    form and must never share a digest. *)
 
 val compare_snapshots : ?tolerance:float -> snapshot -> snapshot -> verdict
 (** [compare_snapshots pre post] validates that [post] stores the same

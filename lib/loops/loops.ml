@@ -251,6 +251,114 @@ let as_counted (f : Defs.func) (l : loop) : counted option =
   let* () = if no_outside_uses l then Some () else None in
   Some { loop = l; preheader; latch; body_entry; exit; iv; init; next; step; cmp; cond; bound }
 
+(* [recognize f l] — the diagnosing recognizer.  Strict [as_counted]
+   first; when that fails, a relaxed pass accepts the same header
+   shape while dropping the requirements that only the *transforms*
+   need (no inner loops, one phi in the whole loop, no outside uses,
+   a [Br]-terminated preheader, a phi-free exit, an icmp feeding only
+   the branch) — a symbolic executor can follow values out of the
+   loop, so those loops are still *executable* even though they are
+   not *unrollable*.  Each rejection names the specific unsupported
+   feature, so an [Unknown] verdict downstream is actionable. *)
+let recognize (f : Defs.func) (l : loop) : (counted * bool, string) result =
+  match as_counted f l with
+  | Some c -> Ok (c, true)
+  | None ->
+      let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e in
+      let* latch =
+        match l.latches with
+        | [ x ] -> Ok x
+        | xs -> Error (Printf.sprintf "multiple back edges (%d latches)" (List.length xs))
+      in
+      let* () =
+        if Block.equal l.header latch then Error "self-loop header" else Ok ()
+      in
+      let preds = Dominance.predecessors f in
+      let hpreds = try Hashtbl.find preds l.header.Defs.bid with Not_found -> [] in
+      let* preheader =
+        match List.filter (fun b -> not (mem l b)) hpreds with
+        | [ p ] when List.length hpreds = 2 -> Ok p
+        | [] -> Error "no predecessor outside the loop"
+        | _ -> Error "no unique preheader"
+      in
+      let* iv, cond =
+        match l.header.Defs.instrs with
+        | [ p; c ] when Instr.is_phi p -> Ok (p, c)
+        | p :: _ when not (Instr.is_phi p) ->
+            Error "header does not start with an induction phi"
+        | _ -> Error "header is not the canonical [iv-phi; icmp] shape"
+      in
+      let* cmp =
+        match cond.Defs.op with
+        | Defs.Icmp cmp -> Ok cmp
+        | _ -> Error "header condition is not an integer compare"
+      in
+      let* () =
+        match cond.Defs.ops with
+        | [| Defs.Instr i; _ |] when Instr.equal i iv -> Ok ()
+        | _ -> Error "compare left-hand side is not the induction variable"
+      in
+      let bound = cond.Defs.ops.(1) in
+      let* () = if value_invariant l bound then Ok () else Error "loop-variant bound" in
+      let* body_entry, exit =
+        match l.header.Defs.term with
+        | Defs.Cond_br (Defs.Instr c, t, e)
+          when Instr.equal c cond && mem l t && not (mem l e)
+               && not (Block.equal t l.header) -> Ok (t, e)
+        | Defs.Cond_br _ -> Error "header branch does not split into body and exit"
+        | _ -> Error "header does not exit the loop (bottom-tested or irregular form)"
+      in
+      let* () =
+        if
+          List.for_all
+            (fun (b : Defs.block) ->
+              Block.equal b l.header || List.for_all (mem l) (Block.successors b))
+            l.blocks
+        then Ok ()
+        else Error "multi-exit loop"
+      in
+      let* init, next_v =
+        match iv.Defs.op with
+        | Defs.Phi payload when Array.length payload = 2 ->
+            if payload.(0) = preheader.Defs.bid && payload.(1) = latch.Defs.bid then
+              Ok (iv.Defs.ops.(0), iv.Defs.ops.(1))
+            else if payload.(0) = latch.Defs.bid && payload.(1) = preheader.Defs.bid then
+              Ok (iv.Defs.ops.(1), iv.Defs.ops.(0))
+            else Error "induction phi incoming blocks match neither preheader nor latch"
+        | _ -> Error "induction phi arity is not 2"
+      in
+      let* next =
+        match Value.as_instr next_v with
+        | Some n -> Ok n
+        | None -> Error "back-edge value is not an instruction"
+      in
+      let* () =
+        if Ty.scalar_is_int (Ty.elem iv.Defs.ty) then Ok ()
+        else Error "non-integer induction variable"
+      in
+      (* Partial unroll leaves the back-edge increment as a chain of
+         constant adds through the body copies ([(iv+s)+s]...); fold
+         the chain back to a single step. *)
+      let* step =
+        let rec chase (i : Defs.instr) acc depth =
+          if depth > 8 then Error "non-affine induction step"
+          else
+            match (i.Defs.op, i.Defs.ops) with
+            | Defs.Binop Defs.Add, [| Defs.Instr j; Defs.Const { lit = Lit.Int s; _ } |] ->
+                let acc = Int64.add acc s in
+                if Instr.equal j iv then Ok acc else chase j acc (depth + 1)
+            | Defs.Binop Defs.Sub, [| Defs.Instr j; Defs.Const { lit = Lit.Int s; _ } |] ->
+                let acc = Int64.sub acc s in
+                if Instr.equal j iv then Ok acc else chase j acc (depth + 1)
+            | _ -> Error "non-affine induction step"
+        in
+        chase next 0L 0
+      in
+      let* () = if Int64.equal step 0L then Error "zero induction step" else Ok () in
+      Ok
+        ( { loop = l; preheader; latch; body_entry; exit; iv; init; next; step; cmp; cond; bound },
+          false )
+
 (* --- Trip counts. -------------------------------------------------- *)
 
 let eval_cmp (c : Defs.cmp) (a : int64) (b : int64) =

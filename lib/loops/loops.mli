@@ -54,6 +54,18 @@ val as_counted : Defs.func -> loop -> counted option
     value defined inside the loop used outside it.  [None] on anything
     else — the transforms only touch loops this recognizes. *)
 
+val recognize : Defs.func -> loop -> (counted * bool, string) result
+(** Diagnosing recognizer: [Ok (c, true)] when {!as_counted} accepts,
+    [Ok (c, false)] when a relaxed pass accepts the same header shape
+    while dropping the transform-only requirements (innermost-only,
+    one phi in the whole loop, no outside uses, [Br]-terminated
+    preheader, phi-free exit, icmp feeding only the branch) — still
+    executable by a symbolic interpreter, though not unrollable.  In
+    the relaxed case [preheader] is merely the unique outside
+    predecessor; its terminator may be conditional.  [Error reason]
+    names the specific unsupported feature (multiple latches,
+    non-affine step, loop-variant bound, multi-exit, ...). *)
+
 val trip_count : counted -> int option
 (** Number of body executions when init and bound are both integer
     constants: the recurrence is stepped with the interpreter's

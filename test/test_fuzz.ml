@@ -205,6 +205,64 @@ let test_injected_bug_reduces () =
       check_str "reduced reproducer round-trips" text
         (Printer.func_to_string (Ir_parser.parse text)))
 
+(* --- Loop-aware static catches --------------------------------------------- *)
+
+(* Drop the function's final store — on an unrolled constant-trip
+   loop that is the epilogue store, the classic off-by-one unroll
+   bug.  Applied to the optimized side only. *)
+let drop_last_store (f : Defs.func) =
+  let last = ref None in
+  Func.iter_instrs (fun i -> if Instr.is_store i then last := Some i) f;
+  match !last with
+  | Some s -> List.iter (fun b -> Block.discard_if b (fun i -> i == s)) f.Defs.blocks
+  | None -> ()
+
+(* A dropped epilogue store must be caught *statically*: the
+   validator executes the constant-trip loop concretely, so the
+   missing final location is a [Static_mismatch], not just an
+   interpreter diff. *)
+let test_loop_injected_bug_caught_statically () =
+  let func =
+    Snslp_frontend.Frontend.compile_one
+      {|
+kernel s8(double a[], double b[], double c[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { c[k] = a[k] * 2.0 + b[k]; }
+}
+|}
+  in
+  Fun.protect
+    ~finally:(fun () -> Oracle.inject_bug := None)
+    (fun () ->
+      Oracle.inject_bug := Some drop_last_store;
+      let findings = Oracle.run_case func in
+      check "oracle catches the dropped store" true (findings <> []);
+      check "the validator catches it statically" true
+        (List.exists
+           (fun (fd : Oracle.finding) ->
+             match fd.Oracle.kind with Oracle.Static_mismatch _ -> true | _ -> false)
+           findings))
+
+(* The loopy campaign with validation on: zero [Static_mismatch] —
+   the inductive validator never disproves a correct loop
+   transformation. *)
+let test_loopy_campaign_no_static_mismatch () =
+  let result = Campaign.run ~profile:Gen.loopy_profile ~seed:23 ~cases:300 () in
+  check_int "cases" 300 result.Campaign.cases;
+  List.iter
+    (fun (r : Campaign.case_report) ->
+      List.iter
+        (fun (fd : Oracle.finding) ->
+          match fd.Oracle.kind with
+          | Oracle.Static_mismatch _ ->
+              Alcotest.failf "case seed %d: false static mismatch: %s" r.Campaign.case_seed
+                (Oracle.finding_to_string fd)
+          | _ ->
+              Alcotest.failf "case seed %d: %s" r.Campaign.case_seed
+                (Oracle.finding_to_string fd))
+        r.Campaign.findings)
+    result.Campaign.reports;
+  check "clean" true (Campaign.clean result)
+
 (* Regression: campaign seed 42, case seed 42008964, reduced by
    Reduce.run to 16 instructions.  The +/- chain feeds the same CSE'd
    load of A[1] with both signs; reduction vectorization grouped the
@@ -270,6 +328,10 @@ let suite =
           test_campaign_targets;
         Alcotest.test_case "injected bug is caught and reduced" `Quick
           test_injected_bug_reduces;
+        Alcotest.test_case "loop bug caught statically" `Quick
+          test_loop_injected_bug_caught_statically;
+        Alcotest.test_case "loopy campaign: no static mismatch (300 cases)" `Slow
+          test_loopy_campaign_no_static_mismatch;
         Alcotest.test_case "reducer rejects non-failing input" `Quick
           test_reduce_requires_failure;
         Alcotest.test_case "regression: reduction drops inverse-paired leaf" `Quick

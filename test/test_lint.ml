@@ -8,10 +8,16 @@ module Oracle = Snslp_fuzzer.Oracle
 module Gen = Snslp_fuzzer.Gen
 module Pipeline = Snslp_passes.Pipeline
 module Config = Snslp_vectorizer.Config
+module Loops = Snslp_loops.Loops
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let compile = Snslp_frontend.Frontend.compile_one
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
 
 (* --- Dataflow: liveness ---------------------------------------------------- *)
 
@@ -483,6 +489,479 @@ let test_oracle_validates_clean () =
     (fun fd -> Alcotest.failf "unexpected finding: %s" (Oracle.finding_to_string fd))
     (Oracle.run_case func)
 
+(* --- Loop-aware validation -------------------------------------------------- *)
+
+let expect_valid what pre post =
+  match Validate.compare_funcs pre post with
+  | Validate.Valid -> ()
+  | v -> Alcotest.failf "%s: expected valid, got %s" what (Validate.verdict_to_string v)
+
+let expect_unknown what reason pre post =
+  match Validate.compare_funcs pre post with
+  | Validate.Unknown r when contains r reason -> ()
+  | Validate.Unknown r ->
+      Alcotest.failf "%s: unknown, but reason %S does not mention %S" what r reason
+  | v -> Alcotest.failf "%s: expected unknown, got %s" what (Validate.verdict_to_string v)
+
+(* A constant-trip loop executes concretely, so loop-shaped and
+   straight-line renderings of the same computation — and opposite
+   iteration orders — reach the same symbolic memory. *)
+let test_validate_const_trip_loop_forms () =
+  let rolled =
+    compile
+      {|
+kernel r(double a[], double c[], long i) {
+  for (long k = 0; k < 4; k = k + 1) { c[k] = a[k] + 1.0; }
+}
+|}
+  in
+  let unrolled =
+    compile
+      {|
+kernel u(double a[], double c[], long i) {
+  c[0] = a[0] + 1.0;
+  c[1] = a[1] + 1.0;
+  c[2] = a[2] + 1.0;
+  c[3] = a[3] + 1.0;
+}
+|}
+  in
+  let down =
+    compile
+      {|
+kernel d(double a[], double c[], long i) {
+  for (long k = 3; k > -1; k = k - 1) { c[k] = a[k] + 1.0; }
+}
+|}
+  in
+  expect_valid "loop vs straight line" rolled unrolled;
+  expect_valid "up-count vs down-count" rolled down
+
+(* A partial unroll of a constant-trip loop leaves a rotated main
+   loop (folded (iv+s)+s increments) plus an epilogue — both execute
+   concretely, so every pass verdict is Valid where the digest
+   fallback used to answer Unknown. *)
+let test_validate_partial_unroll_valid () =
+  let src =
+    {|
+kernel s8(double a[], double b[], double c[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { c[i + k] = a[i + k] * 2.0 + b[i + k]; }
+}
+|}
+  in
+  List.iter
+    (fun unroll ->
+      let setting = Some { Config.snslp with Config.unroll } in
+      let r = Pipeline.run ~setting ~validate:true (compile src) in
+      match r.Pipeline.validation with
+      | None -> Alcotest.fail "no validation record"
+      | Some v ->
+          List.iter
+            (fun (pass, verdict) ->
+              match verdict with
+              | Validate.Valid -> ()
+              | verdict ->
+                  Alcotest.failf "pass %s: %s" pass (Validate.verdict_to_string verdict))
+            v.Pipeline.pass_verdicts;
+          (match v.Pipeline.end_verdict with
+          | Validate.Valid -> ()
+          | verdict ->
+              Alcotest.failf "end verdict: %s" (Validate.verdict_to_string verdict)))
+    [ Config.Unroll_by 2; Config.Unroll_by 4; Config.Unroll_auto ]
+
+(* The jammed body directly: unroll then jam, compare against the
+   untouched original. *)
+let test_validate_jammed_body () =
+  let f =
+    compile
+      {|
+kernel j(double a[], double c[], long i) {
+  for (long k = 0; k < 6; k = k + 1) { c[k] = a[k] * 3.0; }
+}
+|}
+  in
+  let g = Func.clone f in
+  ignore (Snslp_passes.Unroll.run ~policy:(Snslp_passes.Unroll.Factor 2) g);
+  let merged = Snslp_passes.Unroll_and_jam.run g in
+  check "jam merged blocks" true (merged > 0);
+  expect_valid "jammed partial unroll" f g
+
+let loop_reassoc_a =
+  {|
+kernel f(double A[], double B[], double C[], double D[], long n) {
+  for (long k = 0; k < n; k = k + 1) { A[k] = B[k] - C[k] + D[k]; }
+}
+|}
+
+let loop_reassoc_b =
+  {|
+kernel g(double A[], double B[], double C[], double D[], long n) {
+  for (long k = 0; k < n; k = k + 1) { A[k] = D[k] + B[k] - C[k]; }
+}
+|}
+
+(* Symbolic trip counts switch the validator to inductive mode: one
+   abstract iteration is summarised, and equal summaries prove the
+   loops equivalent by induction.  Divergent summaries are
+   inconclusive — Unknown, never Mismatch. *)
+let test_validate_symbolic_trip_inductive () =
+  expect_valid "reassociated symbolic-trip loops" (compile loop_reassoc_a)
+    (compile loop_reassoc_b);
+  let different =
+    compile
+      {|
+kernel h(double A[], double B[], double C[], double D[], long n) {
+  for (long k = 0; k < n; k = k + 1) { A[k] = B[k] + C[k] + D[k]; }
+}
+|}
+  in
+  expect_unknown "different symbolic loops" "loop summaries differ"
+    (compile loop_reassoc_a) different;
+  (* The semantic digest mirrors the verdicts: equal for the
+     equivalent pair, distinct for the different one, and defined
+     (Some) for all three — symbolic loops are inside the fragment
+     now. *)
+  let digest src = Validate.snapshot_digest (Validate.capture (compile src)) in
+  (match (digest loop_reassoc_a, digest loop_reassoc_b) with
+  | Some d1, Some d2 -> check "equivalent loops share a digest" true (String.equal d1 d2)
+  | _ -> Alcotest.fail "symbolic-trip loop fell out of the fragment");
+  match
+    ( digest loop_reassoc_a,
+      Validate.snapshot_digest (Validate.capture different) )
+  with
+  | Some d1, Some d3 -> check "different loops do not share" false (String.equal d1 d3)
+  | _ -> Alcotest.fail "symbolic-trip loop fell out of the fragment"
+
+(* Accessing a buffer a symbolic-trip loop wrote conflates
+   iteration-entry atoms with final content, so the validator gives
+   up rather than risk a false Valid. *)
+let test_validate_symbolic_loop_taint () =
+  let f =
+    compile
+      {|
+kernel t(double a[], double b[], long n) {
+  for (long k = 0; k < n; k = k + 1) { b[k] = a[k]; }
+  b[0] = 1.0;
+}
+|}
+  in
+  expect_unknown "post-loop store to a loop-written buffer" "symbolic-trip loop" f
+    (Func.clone f)
+
+(* The Unknown reasons name the unsupported feature. *)
+let test_validate_unknown_reasons () =
+  (* Zero induction step: a legal KernelC loop the recognizer refuses. *)
+  let spin =
+    compile
+      {|
+kernel spin(double a[], double c[], long i) {
+  for (long k = 0; k < 8; k = k + 0) { c[k] = a[k] + 1.0; }
+}
+|}
+  in
+  expect_unknown "zero step" "zero induction step" spin (Func.clone spin);
+  (* Non-affine induction step: iv multiplied on the back edge. *)
+  let nonaff =
+    let f = Func.create ~name:"na" ~args:[ ("A", Ty.ptr Ty.F64); ("n", Ty.i64) ] in
+    let entry = Func.add_block f "entry" in
+    let header = Func.add_block f "header" in
+    let body = Func.add_block f "body" in
+    let exit = Func.add_block f "exit" in
+    let b = Builder.create f ~at:entry in
+    Builder.br b header;
+    Builder.position b header;
+    let iv =
+      Builder.phi b ~preds:[| entry; body |]
+        [| Value.const_int 1; Defs.Undef Ty.i64 |]
+    in
+    let c = Builder.icmp b Defs.Lt (Instr.value iv) (Defs.Arg (Func.arg f 1)) in
+    Builder.cond_br b (Instr.value c) body exit;
+    Builder.position b body;
+    let g = Builder.gep b (Defs.Arg (Func.arg f 0)) (Instr.value iv) in
+    ignore (Builder.store b (Value.const_float 1.0) (Instr.value g));
+    let next = Builder.mul b (Instr.value iv) (Value.const_int 2) in
+    Instr.set_operand iv 1 (Instr.value next);
+    Builder.br b header;
+    Builder.position b exit;
+    Builder.ret b;
+    Verifier.verify_exn f;
+    f
+  in
+  expect_unknown "non-affine step" "non-affine induction step" nonaff (Func.clone nonaff);
+  (* Multi-exit: a second way out of the loop from inside the body. *)
+  let multi_exit =
+    let f = Func.create ~name:"mx" ~args:[ ("A", Ty.ptr Ty.F64); ("n", Ty.i64) ] in
+    let entry = Func.add_block f "entry" in
+    let header = Func.add_block f "header" in
+    let body = Func.add_block f "body" in
+    let latch = Func.add_block f "latch" in
+    let exit = Func.add_block f "exit" in
+    let exit2 = Func.add_block f "exit2" in
+    let b = Builder.create f ~at:entry in
+    Builder.br b header;
+    Builder.position b header;
+    let iv =
+      Builder.phi b ~preds:[| entry; latch |]
+        [| Value.const_int 0; Defs.Undef Ty.i64 |]
+    in
+    let c = Builder.icmp b Defs.Lt (Instr.value iv) (Defs.Arg (Func.arg f 1)) in
+    Builder.cond_br b (Instr.value c) body exit;
+    Builder.position b body;
+    let c2 = Builder.icmp b Defs.Lt (Instr.value iv) (Value.const_int 4) in
+    Builder.cond_br b (Instr.value c2) latch exit2;
+    Builder.position b latch;
+    let next = Builder.add b (Instr.value iv) (Value.const_int 1) in
+    Instr.set_operand iv 1 (Instr.value next);
+    Builder.br b header;
+    Builder.position b exit;
+    Builder.ret b;
+    Builder.position b exit2;
+    Builder.ret b;
+    Verifier.verify_exn f;
+    f
+  in
+  expect_unknown "multi-exit" "multi-exit" multi_exit (Func.clone multi_exit)
+
+(* --- The loop checkers ------------------------------------------------------ *)
+
+let test_loop_bounds_off_by_one () =
+  let f =
+    compile
+      {|
+kernel ob(double a[], double c[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { c[k + 1] = a[k]; }
+}
+|}
+  in
+  (match Checks.loop_bounds ~bound:8 f with
+  | [ fd ] ->
+      check "is an error" true (Finding.is_error fd);
+      check "named checker" true (fd.Finding.check = "loop-out-of-bounds");
+      check "where names the owning loop" true (contains fd.Finding.where "(loop ");
+      check "message gives the range" true (contains fd.Finding.message "[8, 9)")
+  | l -> Alcotest.failf "expected 1 loop-bounds finding, got %d" (List.length l));
+  check_int "large enough buffer is silent" 0 (List.length (Checks.loop_bounds ~bound:9 f));
+  (* A negative reach needs no buffer size at all. *)
+  let neg =
+    compile
+      {|
+kernel nb(double a[], double c[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { c[k - 1] = a[k]; }
+}
+|}
+  in
+  check_int "negative reach flagged without bound" 1 (List.length (Checks.loop_bounds neg))
+
+let test_loop_dead_store_checker () =
+  let f =
+    compile
+      {|
+kernel lds(double a[], double b[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { b[0] = a[k]; }
+}
+|}
+  in
+  (match Checks.loop_dead_stores f with
+  | [ fd ] ->
+      check "is a warning" false (Finding.is_error fd);
+      check "counts the wasted trips" true (contains fd.Finding.message "7 of 8 trips")
+  | l -> Alcotest.failf "expected 1 loop-dead-store finding, got %d" (List.length l));
+  (* A load that may observe the cell keeps the store alive. *)
+  let observed =
+    compile
+      {|
+kernel lds2(double a[], double b[], double c[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { b[0] = a[k]; c[k] = b[0]; }
+}
+|}
+  in
+  check_int "observed invariant store is silent" 0
+    (List.length (Checks.loop_dead_stores observed))
+
+let test_loop_termination_checker () =
+  (* k != 7 stepping by 2 from 0 never settles: provable, Error. *)
+  let inf =
+    compile
+      {|
+kernel inf(double a[], long n) {
+  for (long k = 0; k != 7; k = k + 2) { a[0] = a[0] + 1.0; }
+}
+|}
+  in
+  (match Checks.loop_termination inf with
+  | [ fd ] ->
+      check "provable non-termination is an error" true (Finding.is_error fd);
+      check "message explains" true (contains fd.Finding.message "never settles")
+  | l -> Alcotest.failf "expected 1 termination finding, got %d" (List.length l));
+  (* Symbolic bound + non-monotone step: termination depends on the
+     runtime value — a warning. *)
+  let nm =
+    compile
+      {|
+kernel nm(double a[], long n) {
+  for (long k = 0; k != n; k = k + 2) { a[k] = 1.0; }
+}
+|}
+  in
+  (match Checks.loop_termination nm with
+  | [ fd ] ->
+      check "non-monotone is a warning" false (Finding.is_error fd);
+      check "message names monotonicity" true (contains fd.Finding.message "monotone")
+  | l -> Alcotest.failf "expected 1 termination finding, got %d" (List.length l));
+  (* A plain counted loop is silent. *)
+  let ok = compile "kernel ok(double a[], long n) { for (long k = 0; k < n; k = k + 1) { a[k] = 1.0; } }" in
+  check_int "monotone loop is silent" 0 (List.length (Checks.loop_termination ok))
+
+(* --- Cross-iteration dependences (Loopdep) ---------------------------------- *)
+
+let the_info f =
+  match (Loopdep.analyze f).Loopdep.infos with
+  | [ i ] -> i
+  | l -> Alcotest.failf "expected one loop, got %d" (List.length l)
+
+let test_loopdep_distances () =
+  (* Flow: a[k+1] stored at iteration p is read as a[k] at p+1. *)
+  let flow =
+    compile
+      {|
+kernel fl(double a[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { a[k + 1] = a[k] * 2.0; }
+}
+|}
+  in
+  (match (the_info flow).Loopdep.deps with
+  | [ d ] ->
+      check "flow kind" true (d.Loopdep.kind = Loopdep.Flow);
+      check_int "distance 1" 1 d.Loopdep.distance
+  | l -> Alcotest.failf "expected 1 dep, got %d" (List.length l));
+  (* Anti: a[k+2] read at iteration p is overwritten as a[k] at p+2. *)
+  let anti =
+    compile
+      {|
+kernel an(double a[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { a[k] = a[k + 2] * 1.5; }
+}
+|}
+  in
+  (match (the_info anti).Loopdep.deps with
+  | [ d ] ->
+      check "anti kind" true (d.Loopdep.kind = Loopdep.Anti);
+      check_int "distance 2" 2 d.Loopdep.distance
+  | l -> Alcotest.failf "expected 1 dep, got %d" (List.length l));
+  (* Output: the same invariant cell is stored every iteration —
+     carried at every distance, reported with the minimal one. *)
+  let output =
+    compile
+      {|
+kernel ou(double a[], double b[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { b[0] = a[k]; }
+}
+|}
+  in
+  check "output dep at distance 1" true
+    (List.exists
+       (fun (d : Loopdep.dep) -> d.Loopdep.kind = Loopdep.Output && d.Loopdep.distance = 1)
+       (the_info output).Loopdep.deps)
+
+let test_loopdep_parallel () =
+  let f =
+    compile
+      {|
+kernel pa(double a[], double b[], double c[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { c[k] = a[k] + b[k]; }
+}
+|}
+  in
+  let info = the_info f in
+  check "analyzed" true info.Loopdep.analyzed;
+  check "no carried dependence" true (info.Loopdep.deps = []);
+  check "parallel" true info.Loopdep.parallel;
+  (* The finding view: dependences surface as Info findings naming
+     the owning loop. *)
+  check_int "no dependence findings" 0 (List.length (Checks.loop_dependences f));
+  let flow =
+    compile
+      {|
+kernel fl2(double a[], long i) {
+  for (long k = 0; k < 8; k = k + 1) { a[k + 1] = a[k] * 2.0; }
+}
+|}
+  in
+  match Checks.loop_dependences flow with
+  | [ fd ] ->
+      check "info severity" false (Finding.is_error fd);
+      check "where names the loop" true (contains fd.Finding.where "(loop ");
+      check "message carries kind and distance" true
+        (contains fd.Finding.message "flow dependence, distance 1")
+  | l -> Alcotest.failf "expected 1 dependence finding, got %d" (List.length l)
+
+(* --- The 500-seed loopy property --------------------------------------------- *)
+
+(* Aggregated by the property below, asserted by
+   [test_loopy_valid_rate] which runs after it. *)
+let loopy_counted_total = ref 0
+let loopy_counted_valid = ref 0
+
+let all_loops_const_counted (f : Defs.func) =
+  match f.Defs.blocks with
+  | [] | [ _ ] -> false
+  | _ ->
+      let forest = Loops.analyze f in
+      forest.Loops.loops <> []
+      && List.for_all
+           (fun l ->
+             match Loops.as_counted f l with
+             | Some c -> Loops.trip_count c <> None
+             | None -> false)
+           forest.Loops.loops
+
+(* Loopy generated IR through every validated configuration: the
+   validator never reports Mismatch, and on functions whose loops are
+   all counted with constant trips the end-to-end verdict is Valid —
+   the rate is checked against the 0.9 floor below. *)
+let prop_loopy_ir_validates =
+  QCheck.Test.make ~count:500 ~name:"loopy IR validates without mismatch"
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let func = Gen.generate ~profile:Gen.loopy_profile ~seed () in
+      let tolerance = Gen.tolerance_for func in
+      let counted = all_loops_const_counted func in
+      if counted then incr loopy_counted_total;
+      let all_valid = ref true in
+      List.iter
+        (fun (name, setting) ->
+          let result = Pipeline.run ~setting ~validate:true ~tolerance func in
+          match result.Pipeline.validation with
+          | None -> QCheck.Test.fail_reportf "seed %d %s: no validation record" seed name
+          | Some v ->
+              List.iter
+                (fun (pass, verdict) ->
+                  match verdict with
+                  | Validate.Mismatch { where; detail } ->
+                      QCheck.Test.fail_reportf "seed %d %s pass %s: mismatch @%s: %s"
+                        seed name pass where detail
+                  | Validate.Valid | Validate.Unknown _ -> ())
+                v.Pipeline.pass_verdicts;
+              (match v.Pipeline.end_verdict with
+              | Validate.Mismatch { where; detail } ->
+                  QCheck.Test.fail_reportf "seed %d %s end-to-end: mismatch @%s: %s"
+                    seed name where detail
+              | Validate.Valid -> ()
+              | Validate.Unknown _ -> all_valid := false))
+        validated_settings;
+      if counted && !all_valid then incr loopy_counted_valid;
+      true)
+
+let test_loopy_valid_rate () =
+  if !loopy_counted_total = 0 then
+    Alcotest.fail "the loopy validation property produced no counted-loop cases"
+  else begin
+    let rate = float_of_int !loopy_counted_valid /. float_of_int !loopy_counted_total in
+    if rate < 0.9 then
+      Alcotest.failf "counted-loop valid rate %.3f below the 0.9 floor (%d/%d)" rate
+        !loopy_counted_valid !loopy_counted_total
+  end
+
 let suite =
   [
     ( "lint",
@@ -509,11 +988,30 @@ let suite =
           test_validate_missing_store_mismatch;
         Alcotest.test_case "validate: loops are unknown" `Quick test_validate_loop_unknown;
         Alcotest.test_case "validate: if-conversion" `Quick test_validate_ifconv;
+        Alcotest.test_case "validate: const-trip loop forms" `Quick
+          test_validate_const_trip_loop_forms;
+        Alcotest.test_case "validate: partial unroll valid" `Quick
+          test_validate_partial_unroll_valid;
+        Alcotest.test_case "validate: jammed body" `Quick test_validate_jammed_body;
+        Alcotest.test_case "validate: symbolic trip inductive" `Quick
+          test_validate_symbolic_trip_inductive;
+        Alcotest.test_case "validate: symbolic loop taint" `Quick
+          test_validate_symbolic_loop_taint;
+        Alcotest.test_case "validate: unknown reasons are specific" `Quick
+          test_validate_unknown_reasons;
+        Alcotest.test_case "check: loop bounds off-by-one" `Quick
+          test_loop_bounds_off_by_one;
+        Alcotest.test_case "check: loop dead store" `Quick test_loop_dead_store_checker;
+        Alcotest.test_case "check: loop termination" `Quick test_loop_termination_checker;
+        Alcotest.test_case "loopdep: distances" `Quick test_loopdep_distances;
+        Alcotest.test_case "loopdep: parallel loop" `Quick test_loopdep_parallel;
         Alcotest.test_case "graph invariants hold on registry kernels" `Quick
           test_invariants_on_registry_graphs;
         Alcotest.test_case "lint sweep: registry" `Quick test_lint_sweep_registry;
         Alcotest.test_case "lint sweep: fullbench" `Slow test_lint_sweep_fullbench;
         QCheck_alcotest.to_alcotest prop_generated_ir_validates;
+        QCheck_alcotest.to_alcotest prop_loopy_ir_validates;
+        Alcotest.test_case "loopy counted valid rate >= 0.9" `Quick test_loopy_valid_rate;
         Alcotest.test_case "oracle: static mismatch on injected bug" `Quick
           test_static_mismatch_on_injected_bug;
         Alcotest.test_case "oracle: clean case stays clean" `Quick

@@ -353,12 +353,15 @@ let test_pipeline_partial_unroll_unknown_fallback () =
   | Some ls -> check_int "partially unrolled" 1 ls.Pipeline.unrolled_partial
   | None -> Alcotest.fail "no loop stats");
   check "epilogue phi survives" true (count_phis r.Pipeline.func >= 1);
-  (* The residual epilogue loop keeps the validator on the digest
-     fallback: verdicts are [Unknown], never [Mismatch]. *)
+  (* A symbolic-trip loop survives the partial unroll only in the
+     relaxed (non-inductive) form — values escape the main loop into
+     the epilogue, so the validator stays [Unknown], never
+     [Mismatch], and says exactly why. *)
   match r.Pipeline.validation with
   | Some v ->
       (match pass_verdict v "unroll" with
-      | Snslp_lint.Validate.Unknown _ -> ()
+      | Snslp_lint.Validate.Unknown reason ->
+          check "reason names the symbolic trip" true (contains reason "symbolic trip")
       | verdict ->
           Alcotest.failf "unroll verdict with residual loop: %s"
             (Snslp_lint.Validate.verdict_to_string verdict));
@@ -370,6 +373,34 @@ let test_pipeline_partial_unroll_unknown_fallback () =
           | Snslp_lint.Validate.Valid | Snslp_lint.Validate.Unknown _ -> ())
         v.Pipeline.pass_verdicts
   | None -> Alcotest.fail "no validation record"
+
+(* The acceptance sweep: every loop-form registry kernel, partially
+   unrolled (by 2, by 4) and unroll-and-jammed (auto), validates
+   [Valid] end to end — constant trips execute concretely, so the
+   digest fallback that used to answer [Unknown] is gone. *)
+let test_registry_unroll_policies_validate () =
+  List.iter
+    (fun ((lk : Snslp_kernels.Registry.t), _) ->
+      List.iter
+        (fun unroll ->
+          let setting = Some { Config.snslp with Config.unroll } in
+          let r =
+            Pipeline.run ~setting ~validate:true (compile lk.Snslp_kernels.Registry.source)
+          in
+          match r.Pipeline.validation with
+          | None -> Alcotest.failf "%s: no validation record" lk.Snslp_kernels.Registry.name
+          | Some v -> (
+              match v.Pipeline.end_verdict with
+              | Snslp_lint.Validate.Valid -> ()
+              | verdict ->
+                  Alcotest.failf "%s under %s: %s" lk.Snslp_kernels.Registry.name
+                    (match unroll with
+                    | Config.No_unroll -> "none"
+                    | Config.Unroll_by n -> Printf.sprintf "by %d" n
+                    | Config.Unroll_auto -> "auto")
+                    (Snslp_lint.Validate.verdict_to_string verdict)))
+        [ Config.Unroll_by 2; Config.Unroll_by 4; Config.Unroll_auto ])
+    Snslp_kernels.Registry.loop_pairs
 
 let test_pipeline_off_policy_keeps_loop () =
   let f = compile saxpy8_src in
@@ -643,6 +674,8 @@ let suite =
           test_pipeline_full_unroll_validates;
         Alcotest.test_case "pipeline partial unroll unknown" `Quick
           test_pipeline_partial_unroll_unknown_fallback;
+        Alcotest.test_case "registry unroll policies validate" `Quick
+          test_registry_unroll_policies_validate;
         Alcotest.test_case "pipeline off policy keeps loop" `Quick
           test_pipeline_off_policy_keeps_loop;
         Alcotest.test_case "oracle clean on loopy kernels" `Quick

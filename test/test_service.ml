@@ -98,6 +98,76 @@ let test_name_irrelevant_to_key () =
        (Semhash.structural_digest (compile_one a))
        (Semhash.structural_digest (compile_one b)))
 
+(* --- Loop kernels in the semantic key space -------------------------------- *)
+
+(* Before the inductive validator, every loop-shaped function fell to
+   the [str:] fallback and only byte-identical resubmissions hit.
+   Counted loops now capture semantically: reassociated loop bodies
+   share one [sem:] entry even with a symbolic trip count. *)
+
+let loop_reassoc_a =
+  {|
+kernel f(double A[], double B[], double C[], double D[], long n) {
+  for (long k = 0; k < n; k = k + 1) { A[k] = B[k] - C[k] + D[k]; }
+}
+|}
+
+let loop_reassoc_b =
+  {|
+kernel g(double A[], double B[], double C[], double D[], long n) {
+  for (long k = 0; k < n; k = k + 1) { A[k] = D[k] + B[k] - C[k]; }
+}
+|}
+
+let test_semantic_key_loop_reassociation () =
+  (match Semhash.of_func (compile_one loop_reassoc_a) with
+  | Semhash.Semantic _ -> ()
+  | Semhash.Structural _ ->
+      Alcotest.fail "a counted loop fell to the structural fallback");
+  check "reassociated loop bodies share a key" true
+    (String.equal (key loop_reassoc_a) (key loop_reassoc_b));
+  check "but are structurally distinct" false
+    (String.equal
+       (Semhash.structural_digest (compile_one loop_reassoc_a))
+       (Semhash.structural_digest (compile_one loop_reassoc_b)))
+
+(* Every loop-form registry kernel captures semantically and shares
+   its key with the straight-line twin — the same computation, loop
+   peeled by hand. *)
+let test_semantic_key_registry_loop_twins () =
+  List.iter
+    (fun ((lk : Snslp_kernels.Registry.t), (tw : Snslp_kernels.Registry.t)) ->
+      let fl = compile_one lk.Snslp_kernels.Registry.source in
+      let ft = compile_one tw.Snslp_kernels.Registry.source in
+      (match Semhash.of_func fl with
+      | Semhash.Semantic _ -> ()
+      | Semhash.Structural _ ->
+          Alcotest.failf "%s: loop form fell to the structural fallback"
+            lk.Snslp_kernels.Registry.name);
+      check
+        (lk.Snslp_kernels.Registry.name ^ " shares with " ^ tw.Snslp_kernels.Registry.name)
+        true
+        (String.equal
+           (Semhash.cache_key ~fingerprint fl)
+           (Semhash.cache_key ~fingerprint ft)))
+    Snslp_kernels.Registry.loop_pairs
+
+(* Disjointness guard: semantically different symbolic-trip loops get
+   different semantic keys — the summary carries the full parametric
+   store footprint. *)
+let test_symbolic_loops_never_falsely_share () =
+  let a =
+    "kernel f(double A[], double B[], long n) { for (long k = 0; k < n; k = k + 1) { A[k] = B[k] + 1.0; } }"
+  in
+  let b =
+    "kernel f(double A[], double B[], long n) { for (long k = 0; k < n; k = k + 1) { A[k] = B[k] + 2.0; } }"
+  in
+  let bounds =
+    "kernel f(double A[], double B[], long n) { for (long k = 1; k < n; k = k + 1) { A[k] = B[k] + 1.0; } }"
+  in
+  check "different loop bodies, different keys" false (String.equal (key a) (key b));
+  check "different loop bounds, different keys" false (String.equal (key a) (key bounds))
+
 (* Cyclic control flow is outside the validator's fragment: such
    functions must fall back to structural keys and never share unless
    byte-identical. *)
@@ -280,6 +350,35 @@ let test_server_semantic_hit_renames () =
         && String.sub (ir_of second) 0 7 = "func @g");
       check "origin kept its own name" true (String.sub (ir_of first) 0 7 = "func @f")
   | _ -> Alcotest.fail "expected 2 responses"
+
+let test_server_loop_semantic_hit () =
+  (* The PR-8 regression: a reassociated *loop* kernel used to miss to
+     the structural fallback; with inductive capture the variant is
+     answered from the original's entry as a semantic hit, renamed to
+     the requester. *)
+  let server = Server.create () in
+  let lines =
+    compile_frame "sn-slp" loop_reassoc_a @ compile_frame "sn-slp" loop_reassoc_b @ [ "quit" ]
+  in
+  (match converse server lines with
+  | [ first; second ] ->
+      check_str "loop original compiles" "miss" (statuses_of first);
+      check_str "reassociated loop variant hits semantically" "hit-semantic"
+        (statuses_of second);
+      check "renamed to the requester" true
+        (String.length (ir_of second) > 7 && String.sub (ir_of second) 0 7 = "func @g")
+  | rs -> Alcotest.fail (Printf.sprintf "expected 2 responses, got %d" (List.length rs)));
+  (* And the same at the cache layer for a loop/straight-line twin
+     pair from the registry. *)
+  let lk, tw = List.hd Snslp_kernels.Registry.loop_pairs in
+  let c = Cache.create ~capacity:8 () in
+  let k f = Semhash.cache_key ~fingerprint f in
+  let fl = compile_one lk.Snslp_kernels.Registry.source in
+  let ft = compile_one tw.Snslp_kernels.Registry.source in
+  Cache.add c ~key:(k fl) ~structural:(Semhash.structural_digest fl) 1;
+  match Cache.find c ~key:(k ft) ~structural:(Semhash.structural_digest ft) with
+  | Some (1, Cache.Hit_semantic) -> ()
+  | _ -> Alcotest.fail "loop twin should hit the loop form's entry semantically"
 
 let test_server_modes_do_not_share () =
   (* The config fingerprint is part of the key: sn-slp's entry must
@@ -475,6 +574,12 @@ let suite =
         Alcotest.test_case "different semantics differ" `Quick test_different_semantics_different_keys;
         Alcotest.test_case "signature in key" `Quick test_signature_part_of_key;
         Alcotest.test_case "name not in key" `Quick test_name_irrelevant_to_key;
+        Alcotest.test_case "semantic key: loop reassociation" `Quick
+          test_semantic_key_loop_reassociation;
+        Alcotest.test_case "semantic key: registry loop twins" `Quick
+          test_semantic_key_registry_loop_twins;
+        Alcotest.test_case "symbolic loops never falsely share" `Quick
+          test_symbolic_loops_never_falsely_share;
         Alcotest.test_case "unknown fragment never shares" `Quick test_unknown_never_falsely_shares;
         Alcotest.test_case "key spaces disjoint" `Quick test_semantic_and_structural_spaces_disjoint;
         Alcotest.test_case "cache outcomes and counters" `Quick test_cache_outcomes;
@@ -485,6 +590,7 @@ let suite =
         Alcotest.test_case "protocol response roundtrip" `Quick test_protocol_response_roundtrip;
         Alcotest.test_case "server cold/warm bit-identical" `Quick test_server_cold_then_warm;
         Alcotest.test_case "server semantic hit renames" `Quick test_server_semantic_hit_renames;
+        Alcotest.test_case "server loop semantic hit" `Quick test_server_loop_semantic_hit;
         Alcotest.test_case "server modes do not share" `Quick test_server_modes_do_not_share;
         Alcotest.test_case "server batch + dedup + stats" `Quick test_server_batch_and_stats;
         Alcotest.test_case "server packing modes and counters" `Quick
